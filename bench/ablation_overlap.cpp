@@ -1,0 +1,38 @@
+// Ablation / extension: overlapping halo exchanges with interior compute
+// (non-blocking Isend/Irecv + WaitAll) vs. the blocking exchanges the
+// ported benchmarks use.  The paper notes the GPGPU model is designed to
+// hide transfer latency by overlapping streams; this quantifies how much
+// of the 1GbE penalty a communication-overlapping port would recover.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace soc;
+  TextTable table({"workload", "NIC", "blocking (s)", "overlapped (s)",
+                   "overlap gain"});
+  for (const char* name : {"jacobi", "tealeaf2d", "tealeaf3d"}) {
+    const auto workload = workloads::make_workload(name);
+    for (net::NicKind nic :
+         {net::NicKind::kGigabit, net::NicKind::kTenGigabit}) {
+      const int nodes = 16;
+      const auto cl = bench::tx1_cluster(nic, nodes, nodes);
+      cluster::RunOptions blocking;
+      blocking.size_scale = 0.5;
+      cluster::RunOptions overlapped = blocking;
+      overlapped.overlap_halos = true;
+      const double tb = cl.run(*workload, blocking).seconds;
+      const double to = cl.run(*workload, overlapped).seconds;
+      table.add_row({name, bench::nic_name(nic), TextTable::num(tb, 2),
+                     TextTable::num(to, 2),
+                     TextTable::num(tb / to, 2) + "x"});
+    }
+  }
+  std::printf(
+      "Ablation: blocking vs overlapped halo exchanges (16 nodes)\n"
+      "(overlap recovers most of the halo cost when compute per iteration\n"
+      "exceeds the transfer time — i.e., it narrows the 1GbE/10GbE gap for\n"
+      "stencil codes but cannot save the allreduce latency)\n\n%s",
+      table.str().c_str());
+  return 0;
+}

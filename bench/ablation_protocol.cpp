@@ -1,0 +1,35 @@
+// Ablation (DESIGN.md §5.1): eager/rendezvous protocol threshold.
+// Latency-sensitive workloads (cg's dot-product allreduces, lu's
+// wavefront messages) care about whether small messages block the sender;
+// bandwidth-bound workloads don't.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace soc;
+  const Bytes thresholds[] = {0, 1 * kKiB, 8 * kKiB, 64 * kKiB, 1 * kMiB};
+
+  TextTable table({"workload", "rendezvous-only", "eager<=1K", "eager<=8K",
+                   "eager<=64K", "eager<=1M"});
+  for (const char* name : {"cg", "lu", "ft", "jacobi"}) {
+    const auto workload = workloads::make_workload(name);
+    const int nodes = 8;
+    const int ranks = bench::natural_ranks(*workload, nodes);
+    std::vector<std::string> row{name};
+    for (Bytes threshold : thresholds) {
+      cluster::RunOptions options;
+      options.size_scale = 0.3;
+      options.engine.eager_threshold = threshold;
+      const auto result =
+          bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, ranks)
+              .run(*workload, options);
+      row.push_back(TextTable::num(result.seconds, 2) + "s");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf(
+      "Ablation: runtime vs eager-protocol threshold (8 nodes, 10GbE)\n\n%s",
+      table.str().c_str());
+  return 0;
+}

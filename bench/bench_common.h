@@ -1,0 +1,47 @@
+// Shared helpers for the benchmark harness binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/table.h"
+#include "core/extended_roofline.h"
+#include "net/network.h"
+#include "systems/machines.h"
+#include "workloads/workload.h"
+
+namespace soc::bench {
+
+/// TX1 cluster with `nodes` nodes and the workload's natural rank count:
+/// 1 rank/node for GPU codes, 4 for the DNN decode workers, 2 for NPB.
+inline int natural_ranks(const workloads::Workload& w, int nodes) {
+  const std::string n = w.name();
+  if (n == "alexnet" || n == "googlenet") return 4 * nodes;
+  if (!w.gpu_accelerated()) return 2 * nodes;
+  return nodes;
+}
+
+inline cluster::Cluster tx1_cluster(net::NicKind nic, int nodes, int ranks) {
+  return cluster::Cluster(
+      cluster::ClusterConfig{systems::jetson_tx1(nic), nodes, ranks});
+}
+
+/// The extended-roofline model instance for one TX1 node (Eq. 3 inputs).
+inline core::ExtendedRoofline tx1_roofline(net::NicKind nic,
+                                           bool double_precision = true) {
+  const systems::NodeConfig node = systems::jetson_tx1(nic);
+  core::ExtendedRoofline model;
+  model.peak_flops = double_precision ? node.gpu.peak_dp_flops()
+                                      : node.gpu.peak_sp_flops();
+  model.memory_bandwidth = node.dram.gpu_bandwidth;
+  model.network_bandwidth = node.nic.effective_bandwidth;
+  return model;
+}
+
+inline const char* nic_name(net::NicKind nic) {
+  return nic == net::NicKind::kGigabit ? "1GbE" : "10GbE";
+}
+
+}  // namespace soc::bench

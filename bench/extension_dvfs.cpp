@@ -1,0 +1,56 @@
+// Extension study (beyond the paper): DVFS sensitivity of the proposed
+// cluster.  The TX1 exposes CPU/GPU frequency scaling; the paper fixes
+// both and notes its boards cap at 1.73 GHz.  This sweep asks whether
+// the cluster's energy efficiency would improve by down-clocking —
+// race-to-idle vs. near-threshold operation — for a compute-bound
+// (jacobi) and a network-bound (tealeaf3d) workload.
+//
+// Power model under scaling: dynamic power ∝ f·V² and V roughly tracks
+// f in the DVFS range, so active component power scales ~f^2.5 while
+// idle/NIC power is frequency-independent.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace soc;
+  TextTable table({"freq scale", "workload", "runtime (s)", "avg W",
+                   "energy (kJ)", "MFLOPS/W (rel)"});
+
+  auto run_at = [](const char* name, double k) {
+    systems::NodeConfig node = systems::jetson_tx1(net::NicKind::kTenGigabit);
+    node.core.frequency_hz *= k;
+    node.gpu.frequency_hz *= k;
+    node.dram.cpu_bandwidth *= 0.4 + 0.6 * k;  // memory scales weakly
+    node.dram.gpu_bandwidth *= 0.4 + 0.6 * k;
+    node.gpu.memory_bandwidth *= 0.4 + 0.6 * k;
+    const double pscale = std::pow(k, 2.5);
+    node.power.cpu_core_active_w *= pscale;
+    node.power.gpu_active_w *= pscale;
+
+    const cluster::Cluster tx(cluster::ClusterConfig{node, 16, 16});
+    const auto workload = workloads::make_workload(name);
+    cluster::RunOptions options;
+    options.size_scale = 0.5;
+    return tx.run(*workload, options);
+  };
+
+  for (const char* name : {"jacobi", "tealeaf3d"}) {
+    const double base_eff = run_at(name, 1.0).mflops_per_watt;
+    for (double k : {0.6, 0.8, 1.0, 1.2}) {
+      const auto r = run_at(name, k);
+      table.add_row({TextTable::num(k, 1), name, TextTable::num(r.seconds, 1),
+                     TextTable::num(r.average_watts, 0),
+                     TextTable::num(r.joules / 1e3, 2),
+                     TextTable::num(r.mflops_per_watt / base_eff, 2)});
+    }
+  }
+  std::printf(
+      "Extension: DVFS sweep on the 16-node TX1 cluster (10GbE)\n"
+      "(memory-bound kernels gain a few percent from mild down-clocking —\n"
+      "compute units idle on DRAM anyway — but the frequency-independent\n"
+      "idle + NIC draw caps the benefit; over-clocking always loses)\n\n%s",
+      table.str().c_str());
+  return 0;
+}

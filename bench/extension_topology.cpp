@@ -1,0 +1,47 @@
+// Extension study (beyond the paper): the Fig 5/6 extrapolations to 256
+// nodes silently assume one big switch.  What happens to the good
+// scalers when a realistic two-level fat tree (16-port leaf switches)
+// adds hops and caps the cross-pod bisection?
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/scaling.h"
+
+int main() {
+  using namespace soc;
+
+  TextTable table({"workload", "fabric", "32-node runtime (s)",
+                   "vs single switch"});
+  for (const char* name : {"jacobi", "hpl", "ft"}) {
+    const auto workload = workloads::make_workload(name);
+    double base = 0.0;
+    for (const auto& [label, topology, bisection] :
+         {std::tuple{"single switch", net::Topology::kSingleSwitch,
+                     gbit_per_s(320.0)},
+          std::tuple{"fat tree 16-port", net::Topology::kFatTree2,
+                     gbit_per_s(80.0)},
+          std::tuple{"fat tree, 2:1 oversub", net::Topology::kFatTree2,
+                     gbit_per_s(40.0)}}) {
+      systems::NodeConfig node =
+          systems::jetson_tx1(net::NicKind::kTenGigabit);
+      node.switch_config.topology = topology;
+      node.switch_config.pod_size = 16;
+      node.switch_config.bisection_bandwidth = bisection;
+      const int nodes = 32;
+      const int ranks = bench::natural_ranks(*workload, nodes);
+      const cluster::Cluster cl(cluster::ClusterConfig{node, nodes, ranks});
+      cluster::RunOptions options;
+      options.size_scale = 0.5;
+      const auto r = cl.run(*workload, options);
+      if (base == 0.0) base = r.seconds;
+      table.add_row({name, label, TextTable::num(r.seconds, 2),
+                     TextTable::num(r.seconds / base, 2) + "x"});
+    }
+  }
+  std::printf(
+      "Extension: fabric topology at 32 nodes (beyond one switch's ports)\n"
+      "(halo codes barely notice the extra hops; the all-to-all transpose\n"
+      "pays for cross-pod bisection)\n\n%s",
+      table.str().c_str());
+  return 0;
+}

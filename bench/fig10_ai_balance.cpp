@@ -1,0 +1,62 @@
+// Figure 10: the AI-workload CPU/GPU balance study.
+//
+// For alexnet and googlenet, compares TX1 scale-out clusters of
+// {2,4,8,16} nodes against the 2× GTX 980 scale-up system: speedup and
+// unhalted CPU cycles per second, both normalized to the scale-up system.
+//
+// Paper shapes: image classification needs the CPU (JPEG decode feeds the
+// GPU); at equal SM count (16 TX nodes = 32 SMs = 2 GTX 980s) the TX
+// cluster's 64 cores sustain far more decode cycles per second than the
+// two Xeon hosts devote, so throughput and energy both favor the
+// SoC cluster — googlenet (more GPU work per image) leverages the
+// additional CPU cycles the most.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+// Unhalted CPU cycles per second of a run: busy core-seconds × frequency
+// over the makespan.
+double cpu_cycles_per_second(const soc::cluster::RunResult& result,
+                             double frequency_hz) {
+  double busy_seconds = 0.0;
+  for (const soc::sim::RankStats& rs : result.stats.ranks) {
+    busy_seconds += soc::to_seconds(rs.cpu_busy);
+  }
+  return busy_seconds * frequency_hz / result.seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace soc;
+  const cluster::Cluster scale_up(cluster::ClusterConfig{
+      systems::xeon_gtx980(), /*nodes=*/2, /*ranks=*/16});
+  const double xeon_hz = systems::xeon_gtx980().core.frequency_hz;
+  const double a57_hz =
+      systems::jetson_tx1(net::NicKind::kTenGigabit).core.frequency_hz;
+
+  TextTable table({"network", "TX nodes", "speedup vs scale-up",
+                   "norm. unhalted CPU cycles/s"});
+  for (const char* name : {"alexnet", "googlenet"}) {
+    const auto workload = workloads::make_workload(name);
+    const auto baseline = scale_up.run(*workload);
+    const double base_cycles = cpu_cycles_per_second(baseline, xeon_hz);
+    for (int nodes : {2, 4, 8, 16}) {
+      const auto result =
+          bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, 4 * nodes)
+              .run(*workload);
+      table.add_row(
+          {name, std::to_string(nodes),
+           TextTable::num(baseline.seconds / result.seconds, 2),
+           TextTable::num(cpu_cycles_per_second(result, a57_hz) / base_cycles,
+                          2)});
+    }
+  }
+  std::printf(
+      "Figure 10: AI workloads, TX1 scale-out vs Xeon+GTX980 scale-up\n"
+      "(16 TX nodes have the same GPU SM count as the scale-up system)\n\n%s",
+      table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figures 1 and 2: speedup and normalized energy of the 10GbE NIC vs the
+// on-board 1GbE, per workload, for cluster sizes {2, 4, 8, 16}.
+//
+// Paper shapes to reproduce: hpl and tealeaf3d gain the most (their GPUs
+// are starved by the 1GbE network); jacobi/cloverleaf/tealeaf2d gain
+// modestly; alexnet/googlenet are local and gain nothing; among NPB, the
+// all-to-all codes ft and is gain the most.  Both the speedup and the
+// energy advantage grow with cluster size (inter-node communication grows
+// with the node count).
+#include <array>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+
+int main() {
+  using namespace soc;
+  const int sizes[] = {2, 4, 8, 16};
+  const auto names = workloads::all_workload_names();
+
+  TextTable speedup({"workload", "2 nodes", "4 nodes", "8 nodes", "16 nodes"});
+  TextTable energy({"workload", "2 nodes", "4 nodes", "8 nodes", "16 nodes"});
+
+  // Every (workload, size, NIC) run is independent: fan out across host
+  // cores and assemble the tables afterwards.
+  std::vector<std::array<double, 4>> speedups(names.size());
+  std::vector<std::array<double, 4>> energies(names.size());
+  parallel_for(names.size() * 4, [&](std::size_t job) {
+    const std::size_t w = job / 4;
+    const std::size_t i = job % 4;
+    const auto workload = workloads::make_workload(names[w]);
+    const int nodes = sizes[i];
+    const int ranks = bench::natural_ranks(*workload, nodes);
+    const auto slow = bench::tx1_cluster(net::NicKind::kGigabit, nodes, ranks)
+                          .run(*workload);
+    const auto fast =
+        bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, ranks)
+            .run(*workload);
+    speedups[w][i] = slow.seconds / fast.seconds;
+    energies[w][i] = fast.joules / slow.joules;
+  });
+
+  std::vector<double> speedup_sum(4, 0.0);
+  std::vector<double> energy_sum(4, 0.0);
+  int workload_count = 0;
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    std::vector<std::string> srow{names[w]};
+    std::vector<std::string> erow{names[w]};
+    for (std::size_t i = 0; i < 4; ++i) {
+      srow.push_back(TextTable::num(speedups[w][i], 2));
+      erow.push_back(TextTable::num(energies[w][i], 2));
+      speedup_sum[i] += speedups[w][i];
+      energy_sum[i] += energies[w][i];
+    }
+    speedup.add_row(std::move(srow));
+    energy.add_row(std::move(erow));
+    ++workload_count;
+  }
+
+  std::vector<std::string> savg{"average"};
+  std::vector<std::string> eavg{"average"};
+  for (int i = 0; i < 4; ++i) {
+    savg.push_back(TextTable::num(
+        speedup_sum[static_cast<std::size_t>(i)] / workload_count, 2));
+    eavg.push_back(TextTable::num(
+        energy_sum[static_cast<std::size_t>(i)] / workload_count, 2));
+  }
+  speedup.add_row(std::move(savg));
+  energy.add_row(std::move(eavg));
+
+  std::printf("Figure 1: speedup from the 10GbE NIC vs 1GbE\n\n%s\n",
+              speedup.str().c_str());
+  std::printf(
+      "Figure 2: energy with the 10GbE NIC, normalized to 1GbE "
+      "(<1 means the NIC pays for itself)\n\n%s",
+      energy.str().c_str());
+  return 0;
+}

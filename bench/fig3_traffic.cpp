@@ -1,0 +1,39 @@
+// Figure 3: average DRAM traffic vs network traffic of the GPGPU
+// workloads on 16 nodes, for both NICs.
+//
+// Paper shapes: hpl and tealeaf3d roughly double their DRAM traffic rate
+// when moving 1GbE → 10GbE (the slow network starves the GPU of data);
+// jacobi/tealeaf2d/cloverleaf move moderately; alexnet/googlenet sit at
+// high DRAM, near-zero network (their data is node-local).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace soc;
+  const int nodes = 16;
+  const char* gpu_workloads[] = {"hpl",       "jacobi",  "cloverleaf",
+                                 "tealeaf2d", "tealeaf3d", "alexnet",
+                                 "googlenet"};
+
+  TextTable table({"point", "DRAM traffic (GB/s)", "network traffic (GB/s)",
+                   "DRAM/network ratio"});
+  for (const char* name : gpu_workloads) {
+    const auto workload = workloads::make_workload(name);
+    const int ranks = bench::natural_ranks(*workload, nodes);
+    for (net::NicKind nic :
+         {net::NicKind::kGigabit, net::NicKind::kTenGigabit}) {
+      const auto result =
+          bench::tx1_cluster(nic, nodes, ranks).run(*workload);
+      const double dram = result.stats.dram_bytes_per_second() / 1e9;
+      const double net = result.stats.net_bytes_per_second() / 1e9;
+      table.add_row({std::string(name) + "-" + bench::nic_name(nic),
+                     TextTable::num(dram, 2), TextTable::num(net, 4),
+                     net > 0 ? TextTable::num(dram / net, 0) : "inf"});
+    }
+  }
+  std::printf(
+      "Figure 3: average DRAM and network traffic, 16-node TX1 cluster\n\n%s",
+      table.str().c_str());
+  return 0;
+}

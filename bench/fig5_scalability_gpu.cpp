@@ -1,0 +1,91 @@
+// Figure 5: strong scaling of the GPGPU-accelerated scientific workloads.
+//
+// Methodology (per §III-B.4): run at {2,4,8,16} nodes, fit the runtime
+// model, extrapolate the speedup to 256 nodes; additionally replay each
+// trace under an ideal network (zero latency, unlimited bandwidth) and
+// under ideal load balance, and report the LB/Ser/Trf efficiency
+// decomposition at 16 nodes.
+//
+// Paper shapes: hpl and jacobi scale well; cloverleaf and both tealeaf
+// variants scale poorly (Ser-limited by host/device synchronization);
+// the ideal network helps hpl and tealeaf3d the most.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/efficiency.h"
+#include "core/scaling.h"
+
+int main() {
+  using namespace soc;
+  const char* gpu_workloads[] = {"hpl", "jacobi", "cloverleaf", "tealeaf2d",
+                                 "tealeaf3d"};
+  const std::vector<int> measured_sizes = {2, 4, 8, 16};
+  const std::vector<int> extrapolated = {16, 32, 64, 128, 256};
+
+  TextTable fits({"workload", "model", "S(16)", "S(32)", "S(64)", "S(128)",
+                  "S(256)", "r2"});
+  TextTable decomp({"workload", "LB", "Ser", "Trf", "efficiency",
+                    "ideal-net speedup", "ideal-LB speedup"});
+
+  double ideal_net_sum = 0.0;
+  double ideal_lb_sum = 0.0;
+  for (const char* name : gpu_workloads) {
+    const auto workload = workloads::make_workload(name);
+
+    struct Series {
+      const char* label;
+      net::NicKind nic;
+      int scenario;  // 0 measured, 1 ideal network, 2 ideal LB
+    };
+    const Series series[] = {
+        {"1G model", net::NicKind::kGigabit, 0},
+        {"10G model", net::NicKind::kTenGigabit, 0},
+        {"ideal network", net::NicKind::kTenGigabit, 1},
+        {"ideal load balance", net::NicKind::kTenGigabit, 2},
+    };
+    for (const Series& s : series) {
+      std::vector<core::ScalingSample> samples;
+      for (int nodes : measured_sizes) {
+        const auto cluster = bench::tx1_cluster(s.nic, nodes, nodes);
+        double seconds = 0.0;
+        if (s.scenario == 0) {
+          seconds = cluster.run(*workload).seconds;
+        } else {
+          const auto runs = cluster.replay_scenarios(*workload);
+          seconds = s.scenario == 1 ? runs.ideal_network.seconds()
+                                    : runs.ideal_balance.seconds();
+        }
+        samples.push_back(core::ScalingSample{nodes, seconds});
+      }
+      const core::ScalingModel model = core::fit_scaling(samples);
+      std::vector<std::string> row{name, s.label};
+      for (int n : extrapolated) {
+        row.push_back(TextTable::num(model.predict_speedup(n), 1));
+      }
+      row.push_back(TextTable::num(model.r2, 3));
+      fits.add_row(std::move(row));
+    }
+
+    // Efficiency decomposition at 16 nodes (10GbE).
+    const auto runs = bench::tx1_cluster(net::NicKind::kTenGigabit, 16, 16)
+                          .replay_scenarios(*workload);
+    const core::EfficiencyDecomposition d = core::decompose(runs);
+    const double inet = runs.measured.seconds() / runs.ideal_network.seconds();
+    const double ilb = runs.measured.seconds() / runs.ideal_balance.seconds();
+    ideal_net_sum += inet;
+    ideal_lb_sum += ilb;
+    decomp.add_row({name, TextTable::num(d.load_balance, 3),
+                    TextTable::num(d.serialization, 3),
+                    TextTable::num(d.transfer, 3),
+                    TextTable::num(d.efficiency, 3), TextTable::num(inet, 2),
+                    TextTable::num(ilb, 2)});
+  }
+
+  std::printf("Figure 5: GPGPU workload scalability (speedup vs 1 node)\n\n%s\n",
+              fits.str().c_str());
+  std::printf("Efficiency decomposition at 16 nodes, 10GbE (Eq. 4)\n\n%s\n",
+              decomp.str().c_str());
+  std::printf("average ideal-network speedup: %.2fx\n", ideal_net_sum / 5.0);
+  std::printf("average ideal-load-balance speedup: %.2fx\n", ideal_lb_sum / 5.0);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6: strong scaling of the NPB suite, same methodology as Fig 5
+// (two ranks per node; measured at {2,4,8,16} nodes; extrapolated).
+//
+// Paper shapes: bt, ep, mg, sp scale well; cg, ft, is, lu scale poorly —
+// ft and is are network-bound (ideal network helps them ~3x), cg and lu
+// are load-balance-bound (ideal LB helps them most).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/efficiency.h"
+#include "core/scaling.h"
+
+int main() {
+  using namespace soc;
+  const char* npb[] = {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"};
+  const std::vector<int> measured_sizes = {2, 4, 8, 16};
+  const std::vector<int> extrapolated = {16, 32, 64, 128, 256};
+
+  TextTable fits({"workload", "model", "S(16)", "S(32)", "S(64)", "S(128)",
+                  "S(256)", "r2"});
+  TextTable decomp({"workload", "LB", "Ser", "Trf", "efficiency",
+                    "ideal-net speedup", "ideal-LB speedup"});
+
+  for (const char* name : npb) {
+    const auto workload = workloads::make_workload(name);
+    struct Series {
+      const char* label;
+      net::NicKind nic;
+      int scenario;
+    };
+    const Series series[] = {
+        {"1G model", net::NicKind::kGigabit, 0},
+        {"10G model", net::NicKind::kTenGigabit, 0},
+        {"ideal network", net::NicKind::kTenGigabit, 1},
+        {"ideal load balance", net::NicKind::kTenGigabit, 2},
+    };
+    for (const Series& s : series) {
+      std::vector<core::ScalingSample> samples;
+      for (int nodes : measured_sizes) {
+        const auto cluster = bench::tx1_cluster(s.nic, nodes, 2 * nodes);
+        double seconds = 0.0;
+        if (s.scenario == 0) {
+          seconds = cluster.run(*workload).seconds;
+        } else {
+          const auto runs = cluster.replay_scenarios(*workload);
+          seconds = s.scenario == 1 ? runs.ideal_network.seconds()
+                                    : runs.ideal_balance.seconds();
+        }
+        samples.push_back(core::ScalingSample{nodes, seconds});
+      }
+      const core::ScalingModel model = core::fit_scaling(samples);
+      std::vector<std::string> row{name, s.label};
+      for (int n : extrapolated) {
+        row.push_back(TextTable::num(model.predict_speedup(n), 1));
+      }
+      row.push_back(TextTable::num(model.r2, 3));
+      fits.add_row(std::move(row));
+    }
+
+    const auto runs = bench::tx1_cluster(net::NicKind::kTenGigabit, 16, 32)
+                          .replay_scenarios(*workload);
+    const core::EfficiencyDecomposition d = core::decompose(runs);
+    decomp.add_row(
+        {name, TextTable::num(d.load_balance, 3),
+         TextTable::num(d.serialization, 3), TextTable::num(d.transfer, 3),
+         TextTable::num(d.efficiency, 3),
+         TextTable::num(runs.measured.seconds() / runs.ideal_network.seconds(),
+                        2),
+         TextTable::num(runs.measured.seconds() / runs.ideal_balance.seconds(),
+                        2)});
+  }
+
+  std::printf("Figure 6: NPB scalability (speedup vs 1 node)\n\n%s\n",
+              fits.str().c_str());
+  std::printf("Efficiency decomposition at 16 nodes, 10GbE (Eq. 4)\n\n%s",
+              decomp.str().c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 7: energy efficiency of hpl as the GPGPU/CPU work ratio varies,
+// normalized to the all-GPU case, for cluster sizes {2,4,8,16}.
+//
+// Paper shape: efficiency falls monotonically as more work moves to the
+// (single) CPU core — a lone A57 core is far less energy efficient than
+// the two Maxwell SMs.  The paper quantifies a single CPU core at ~half
+// the GPU's energy efficiency.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace soc;
+  const auto hpl = workloads::make_workload("hpl");
+  const double fractions[] = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
+
+  TextTable table({"GPU work fraction", "2 nodes", "4 nodes", "8 nodes",
+                   "16 nodes"});
+  // Baselines: all-GPU efficiency per cluster size.
+  double base[4] = {0, 0, 0, 0};
+  const int sizes[] = {2, 4, 8, 16};
+
+  for (double f : fractions) {
+    std::vector<std::string> row{TextTable::num(f, 1)};
+    for (int i = 0; i < 4; ++i) {
+      cluster::RunOptions options;
+      options.gpu_work_fraction = f;
+      const auto result =
+          bench::tx1_cluster(net::NicKind::kTenGigabit, sizes[i], sizes[i])
+              .run(*hpl, options);
+      if (f == 1.0) base[i] = result.mflops_per_watt;
+      row.push_back(TextTable::num(result.mflops_per_watt / base[i], 2));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf(
+      "Figure 7: hpl energy efficiency vs GPU/CPU work split, normalized to "
+      "all-GPU\n(one CPU core per node assists the GPU)\n\n%s",
+      table.str().c_str());
+  return 0;
+}

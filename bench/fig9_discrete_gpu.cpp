@@ -1,0 +1,48 @@
+// Figure 9 (+ Table VII context): the discrete GPGPU comparison.
+//
+// Runs every GPGPU workload on TX1 clusters of {2,4,8,16} nodes and on a
+// 2-node Xeon+GTX 980 cluster (same Maxwell family, ~equal total power,
+// equal SM count at 16 TX nodes), reporting runtime and energy normalized
+// to the GTX pair.
+//
+// Paper shapes: at small node counts the TX cluster is slower but uses
+// less energy; workloads that scale well (hpl, jacobi, alexnet,
+// googlenet) end up better on BOTH axes at 16 nodes; the poorly-scaling
+// tealeaf/cloverleaf codes never catch up in performance.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace soc;
+  const char* gpu_workloads[] = {"hpl",       "jacobi",  "cloverleaf",
+                                 "tealeaf2d", "tealeaf3d", "alexnet",
+                                 "googlenet"};
+
+  const cluster::Cluster gtx(cluster::ClusterConfig{
+      systems::xeon_gtx980(), /*nodes=*/2, /*ranks=*/2});
+  const cluster::Cluster gtx_dnn(cluster::ClusterConfig{
+      systems::xeon_gtx980(), /*nodes=*/2, /*ranks=*/16});
+
+  TextTable table({"workload", "TX nodes", "norm. runtime", "norm. energy"});
+  for (const char* name : gpu_workloads) {
+    const auto workload = workloads::make_workload(name);
+    const bool dnn =
+        std::string(name) == "alexnet" || std::string(name) == "googlenet";
+    const auto baseline = (dnn ? gtx_dnn : gtx).run(*workload);
+    for (int nodes : {2, 4, 8, 16}) {
+      const int ranks = bench::natural_ranks(*workload, nodes);
+      const auto result =
+          bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, ranks)
+              .run(*workload);
+      table.add_row({name, std::to_string(nodes),
+                     TextTable::num(result.seconds / baseline.seconds, 2),
+                     TextTable::num(result.joules / baseline.joules, 2)});
+    }
+  }
+  std::printf(
+      "Figure 9: TX1 cluster normalized to two discrete GTX 980s "
+      "(values < 1 favor the TX cluster)\n\n%s",
+      table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks of the simulator substrates: how fast
+// the cache/branch simulators, the replay engine, and the functional
+// kernels themselves run on the host.  These guard against performance
+// regressions that would make the paper-scale benches painful.
+#include <benchmark/benchmark.h>
+
+#include "arch/branch.h"
+#include "arch/cache.h"
+#include "arch/core_model.h"
+#include "arch/streams.h"
+#include "msg/collectives.h"
+#include "msg/program_set.h"
+#include "sim/engine.h"
+#include "workloads/kernels/fft.h"
+#include "workloads/kernels/sparse.h"
+#include "workloads/profiles.h"
+
+namespace {
+
+using namespace soc;
+
+void BM_CacheAccess(benchmark::State& state) {
+  arch::Cache cache(arch::CacheConfig{
+      static_cast<Bytes>(state.range(0)) * kKiB, 8, 64});
+  const auto stream = arch::generate_memory_stream(
+      workloads::profiles::npb_mg(), 65536);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(stream[i].address));
+    i = (i + 1) & 65535;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(32)->Arg(512)->Arg(2048);
+
+void BM_BranchPredict(benchmark::State& state) {
+  auto predictor = arch::make_predictor(
+      static_cast<arch::PredictorKind>(state.range(0)), 4096, 9);
+  const auto stream = arch::generate_branch_stream(
+      workloads::profiles::npb_mg(), 65536);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    predictor->record(stream[i].pc, stream[i].taken);
+    i = (i + 1) & 65535;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Characterize(benchmark::State& state) {
+  arch::CoreConfig core;
+  const arch::WorkloadProfile profile = workloads::profiles::npb_bt();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        arch::characterize(core, profile, 200'000));
+  }
+}
+BENCHMARK(BM_Characterize);
+
+class ZeroCost : public sim::CostModel {
+ public:
+  SimTime cpu_compute_time(int, const sim::Op&) const override { return 10; }
+  SimTime gpu_kernel_time(int, const sim::Op&) const override { return 10; }
+  SimTime copy_time(int, const sim::Op&) const override { return 10; }
+  SimTime message_latency(int, int) const override { return 100; }
+  SimTime message_transfer_time(int, int, Bytes b) const override {
+    return b;
+  }
+  SimTime send_overhead(int) const override { return 1; }
+  SimTime recv_overhead(int) const override { return 1; }
+};
+
+void BM_EngineAllreduceOps(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  msg::ProgramSet ps(ranks);
+  for (int i = 0; i < 50; ++i) msg::allreduce(ps, 8 * kKiB);
+  const auto programs = ps.programs();
+  std::size_t ops = 0;
+  for (const auto& p : programs) ops += p.size();
+  ZeroCost cost;
+  for (auto _ : state) {
+    sim::Engine engine(sim::Placement::block(ranks, ranks), cost);
+    benchmark::DoNotOptimize(engine.run(programs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_EngineAllreduceOps)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_KernelFft(benchmark::State& state) {
+  std::vector<workloads::kernels::Complex> data(
+      static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {static_cast<double>(i % 17), 0.0};
+  }
+  for (auto _ : state) {
+    auto copy = data;
+    workloads::kernels::fft(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_KernelFft)->Arg(1024)->Arg(16384);
+
+void BM_KernelSpmv(benchmark::State& state) {
+  const auto a = workloads::kernels::make_laplacian_2d(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)), 0.25);
+  std::vector<double> x(a.n, 1.0);
+  std::vector<double> y;
+  for (auto _ : state) {
+    workloads::kernels::spmv(a, x, y);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.nonzeros()));
+}
+BENCHMARK(BM_KernelSpmv)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table II: measured extended-Roofline parameters for every GPGPU
+// workload on 16 nodes, for both NICs: operational intensity, network
+// intensity, achieved throughput, percent of the model's attainable
+// ceiling, and which intensity limits the ceiling.
+//
+// Paper shapes: intensities are workload properties (identical across
+// NICs); hpl and tealeaf3d are network-limited at 1GbE and operational-
+// limited at 10GbE; everything else is operational-limited on both; hpl
+// comes closest to its ceiling.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace soc;
+  const int nodes = 16;
+  const char* gpu_workloads[] = {"hpl",       "jacobi",  "cloverleaf",
+                                 "tealeaf2d", "tealeaf3d", "alexnet",
+                                 "googlenet"};
+
+  TextTable table({"benchmark", "OI (FLOP/B)", "NI (FLOP/B)", "NIC",
+                   "throughput (GFLOPS/node)", "% of ceiling", "limit"});
+  for (const char* name : gpu_workloads) {
+    const auto workload = workloads::make_workload(name);
+    const int ranks = bench::natural_ranks(*workload, nodes);
+    const bool dp = std::string(name) != "alexnet" &&
+                    std::string(name) != "googlenet";
+    for (net::NicKind nic :
+         {net::NicKind::kGigabit, net::NicKind::kTenGigabit}) {
+      const auto result =
+          bench::tx1_cluster(nic, nodes, ranks).run(*workload);
+      const core::ExtendedRoofline model = bench::tx1_roofline(nic, dp);
+      const core::RooflineMeasurement m =
+          core::measure_roofline(model, result.stats, nodes, name);
+      table.add_row({name, TextTable::num(m.operational_intensity, 2),
+                     m.network_intensity >= 1e9
+                         ? "local"
+                         : TextTable::num(m.network_intensity, 1),
+                     bench::nic_name(nic),
+                     TextTable::num(m.achieved_flops / 1e9, 2),
+                     TextTable::num(m.percent_of_peak, 0),
+                     core::limit_name(m.limiting_intensity)});
+    }
+  }
+  std::printf(
+      "Table II: extended Roofline, measured parameters (16 nodes)\n\n%s",
+      table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table VI + Figure 8: the many-core ARM server comparison.
+//
+// Runs the NPB suite with 32 MPI ranks on (a) one dual-socket Cavium
+// ThunderX server and (b) the 16-node TX1 cluster with 10GbE (both draw
+// ~350 W at load), reports Cavium runtime/power/energy normalized to the
+// TX cluster, then runs the paper's PLS pipeline over the PMUv3 counters
+// to find which architectural metrics explain the runtime differences.
+//
+// Paper shapes: cg/ft/is/lu favor the Cavium (they scale poorly across
+// the cluster); bt/ep/mg/sp favor the TX cluster (the ThunderX's weak
+// branch predictor and thin per-thread L2 hurt); the PLS top-3 variables
+// are BR_MIS_PRED, INST_SPEC, and the L2 miss ratio.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/counters_analysis.h"
+
+int main() {
+  using namespace soc;
+  const char* npb[] = {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"};
+
+  const cluster::Cluster cavium(cluster::ClusterConfig{
+      systems::thunderx_server(), /*nodes=*/1, /*ranks=*/32});
+  const cluster::Cluster tx =
+      bench::tx1_cluster(net::NicKind::kTenGigabit, 16, 32);
+
+  TextTable table({"benchmark", "norm. runtime", "norm. power",
+                   "norm. energy"});
+  std::vector<core::BenchmarkObservation> observations;
+  for (const char* name : npb) {
+    const auto workload = workloads::make_workload(name);
+    const auto on_cavium = cavium.run(*workload);
+    const auto on_tx = tx.run(*workload);
+    table.add_row({name,
+                   TextTable::num(on_cavium.seconds / on_tx.seconds, 2),
+                   TextTable::num(on_cavium.average_watts / on_tx.average_watts,
+                                  2),
+                   TextTable::num(on_cavium.joules / on_tx.joules, 2)});
+
+    core::BenchmarkObservation obs;
+    obs.name = name;
+    obs.system_a = on_cavium.counters;
+    obs.system_b = on_tx.counters;
+    obs.runtime_a = on_cavium.seconds;
+    obs.runtime_b = on_tx.seconds;
+    observations.push_back(std::move(obs));
+  }
+  std::printf(
+      "Table VI: Cavium ThunderX server normalized to the 16-node TX1 "
+      "cluster\n\n%s\n",
+      table.str().c_str());
+
+  // Figure 8: PLS selection of the explaining metrics.
+  const core::CounterAnalysis analysis = core::analyze_counters(observations);
+  std::printf("Figure 8: PLS analysis of relative PMU events/metrics\n");
+  std::printf("  components used: %zu (%.0f%% of X variance)\n",
+              analysis.components_used,
+              100.0 * analysis.variance_explained);
+  std::printf("  top variables by |regression coefficient|:\n");
+  for (std::size_t i = 0; i < analysis.top_variables.size(); ++i) {
+    std::printf("    %zu. %-18s (coefficient %+.3f)\n", i + 1,
+                analysis.top_variables[i].c_str(),
+                analysis.top_coefficients[i]);
+  }
+
+  TextTable fig8({"benchmark", "rel. runtime", "rel. BR_MIS_PRED",
+                  "rel. INST_SPEC", "rel. LD_MISS_RATIO"});
+  for (const core::BenchmarkObservation& obs : observations) {
+    const stats::Vec row = core::relative_row(obs);
+    const auto names = core::analysis_variable_names();
+    auto value_of = [&](const char* v) {
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == v) return row[i];
+      }
+      return 0.0;
+    };
+    fig8.add_row({obs.name, TextTable::num(obs.runtime_a / obs.runtime_b, 2),
+                  TextTable::num(value_of("BR_MIS_PRED"), 2),
+                  TextTable::num(value_of("INST_SPEC"), 2),
+                  TextTable::num(value_of("LD_MISS_RATIO"), 2)});
+  }
+  std::printf("\n%s", fig8.str().c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// AI inference cluster demo: the paper's motivating emerging workload.
+//
+// Classifies a (synthetic) ImageNet batch with AlexNet and GoogLeNet on
+// three systems — a TX1 cluster at two sizes and the Xeon + 2× GTX 980
+// scale-up box — and shows the CPU/GPU balance story of Figs 9-10.
+// Also runs the *functional* DNN kernels on a tiny image to demonstrate
+// that the layer math behind the model is real.
+//
+//   $ ./build/examples/ai_cluster
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "common/table.h"
+#include "net/network.h"
+#include "systems/machines.h"
+#include "workloads/dnn_workloads.h"
+#include "workloads/kernels/dnn.h"
+
+int main() {
+  using namespace soc;
+
+  // --- Functional sanity: a real forward pass on real arithmetic. ---
+  using workloads::kernels::Tensor;
+  Tensor img(3, 32, 32);
+  for (std::size_t i = 0; i < img.data.size(); ++i) {
+    img.data[i] = static_cast<float>((i * 37) % 255) / 255.0f;
+  }
+  Tensor c1 = workloads::kernels::conv2d(img, 8, 5, 1, 1);
+  workloads::kernels::relu(c1);
+  const Tensor p1 = workloads::kernels::maxpool(c1, 2);
+  const auto logits = workloads::kernels::fully_connected(p1, 10, 2);
+  const auto probs = workloads::kernels::softmax(logits);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < probs.size(); ++i) {
+    if (probs[i] > probs[best]) best = i;
+  }
+  std::printf("functional check: tiny CNN classifies the test image as "
+              "class %zu (p=%.3f)\n\n", best, probs[best]);
+
+  // --- Cluster-level study. ---
+  struct System {
+    const char* label;
+    cluster::Cluster cluster;
+    double core_ghz;
+  };
+  const System systems[] = {
+      {"TX1 x4 (10GbE)",
+       cluster::Cluster(cluster::ClusterConfig{
+           systems::jetson_tx1(net::NicKind::kTenGigabit), 4, 16}),
+       1.73},
+      {"TX1 x16 (10GbE)",
+       cluster::Cluster(cluster::ClusterConfig{
+           systems::jetson_tx1(net::NicKind::kTenGigabit), 16, 64}),
+       1.73},
+      {"Xeon + 2x GTX980",
+       cluster::Cluster(cluster::ClusterConfig{systems::xeon_gtx980(), 2, 16}),
+       2.4},
+  };
+
+  for (const auto network : {workloads::DnnWorkload::Network::kAlexNet,
+                             workloads::DnnWorkload::Network::kGoogLeNet}) {
+    const workloads::DnnWorkload workload(network);
+    std::printf("%s (%.1f GFLOP/image forward pass, %d images)\n",
+                workload.name().c_str(), workload.flops_per_image() / 1e9,
+                4096);
+    TextTable table({"system", "runtime (s)", "images/s", "energy (kJ)",
+                     "avg W", "CPU core-s/s"});
+    for (const System& s : systems) {
+      const cluster::RunResult r = s.cluster.run(workload);
+      double cpu_busy = 0.0;
+      for (const sim::RankStats& rs : r.stats.ranks) {
+        cpu_busy += to_seconds(rs.cpu_busy);
+      }
+      table.add_row({s.label, TextTable::num(r.seconds, 2),
+                     TextTable::num(4096.0 / r.seconds, 0),
+                     TextTable::num(r.joules / 1e3, 2),
+                     TextTable::num(r.average_watts, 0),
+                     TextTable::num(cpu_busy / r.seconds, 1)});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf(
+      "The 16-node SoC cluster matches the discrete GPUs' SM count but\n"
+      "brings 64 decode cores instead of 16 — the CPU/GPU balance that\n"
+      "wins image classification on both runtime and energy (Figs 9-10).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Network upgrade study: what does swapping the Jetson's on-board 1GbE
+// for the PCIe 10GbE card buy, per workload?  This is the experiment
+// behind the paper's headline result (Figs 1-2): network-intensive
+// workloads speed up dramatically, compute-local ones don't, and the
+// extra 5 W per node pays for itself in total energy whenever runtime
+// drops more than a few percent.
+//
+//   $ ./build/examples/network_upgrade_study [nodes] [size_scale]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/table.h"
+#include "net/network.h"
+#include "systems/machines.h"
+#include "workloads/workload.h"
+
+namespace {
+
+soc::cluster::Cluster make_cluster(soc::net::NicKind nic, int nodes,
+                                   int ranks) {
+  return soc::cluster::Cluster(soc::cluster::ClusterConfig{
+      soc::systems::jetson_tx1(nic), nodes, ranks});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace soc;
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 8;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+  TextTable table({"workload", "1GbE (s)", "10GbE (s)", "speedup",
+                   "energy 1G (kJ)", "energy 10G (kJ)", "energy ratio"});
+
+  for (const std::string& name : workloads::all_workload_names()) {
+    const auto workload = workloads::make_workload(name);
+    // GPU workloads drive one rank per node; the DNNs use all four cores
+    // as decode workers; NPB runs 2 ranks per node.
+    int ranks = nodes;
+    if (name == "alexnet" || name == "googlenet") ranks = 4 * nodes;
+    if (!workload->gpu_accelerated()) ranks = 2 * nodes;
+
+    cluster::RunOptions options;
+    options.size_scale = scale;
+
+    const auto slow = make_cluster(net::NicKind::kGigabit, nodes, ranks)
+                          .run(*workload, options);
+    const auto fast = make_cluster(net::NicKind::kTenGigabit, nodes, ranks)
+                          .run(*workload, options);
+
+    table.add_row({name, TextTable::num(slow.seconds, 1),
+                   TextTable::num(fast.seconds, 1),
+                   TextTable::num(slow.seconds / fast.seconds, 2),
+                   TextTable::num(slow.joules / 1e3, 2),
+                   TextTable::num(fast.joules / 1e3, 2),
+                   TextTable::num(fast.joules / slow.joules, 2)});
+  }
+
+  std::printf("1GbE vs 10GbE on a %d-node TX1 cluster (size_scale=%.2f)\n\n%s",
+              nodes, scale, table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "arch/branch.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace soc::arch {
+
+namespace {
+
+// 2-bit saturating counter helpers; >=2 predicts taken.
+inline bool counter_taken(std::uint8_t c) { return c >= 2; }
+inline std::uint8_t counter_update(std::uint8_t c, bool taken) {
+  if (taken) return c < 3 ? static_cast<std::uint8_t>(c + 1) : c;
+  return c > 0 ? static_cast<std::uint8_t>(c - 1) : c;
+}
+
+void check_entries(std::size_t entries) {
+  SOC_CHECK(entries >= 2 && std::has_single_bit(entries),
+            "predictor table size must be a power of two >= 2");
+}
+
+}  // namespace
+
+void BranchPredictor::record(std::uint64_t pc, bool taken) {
+  ++stats_.branches;
+  if (predict(pc) != taken) ++stats_.mispredictions;
+  update(pc, taken);
+}
+
+BimodalPredictor::BimodalPredictor(std::size_t entries) : table_(entries, 1) {
+  check_entries(entries);
+}
+
+std::size_t BimodalPredictor::index(std::uint64_t pc) const {
+  return static_cast<std::size_t>(pc) & (table_.size() - 1);
+}
+
+bool BimodalPredictor::predict(std::uint64_t pc) const {
+  return counter_taken(table_[index(pc)]);
+}
+
+void BimodalPredictor::update(std::uint64_t pc, bool taken) {
+  std::uint8_t& c = table_[index(pc)];
+  c = counter_update(c, taken);
+}
+
+GsharePredictor::GsharePredictor(std::size_t entries, int history_bits)
+    : table_(entries, 1),
+      history_mask_((history_bits >= 64)
+                        ? ~0ull
+                        : ((1ull << history_bits) - 1)) {
+  check_entries(entries);
+  SOC_CHECK(history_bits > 0 && history_bits <= 32, "bad history length");
+}
+
+std::size_t GsharePredictor::index(std::uint64_t pc) const {
+  return static_cast<std::size_t>((pc ^ history_) & (table_.size() - 1));
+}
+
+bool GsharePredictor::predict(std::uint64_t pc) const {
+  return counter_taken(table_[index(pc)]);
+}
+
+void GsharePredictor::update(std::uint64_t pc, bool taken) {
+  std::uint8_t& c = table_[index(pc)];
+  c = counter_update(c, taken);
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+}
+
+TournamentPredictor::TournamentPredictor(std::size_t entries, int history_bits)
+    : bimodal_(entries), gshare_(entries, history_bits), chooser_(entries, 2) {
+  check_entries(entries);
+}
+
+std::size_t TournamentPredictor::chooser_index(std::uint64_t pc) const {
+  return static_cast<std::size_t>(pc) & (chooser_.size() - 1);
+}
+
+bool TournamentPredictor::predict(std::uint64_t pc) const {
+  const bool use_gshare = chooser_[chooser_index(pc)] >= 2;
+  return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+void TournamentPredictor::update(std::uint64_t pc, bool taken) {
+  const bool bimodal_right = bimodal_.predict(pc) == taken;
+  const bool gshare_right = gshare_.predict(pc) == taken;
+  std::uint8_t& choice = chooser_[chooser_index(pc)];
+  if (gshare_right != bimodal_right) {
+    choice = counter_update(choice, gshare_right);
+  }
+  // Train both components (stats on the components are not meaningful;
+  // only the tournament's own record() stats are).
+  bimodal_.record(pc, taken);
+  gshare_.record(pc, taken);
+}
+
+std::unique_ptr<BranchPredictor> make_predictor(PredictorKind kind,
+                                                std::size_t entries,
+                                                int history_bits) {
+  switch (kind) {
+    case PredictorKind::kBimodal:
+      return std::make_unique<BimodalPredictor>(entries);
+    case PredictorKind::kGshare:
+      return std::make_unique<GsharePredictor>(entries, history_bits);
+    case PredictorKind::kTournament:
+      return std::make_unique<TournamentPredictor>(entries, history_bits);
+  }
+  throw Error("unknown predictor kind");
+}
+
+}  // namespace soc::arch

@@ -1,0 +1,102 @@
+// Branch predictor simulators: bimodal, gshare, and a tournament chooser.
+//
+// The paper attributes the ThunderX's losses on bt/ep/mg/sp to branch
+// mispredictions (Fig 8); we model the microarchitectural difference as a
+// small bimodal predictor (short-pipeline design per the Octeon lineage)
+// versus the A57's history-based predictor, and let the miss rates emerge
+// from simulation over the workloads' branch streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace soc::arch {
+
+struct BranchStats {
+  std::uint64_t branches = 0;
+  std::uint64_t mispredictions = 0;
+
+  double misprediction_ratio() const {
+    return branches > 0 ? static_cast<double>(mispredictions) /
+                              static_cast<double>(branches)
+                        : 0.0;
+  }
+};
+
+/// Common predictor interface: predict, then update with the outcome.
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+
+  /// Predicted direction for the branch at `pc`.
+  virtual bool predict(std::uint64_t pc) const = 0;
+
+  /// Trains with the actual outcome and updates the stats.
+  void record(std::uint64_t pc, bool taken);
+
+  const BranchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BranchStats{}; }
+
+ protected:
+  virtual void update(std::uint64_t pc, bool taken) = 0;
+
+ private:
+  BranchStats stats_;
+};
+
+/// Table of 2-bit saturating counters indexed by pc.
+class BimodalPredictor : public BranchPredictor {
+ public:
+  explicit BimodalPredictor(std::size_t entries);
+  bool predict(std::uint64_t pc) const override;
+
+ protected:
+  void update(std::uint64_t pc, bool taken) override;
+
+ private:
+  std::size_t index(std::uint64_t pc) const;
+  std::vector<std::uint8_t> table_;
+};
+
+/// Global-history predictor: pc XOR history indexes the counter table.
+class GsharePredictor : public BranchPredictor {
+ public:
+  GsharePredictor(std::size_t entries, int history_bits);
+  bool predict(std::uint64_t pc) const override;
+
+ protected:
+  void update(std::uint64_t pc, bool taken) override;
+
+ private:
+  std::size_t index(std::uint64_t pc) const;
+  std::vector<std::uint8_t> table_;
+  std::uint64_t history_ = 0;
+  std::uint64_t history_mask_;
+};
+
+/// Tournament: a chooser table arbitrates bimodal vs. gshare per branch.
+class TournamentPredictor : public BranchPredictor {
+ public:
+  TournamentPredictor(std::size_t entries, int history_bits);
+  bool predict(std::uint64_t pc) const override;
+
+ protected:
+  void update(std::uint64_t pc, bool taken) override;
+
+ private:
+  std::size_t chooser_index(std::uint64_t pc) const;
+  BimodalPredictor bimodal_;
+  GsharePredictor gshare_;
+  std::vector<std::uint8_t> chooser_;  ///< ≥2 favors gshare.
+};
+
+/// Predictor families used by machine configs.
+enum class PredictorKind { kBimodal, kGshare, kTournament };
+
+/// Factory keyed by machine configuration.
+std::unique_ptr<BranchPredictor> make_predictor(PredictorKind kind,
+                                                std::size_t entries,
+                                                int history_bits);
+
+}  // namespace soc::arch

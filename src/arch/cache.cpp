@@ -1,0 +1,114 @@
+#include "arch/cache.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace soc::arch {
+
+int CacheConfig::sets() const {
+  SOC_CHECK(size > 0 && associativity > 0 && line_size > 0,
+            "invalid cache config");
+  const Bytes per_way = size / associativity;
+  SOC_CHECK(per_way % line_size == 0, "size not divisible into lines");
+  return static_cast<int>(per_way / line_size);
+}
+
+Cache::Cache(CacheConfig config) : config_(config) {
+  const int sets = config_.sets();
+  SOC_CHECK(std::has_single_bit(static_cast<std::uint64_t>(sets)),
+            "set count must be a power of two");
+  SOC_CHECK(std::has_single_bit(static_cast<std::uint64_t>(config_.line_size)),
+            "line size must be a power of two");
+  line_shift_ = std::countr_zero(static_cast<std::uint64_t>(config_.line_size));
+  ways_.assign(static_cast<std::size_t>(sets) *
+                   static_cast<std::size_t>(config_.associativity),
+               Way{});
+}
+
+std::size_t Cache::set_index(std::uint64_t address) const {
+  const std::uint64_t line = address >> line_shift_;
+  return static_cast<std::size_t>(line &
+                                  (static_cast<std::uint64_t>(config_.sets()) - 1));
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t address) const {
+  return address >> line_shift_;
+}
+
+void Cache::allocate(std::uint64_t address) {
+  const std::size_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  Way* base = &ways_[set * static_cast<std::size_t>(config_.associativity)];
+  Way* victim = base;
+  for (int w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) return;  // already resident
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++tick_;
+}
+
+bool Cache::access(std::uint64_t address) {
+  ++stats_.accesses;
+  const std::size_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  Way* base = &ways_[set * static_cast<std::size_t>(config_.associativity)];
+
+  Way* victim = base;
+  for (int w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++tick_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way as victim
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++tick_;
+  // Next-line prefetch: pull the following lines in after a demand miss.
+  for (int n = 1; n <= config_.prefetch_lines; ++n) {
+    allocate(address + static_cast<std::uint64_t>(n) *
+                           static_cast<std::uint64_t>(config_.line_size));
+    ++stats_.prefetches;
+  }
+  return false;
+}
+
+bool Cache::probe(std::uint64_t address) const {
+  const std::size_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  const Way* base = &ways_[set * static_cast<std::size_t>(config_.associativity)];
+  for (int w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+CacheHierarchy::CacheHierarchy(CacheConfig l1, CacheConfig l2)
+    : l1_(l1), l2_(l2) {}
+
+int CacheHierarchy::access(std::uint64_t address) {
+  if (l1_.access(address)) return 1;
+  if (l2_.access(address)) return 2;
+  return 3;
+}
+
+void CacheHierarchy::reset_stats() {
+  l1_.reset_stats();
+  l2_.reset_stats();
+}
+
+}  // namespace soc::arch

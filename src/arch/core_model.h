@@ -1,0 +1,70 @@
+// Analytic CPU core timing model over simulated cache/predictor outcomes.
+//
+// characterize() expands a WorkloadProfile into deterministic streams,
+// drives them through the machine's branch predictor and cache hierarchy,
+// and composes a CPI stack from the resulting miss rates.  The result is
+// a per-instruction cost and a per-kilo-instruction PMU counter vector —
+// the inputs to op timing (cluster/) and to the Table VI / Fig 8 analysis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "arch/branch.h"
+#include "arch/cache.h"
+#include "arch/pmu.h"
+#include "arch/profile.h"
+#include "arch/tlb.h"
+
+namespace soc::arch {
+
+/// One CPU core of a concrete machine.
+struct CoreConfig {
+  std::string name;
+  double frequency_hz = 1.73e9;
+  double issue_width = 3.0;          ///< Sustained issue rate (IPC ceiling).
+
+  PredictorKind predictor = PredictorKind::kTournament;
+  std::size_t predictor_entries = 4096;
+  int predictor_history_bits = 12;
+  double mispredict_penalty = 15.0;  ///< Pipeline-flush cycles.
+
+  CacheConfig l1d{32 * kKiB, 2, 64};
+  CacheConfig l2{512 * kKiB, 16, 64};  ///< This core's effective L2 share.
+  /// Extra capacity pressure from co-running threads: the effective L2 is
+  /// divided by this (≥ 1).  Models the ThunderX's shared-L2 contention.
+  double l2_contention = 1.0;
+
+  double l2_hit_latency = 20.0;      ///< Cycles, L1-miss/L2-hit.
+  double dram_latency = 180.0;       ///< Cycles, L2 miss to DRAM.
+  double memory_level_parallelism = 2.5;  ///< Overlap divisor for stalls.
+  double fp_extra_cpi = 0.15;        ///< Extra cycles per FP instruction.
+
+  TlbConfig dtlb{512, 4, 4 * kKiB};  ///< Unified second-level data TLB.
+  double tlb_walk_penalty = 28.0;    ///< Cycles per page walk (overlapped
+                                     ///< with the MLP divisor like misses).
+};
+
+/// Outcome of running a profile's streams through a core's structures.
+struct Characterization {
+  double cpi = 1.0;
+  double branch_misprediction_ratio = 0.0;
+  double l1d_miss_ratio = 0.0;   ///< Per L1 access.
+  double l2d_miss_ratio = 0.0;   ///< Per L2 access.
+  double dtlb_miss_ratio = 0.0;  ///< Per memory access.
+  CounterSet per_instruction;    ///< Raw PMU events per retired instruction.
+  double dram_bytes_per_instruction = 0.0;
+
+  /// Wall-clock seconds to retire `instructions` on this core.
+  double seconds_for(double instructions, double frequency_hz) const {
+    return instructions * cpi / frequency_hz;
+  }
+};
+
+/// Characterizes `profile` on `core` using `sample_instructions` synthetic
+/// instructions (the streams scale down proportionally to the mix).
+Characterization characterize(const CoreConfig& core,
+                              const WorkloadProfile& profile,
+                              std::size_t sample_instructions = 1'000'000);
+
+}  // namespace soc::arch

@@ -1,0 +1,48 @@
+// Microarchitectural workload profiles.
+//
+// Each benchmark's CPU behaviour is summarized by a compact descriptor of
+// its instruction mix, memory locality, and branch behaviour.  The stream
+// generators expand a profile into deterministic address/branch streams;
+// the core model runs those streams through real cache/predictor
+// simulators, so machine-dependent miss rates *emerge* from configuration
+// instead of being hard-coded per (machine, benchmark) pair.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace soc::arch {
+
+struct WorkloadProfile {
+  std::string name;
+
+  // -- Instruction mix (fractions of retired instructions; the remainder
+  //    is integer/move work). --
+  double load_fraction = 0.25;
+  double store_fraction = 0.10;
+  double branch_fraction = 0.15;
+  double fp_fraction = 0.20;
+
+  // -- Memory locality --
+  Bytes working_set = 8 * kMiB;   ///< Size of the streamed/hot data region.
+  Bytes hot_set = 16 * kKiB;      ///< Small reused region (stack, scalars).
+  double hot_fraction = 0.55;     ///< Accesses hitting the hot region.
+  double stream_fraction = 0.35;  ///< Sequential/strided accesses.
+  Bytes stream_stride = 8;        ///< Stride of the streaming portion.
+  // Remainder of accesses are uniform-random within the working set.
+
+  // -- Branch behaviour --
+  int static_branches = 256;      ///< Distinct branch sites.
+  double loop_fraction = 0.70;    ///< Strongly biased loop back-edges.
+  double loop_bias = 0.97;        ///< Taken probability of loop branches.
+  double pattern_fraction = 0.20; ///< Periodic, history-predictable sites.
+  int pattern_period = 6;         ///< Period of patterned branches.
+  double random_bias = 0.5;       ///< Bias of the remaining data-dependent
+                                  ///< branches (unpredictable around 0.5).
+
+  /// Deterministic seed derived from the profile name (FNV-1a).
+  std::uint64_t seed() const;
+};
+
+}  // namespace soc::arch

@@ -1,0 +1,36 @@
+// Deterministic synthetic instruction streams.
+//
+// Expands a WorkloadProfile into memory-address and branch-outcome events.
+// The same profile always produces the same streams (seeded by the profile
+// name), so characterization results are reproducible and comparable
+// across machine models — exactly what the paper's cross-system PMU
+// methodology requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/profile.h"
+#include "common/rng.h"
+
+namespace soc::arch {
+
+struct MemoryAccess {
+  std::uint64_t address = 0;
+  bool is_store = false;
+};
+
+struct BranchEvent {
+  std::uint64_t pc = 0;
+  bool taken = false;
+};
+
+/// Generates `count` memory accesses following the profile's locality mix.
+std::vector<MemoryAccess> generate_memory_stream(const WorkloadProfile& profile,
+                                                 std::size_t count);
+
+/// Generates `count` branch events following the profile's branch mix.
+std::vector<BranchEvent> generate_branch_stream(const WorkloadProfile& profile,
+                                                std::size_t count);
+
+}  // namespace soc::arch

@@ -1,0 +1,51 @@
+#include "arch/tlb.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace soc::arch {
+
+Tlb::Tlb(TlbConfig config) : config_(config) {
+  SOC_CHECK(config_.entries > 0 && config_.associativity > 0,
+            "invalid TLB config");
+  SOC_CHECK(config_.entries % config_.associativity == 0,
+            "entries must divide into ways");
+  SOC_CHECK(std::has_single_bit(static_cast<std::uint64_t>(config_.page_size)),
+            "page size must be a power of two");
+  sets_ = config_.entries / config_.associativity;
+  SOC_CHECK(std::has_single_bit(static_cast<unsigned>(sets_)),
+            "set count must be a power of two");
+  page_shift_ =
+      std::countr_zero(static_cast<std::uint64_t>(config_.page_size));
+  entries_.assign(static_cast<std::size_t>(config_.entries), Entry{});
+}
+
+bool Tlb::access(std::uint64_t address) {
+  ++stats_.accesses;
+  const std::uint64_t vpn = address >> page_shift_;
+  const std::size_t set =
+      static_cast<std::size_t>(vpn & static_cast<std::uint64_t>(sets_ - 1));
+  Entry* base = &entries_[set * static_cast<std::size_t>(config_.associativity)];
+
+  Entry* victim = base;
+  for (int w = 0; w < config_.associativity; ++w) {
+    Entry& e = base[w];
+    if (e.valid && e.vpn == vpn) {
+      e.lru = ++tick_;
+      return true;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->lru = ++tick_;
+  return false;
+}
+
+}  // namespace soc::arch

@@ -1,0 +1,72 @@
+#include "cluster/cluster.h"
+
+#include "common/error.h"
+
+namespace soc::cluster {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  SOC_CHECK(config_.nodes >= 1, "need at least one node");
+  SOC_CHECK(config_.ranks >= config_.nodes &&
+                config_.ranks % config_.nodes == 0,
+            "ranks must be a positive multiple of nodes");
+  SOC_CHECK(config_.ranks / config_.nodes <= config_.node.cpu_cores,
+            "more ranks per node than CPU cores");
+}
+
+workloads::BuildContext Cluster::build_context(
+    const RunOptions& options) const {
+  workloads::BuildContext ctx;
+  ctx.ranks = config_.ranks;
+  ctx.nodes = config_.nodes;
+  ctx.mem_model = options.mem_model;
+  ctx.gpu_work_fraction = options.gpu_work_fraction;
+  ctx.size_scale = options.size_scale;
+  ctx.overlap_halos = options.overlap_halos;
+  return ctx;
+}
+
+RunResult Cluster::meter(const sim::RunStats& stats,
+                         const ClusterCostModel& cost) const {
+  RunResult result;
+  result.stats = stats;
+  result.energy = power::measure_energy(stats, config_.node.power,
+                                        config_.node.cpu_cores);
+  result.counters = cost.synthesize_counters(stats);
+  result.seconds = stats.seconds();
+  result.gflops = stats.flops_per_second() / 1e9;
+  result.joules = result.energy.joules;
+  result.average_watts = result.energy.average_watts;
+  result.mflops_per_watt = result.energy.mflops_per_watt(stats.total_flops);
+  return result;
+}
+
+sim::EngineConfig Cluster::engine_config(const RunOptions& options) const {
+  sim::EngineConfig config = options.engine;
+  if (config.bisection_bandwidth == 0.0) {
+    config.bisection_bandwidth =
+        config_.node.switch_config.bisection_bandwidth;
+  }
+  return config;
+}
+
+RunResult Cluster::run(const workloads::Workload& workload,
+                       const RunOptions& options) const {
+  const auto programs = workload.build(build_context(options));
+  ClusterCostModel cost(config_.node, config_.nodes, config_.ranks,
+                        workload.cpu_profile());
+  sim::Engine engine(sim::Placement::block(config_.ranks, config_.nodes),
+                     cost, engine_config(options));
+  return meter(engine.run(programs), cost);
+}
+
+trace::ScenarioRuns Cluster::replay_scenarios(
+    const workloads::Workload& workload, const RunOptions& options) const {
+  const auto programs = workload.build(build_context(options));
+  ClusterCostModel cost(config_.node, config_.nodes, config_.ranks,
+                        workload.cpu_profile());
+  return trace::replay_scenarios(
+      sim::Placement::block(config_.ranks, config_.nodes), cost, programs,
+      engine_config(options));
+}
+
+}  // namespace soc::cluster

@@ -1,0 +1,74 @@
+// Top-level public API: build a cluster from a node configuration and run
+// workloads on it.  This is what the examples and the benchmark harness
+// program against.
+//
+//   soc::cluster::Cluster tx(soc::cluster::ClusterConfig{
+//       systems::jetson_tx1(net::NicKind::kTenGigabit), /*nodes=*/16,
+//       /*ranks=*/16});
+//   auto result = tx.run(*workloads::make_workload("jacobi"));
+//   std::cout << result.seconds << "s, " << result.gflops << " GFLOP/s\n";
+#pragma once
+
+#include "arch/pmu.h"
+#include "cluster/cost_model.h"
+#include "power/power_model.h"
+#include "sim/engine.h"
+#include "systems/machines.h"
+#include "trace/replay.h"
+#include "workloads/workload.h"
+
+namespace soc::cluster {
+
+struct ClusterConfig {
+  systems::NodeConfig node;
+  int nodes = 1;
+  int ranks = 1;  ///< Total MPI ranks (must be a multiple of nodes).
+};
+
+/// Per-run knobs (defaults match the paper's standard setup).
+struct RunOptions {
+  sim::MemModel mem_model = sim::MemModel::kHostDevice;
+  double gpu_work_fraction = 1.0;
+  double size_scale = 1.0;
+  bool overlap_halos = false;
+  sim::EngineConfig engine;
+};
+
+/// Everything a bench needs from one run.
+struct RunResult {
+  sim::RunStats stats;
+  power::EnergyReport energy;
+  arch::CounterSet counters;
+
+  double seconds = 0.0;
+  double gflops = 0.0;           ///< Achieved GFLOP/s (whole cluster).
+  double mflops_per_watt = 0.0;  ///< Energy efficiency.
+  double joules = 0.0;
+  double average_watts = 0.0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+
+  /// Runs a workload to completion and meters it.
+  RunResult run(const workloads::Workload& workload,
+                const RunOptions& options = {}) const;
+
+  /// Runs the three DIMEMAS-style scenarios (measured / ideal network /
+  /// ideal load balance) over the same generated programs.
+  trace::ScenarioRuns replay_scenarios(const workloads::Workload& workload,
+                                       const RunOptions& options = {}) const;
+
+ private:
+  workloads::BuildContext build_context(const RunOptions& options) const;
+  sim::EngineConfig engine_config(const RunOptions& options) const;
+  RunResult meter(const sim::RunStats& stats,
+                  const ClusterCostModel& cost) const;
+
+  ClusterConfig config_;
+};
+
+}  // namespace soc::cluster

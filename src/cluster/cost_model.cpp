@@ -1,0 +1,98 @@
+#include "cluster/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "gpu/device.h"
+#include "mem/dram.h"
+
+namespace soc::cluster {
+
+double l2_contention_for(const systems::NodeConfig& node, int nodes,
+                         int ranks) {
+  SOC_CHECK(nodes > 0 && ranks > 0, "bad cluster shape");
+  const int rpn = (ranks + nodes - 1) / nodes;
+  const int domains =
+      std::max(1, node.cpu_cores / std::max(node.l2_domain_cores, 1));
+  const int sharers = std::max(1, (rpn + domains - 1) / domains);
+  if (sharers == 1) return 1.0;
+  return static_cast<double>(sharers) * node.l2_thrash_factor;
+}
+
+ClusterCostModel::ClusterCostModel(const systems::NodeConfig& node, int nodes,
+                                   int ranks, arch::WorkloadProfile profile)
+    : node_(node),
+      nodes_(nodes),
+      ranks_(ranks),
+      profile_(std::move(profile)),
+      network_(node.nic, node.switch_config, node.dram.cpu_bandwidth / 2.0) {
+  SOC_CHECK(ranks_ >= nodes_, "fewer ranks than nodes");
+  arch::CoreConfig core = node_.core;
+  core.l2_contention = l2_contention_for(node_, nodes_, ranks_);
+  charz_ = arch::characterize(core, profile_);
+}
+
+SimTime ClusterCostModel::cpu_compute_time(int /*rank*/,
+                                                const sim::Op& op) const {
+  const double seconds =
+      charz_.seconds_for(op.instructions, node_.core.frequency_hz);
+  return from_seconds(seconds);
+}
+
+SimTime ClusterCostModel::gpu_kernel_time(int /*rank*/,
+                                               const sim::Op& op) const {
+  SOC_CHECK(node_.has_gpu, "GPU kernel on a GPU-less node");
+  return gpu::kernel_duration(node_.gpu, op.flops, op.dram_bytes,
+                              op.mem_model, op.double_precision,
+                              op.parallelism);
+}
+
+SimTime ClusterCostModel::copy_time(int /*rank*/,
+                                         const sim::Op& op) const {
+  switch (op.mem_model) {
+    case sim::MemModel::kHostDevice:
+      return mem::copy_duration(node_.dram, op.bytes);
+    case sim::MemModel::kZeroCopy:
+      // No copy happens: device threads read host memory directly.
+      return 1 * kMicrosecond;
+    case sim::MemModel::kUnified:
+      // Migration is transparent; only the runtime's bookkeeping remains.
+      return node_.dram.copy_call_overhead / 2;
+  }
+  return 0;
+}
+
+SimTime ClusterCostModel::message_latency(int src_node,
+                                               int dst_node) const {
+  return network_.latency(src_node, dst_node);
+}
+
+SimTime ClusterCostModel::message_transfer_time(int src_node,
+                                                     int dst_node,
+                                                     Bytes bytes) const {
+  return network_.transfer_time(src_node, dst_node, bytes);
+}
+
+SimTime ClusterCostModel::send_overhead(int /*rank*/) const {
+  return 2 * kMicrosecond;
+}
+
+SimTime ClusterCostModel::recv_overhead(int /*rank*/) const {
+  return 2 * kMicrosecond;
+}
+
+arch::CounterSet ClusterCostModel::synthesize_counters(
+    const sim::RunStats& stats) const {
+  arch::CounterSet total;
+  for (const sim::RankStats& rs : stats.ranks) {
+    for (const auto& [profile, instructions] : rs.instructions_by_profile) {
+      // All CPU ops of a workload share profile 0 (the workload's host
+      // code); additional profiles would be characterized identically.
+      total += charz_.per_instruction.scaled(instructions);
+    }
+  }
+  return total;
+}
+
+}  // namespace soc::cluster

@@ -1,0 +1,118 @@
+#include "common/args.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace soc {
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  SOC_CHECK(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = Flag{help, default_value, false, false};
+  order_.push_back(name);
+}
+
+void ArgParser::add_bool(const std::string& name, const std::string& help) {
+  SOC_CHECK(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = Flag{help, "false", true, false};
+  order_.push_back(name);
+}
+
+void ArgParser::parse(int argc, const char* const* argv, int start) {
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    auto it = flags_.find(name);
+    SOC_CHECK(it != flags_.end(), "unknown flag: " + name);
+    Flag& flag = it->second;
+    flag.given = true;
+    if (flag.is_bool) {
+      SOC_CHECK(!inline_value.has_value() || *inline_value == "true" ||
+                    *inline_value == "false",
+                "boolean flag " + name + " takes no value");
+      flag.value = inline_value.value_or("true");
+    } else if (inline_value.has_value()) {
+      flag.value = *inline_value;
+    } else {
+      SOC_CHECK(i + 1 < argc, "flag " + name + " needs a value");
+      flag.value = argv[++i];
+    }
+  }
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  SOC_CHECK(it != flags_.end(), "undeclared flag: " + name);
+  return it->second.value;
+}
+
+int ArgParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stoi(v);
+  } catch (const std::exception&) {
+    throw Error("flag " + name + " expects an integer, got '" + v + "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw Error("flag " + name + " expects a number, got '" + v + "'");
+  }
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  return get(name) == "true";
+}
+
+bool ArgParser::given(const std::string& name) const {
+  const auto it = flags_.find(name);
+  SOC_CHECK(it != flags_.end(), "undeclared flag: " + name);
+  return it->second.given;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    os << "  " << name;
+    if (!flag.is_bool) os << " <value>";
+    os << "\n      " << flag.help;
+    if (!flag.is_bool && !flag.value.empty()) {
+      os << " (default: " << flag.value << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::vector<int> parse_int_list(const std::string& csv) {
+  std::vector<int> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    try {
+      out.push_back(std::stoi(item));
+    } catch (const std::exception&) {
+      throw Error("bad integer in list: '" + item + "'");
+    }
+  }
+  SOC_CHECK(!out.empty(), "empty integer list");
+  return out;
+}
+
+}  // namespace soc

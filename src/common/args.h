@@ -1,0 +1,56 @@
+// Minimal command-line argument parser for the tools/ binaries.
+//
+// Supports `--flag value`, `--flag=value`, and boolean `--flag` forms,
+// plus positional arguments.  Unknown flags are an error (typos should
+// not be silently ignored on a measurement tool).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace soc {
+
+class ArgParser {
+ public:
+  /// Declares a value flag (e.g. "--nodes").  `help` appears in usage().
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+  /// Declares a boolean flag (present/absent).
+  void add_bool(const std::string& name, const std::string& help);
+
+  /// Parses argv[start..); throws soc::Error on unknown or malformed
+  /// flags.
+  void parse(int argc, const char* const* argv, int start = 1);
+
+  /// Value of a declared flag (default if not given on the command line).
+  std::string get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  /// True when the user explicitly supplied the flag.
+  bool given(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted flag documentation.
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_bool = false;
+    bool given = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+/// Splits "2,4,8,16" into integers; throws on malformed entries.
+std::vector<int> parse_int_list(const std::string& csv);
+
+}  // namespace soc

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace soc::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: (" << expr << ")";
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace soc::detail

@@ -1,0 +1,33 @@
+// Error handling for soccluster.
+//
+// The library throws soc::Error for precondition violations and
+// unrecoverable simulation faults.  SOC_CHECK is used at public API
+// boundaries and for internal invariants that depend on caller input;
+// assert() remains for pure internal logic errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace soc {
+
+/// Exception type thrown by all soccluster components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace soc
+
+/// Validate a condition; throws soc::Error with source location on failure.
+#define SOC_CHECK(cond, msg)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::soc::detail::throw_check_failure(#cond, __FILE__, __LINE__, msg); \
+    }                                                                    \
+  } while (0)

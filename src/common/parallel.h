@@ -1,0 +1,21 @@
+// Host-side parallelism for the benchmark harness.
+//
+// Each simulator run is single-threaded and deterministic; independent
+// runs (different cluster sizes, NICs, workloads) share no mutable state,
+// so the sweep benches fan them out across host cores.  CP.4 of the Core
+// Guidelines: think in terms of tasks — parallel_for takes an index range
+// and a task body, and joins before returning.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace soc {
+
+/// Runs fn(i) for i in [0, count) across up to `threads` host threads
+/// (0 = hardware concurrency).  Blocks until every task finished.  If any
+/// task throws, one of the exceptions is rethrown after the join.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace soc

@@ -1,0 +1,53 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace soc {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  SOC_CHECK(n > 0, "next_below(0)");
+  // Multiply-shift bounded rejection-free mapping (slight bias is
+  // irrelevant for simulation streams but the mapping is deterministic).
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(n);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_range(double lo, double hi) {
+  SOC_CHECK(lo <= hi, "empty range");
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+double Rng::next_gaussian() {
+  // Box–Muller; regenerate u1 until non-zero so log() is defined.
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::split(std::uint64_t stream) const {
+  // Mix the stream key through one SplitMix step relative to our state.
+  Rng child(state_ ^ (0x9E3779B97F4A7C15ull * (stream + 1)));
+  child.next_u64();  // decorrelate the first output
+  return child;
+}
+
+}  // namespace soc

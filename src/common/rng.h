@@ -1,0 +1,46 @@
+// Deterministic random number generation.
+//
+// All stochastic choices in the simulator (synthetic address streams,
+// branch outcome streams, load-imbalance jitter) flow through Rng so that
+// every run is bit-reproducible from its seed.  The generator is
+// SplitMix64: tiny state, excellent statistical quality for simulation
+// purposes, and `split()` derives independent streams so that parallel
+// components never share a sequence.
+#pragma once
+
+#include <cstdint>
+
+namespace soc {
+
+/// SplitMix64 deterministic generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n).  n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double next_gaussian();
+
+  /// Derives an independent generator keyed by `stream`.  Two splits with
+  /// different keys from the same parent produce uncorrelated sequences.
+  Rng split(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace soc

@@ -1,0 +1,37 @@
+// Plain-text table formatting used by the benchmark harness to print
+// paper-style tables and figure series.  Columns auto-size to their
+// contents; numeric cells are rendered with a caller-chosen precision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soc {
+
+/// Accumulates rows of string cells and renders an aligned text table.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with fixed precision (helper for building cells).
+  static std::string num(double v, int precision = 2);
+
+  /// Formats a double in scientific-ish engineering style when magnitudes
+  /// vary widely (chooses fixed or exponent form automatically).
+  static std::string eng(double v);
+
+  /// Renders the table, headers first, columns separated by two spaces.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soc

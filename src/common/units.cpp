@@ -1,0 +1,24 @@
+#include "common/units.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace soc {
+
+SimTime from_seconds(double s) {
+  SOC_CHECK(s >= 0.0, "negative duration");
+  SOC_CHECK(s < 9.0e9, "duration overflows SimTime");
+  return static_cast<SimTime>(std::llround(s * static_cast<double>(kSecond)));
+}
+
+SimTime transfer_time(Bytes bytes, double bytes_per_second) {
+  SOC_CHECK(bytes >= 0, "negative transfer size");
+  SOC_CHECK(bytes_per_second > 0.0, "non-positive bandwidth");
+  if (bytes == 0) return 0;
+  const double secs = static_cast<double>(bytes) / bytes_per_second;
+  SimTime t = from_seconds(secs);
+  return t > 0 ? t : 1;
+}
+
+}  // namespace soc

@@ -1,0 +1,48 @@
+// Simulation units.
+//
+// Simulated time is kept in integer nanoseconds so that event ordering is
+// exactly reproducible across platforms; conversions to floating-point
+// seconds happen only at reporting boundaries.  Data sizes are in bytes
+// (int64), rates in bytes/second or FLOP/s (double — rates are model
+// parameters, not state).
+#pragma once
+
+#include <cstdint>
+
+namespace soc {
+
+/// Simulated time in integer nanoseconds.
+using SimTime = std::int64_t;
+
+/// Data volume in bytes.
+using Bytes = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+inline constexpr Bytes kKB = 1000;
+inline constexpr Bytes kMB = 1000 * kKB;
+inline constexpr Bytes kGB = 1000 * kMB;
+
+/// Converts simulated time to floating-point seconds (reporting only).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts floating-point seconds to simulated time, rounding to the
+/// nearest nanosecond.  Durations are clamped to be non-negative.
+SimTime from_seconds(double s);
+
+/// Time to move `bytes` at `bytes_per_second`, rounded up to ≥ 1 ns for any
+/// non-empty transfer so zero-duration events cannot starve the engine.
+SimTime transfer_time(Bytes bytes, double bytes_per_second);
+
+/// Gb/s of NIC marketing units -> bytes/second.
+constexpr double gbit_per_s(double gbit) { return gbit * 1e9 / 8.0; }
+
+}  // namespace soc

@@ -1,0 +1,99 @@
+#include "core/counters_analysis.h"
+
+#include "common/error.h"
+
+namespace soc::core {
+
+namespace {
+
+double safe_ratio(double a, double b) {
+  if (b == 0.0) return a == 0.0 ? 1.0 : 10.0;  // saturate divergent ratios
+  return a / b;
+}
+
+}  // namespace
+
+namespace {
+
+// Cycle counts, stall cycles, and IPC are direct proxies of the response
+// (relative runtime) — including them would make the PLS selection
+// trivial.  The analysis therefore uses the *behavioral* events plus the
+// derived miss ratios, which is the variable set the paper's selection
+// (BR_MIS_PRED / INST_SPEC / LD_MISS_RATIO) implies.
+const arch::PmuEvent kAnalysisEvents[] = {
+    arch::PmuEvent::kInstRetired,    arch::PmuEvent::kInstSpec,
+    arch::PmuEvent::kBrRetired,      arch::PmuEvent::kBrMisPred,
+    arch::PmuEvent::kL1dCache,       arch::PmuEvent::kL1dCacheRefill,
+    arch::PmuEvent::kL2dCache,       arch::PmuEvent::kL2dCacheRefill,
+    arch::PmuEvent::kMemAccess,
+};
+
+}  // namespace
+
+std::vector<std::string> analysis_variable_names() {
+  std::vector<std::string> names;
+  for (arch::PmuEvent e : kAnalysisEvents) {
+    names.emplace_back(arch::pmu_event_name(e));
+  }
+  names.emplace_back("BR_MIS_RATIO");
+  names.emplace_back("L1D_MISS_RATIO");
+  names.emplace_back("LD_MISS_RATIO");  // the paper's L2 miss-ratio metric
+  return names;
+}
+
+stats::Vec relative_row(const BenchmarkObservation& obs) {
+  stats::Vec row;
+  // Raw events are compared per retired instruction so that differing
+  // total instruction counts between systems do not dominate the ratios.
+  const double inst_a = obs.system_a[arch::PmuEvent::kInstRetired];
+  const double inst_b = obs.system_b[arch::PmuEvent::kInstRetired];
+  SOC_CHECK(inst_a > 0.0 && inst_b > 0.0, "observations need instructions");
+  for (arch::PmuEvent e : kAnalysisEvents) {
+    row.push_back(safe_ratio(obs.system_a[e] / inst_a,
+                             obs.system_b[e] / inst_b));
+  }
+  row.push_back(safe_ratio(obs.system_a.branch_misprediction_ratio(),
+                           obs.system_b.branch_misprediction_ratio()));
+  row.push_back(safe_ratio(obs.system_a.l1d_miss_ratio(),
+                           obs.system_b.l1d_miss_ratio()));
+  row.push_back(safe_ratio(obs.system_a.l2d_miss_ratio(),
+                           obs.system_b.l2d_miss_ratio()));
+  return row;
+}
+
+CounterAnalysis analyze_counters(
+    const std::vector<BenchmarkObservation>& observations, std::size_t top_k,
+    double variance_target) {
+  SOC_CHECK(observations.size() >= 3, "need >= 3 benchmarks for PLS");
+  CounterAnalysis out;
+  out.variable_names = analysis_variable_names();
+
+  std::vector<stats::Vec> rows;
+  rows.reserve(observations.size());
+  out.relative_runtime.reserve(observations.size());
+  for (const BenchmarkObservation& obs : observations) {
+    SOC_CHECK(obs.runtime_a > 0.0 && obs.runtime_b > 0.0, "missing runtimes");
+    rows.push_back(relative_row(obs));
+    out.relative_runtime.push_back(obs.runtime_a / obs.runtime_b);
+  }
+  const stats::Matrix x = stats::Matrix::from_rows(rows);
+
+  out.model = stats::pls_fit(x, out.relative_runtime,
+                             /*max_components=*/observations.size() - 1);
+  out.components_used =
+      stats::components_for_variance(out.model, variance_target);
+  out.variance_explained =
+      out.model.x_variance_explained[out.components_used - 1];
+
+  // Refit with exactly the selected number of components so coefficients
+  // reflect the paper's "use three components" modelling step.
+  out.model = stats::pls_fit(x, out.relative_runtime, out.components_used);
+
+  for (std::size_t idx : stats::top_variables(out.model, top_k)) {
+    out.top_variables.push_back(out.variable_names[idx]);
+    out.top_coefficients.push_back(out.model.coefficients[idx]);
+  }
+  return out;
+}
+
+}  // namespace soc::core

@@ -1,0 +1,51 @@
+// Cross-system PMU counter analysis (§IV-A, Fig 8).
+//
+// Pipeline: per benchmark, form the ratio of every PMUv3 event (plus the
+// derived miss-ratio metrics) on system A vs. system B; build the
+// observation matrix X (benchmarks × metrics) and response vector y
+// (relative runtimes); run PLS; keep the components explaining ≥95% of
+// the X variance; report the variables with the largest regression
+// coefficients.  For the Cavium-vs-TX2 comparison this pipeline must
+// surface BR_MIS_PRED, INST_SPEC, and the L2 miss ratio.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/pmu.h"
+#include "stats/pls.h"
+
+namespace soc::core {
+
+/// One benchmark's observation: counters on both systems and runtimes.
+struct BenchmarkObservation {
+  std::string name;
+  arch::CounterSet system_a;  ///< e.g. Cavium server.
+  arch::CounterSet system_b;  ///< e.g. TX cluster (per-rank average).
+  double runtime_a = 0.0;
+  double runtime_b = 0.0;
+};
+
+/// Names of the analysis variables: the 12 raw events (as A/B ratios)
+/// followed by derived metrics.
+std::vector<std::string> analysis_variable_names();
+
+/// Builds the relative-value row for one observation (A relative to B).
+stats::Vec relative_row(const BenchmarkObservation& obs);
+
+struct CounterAnalysis {
+  stats::PlsModel model;
+  std::size_t components_used = 0;       ///< For ≥95% X variance.
+  double variance_explained = 0.0;
+  std::vector<std::string> top_variables; ///< Most influential first.
+  stats::Vec top_coefficients;
+  std::vector<std::string> variable_names;
+  stats::Vec relative_runtime;            ///< The response vector.
+};
+
+/// Runs the full pipeline over the observations.
+CounterAnalysis analyze_counters(
+    const std::vector<BenchmarkObservation>& observations,
+    std::size_t top_k = 3, double variance_target = 0.95);
+
+}  // namespace soc::core

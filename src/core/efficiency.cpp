@@ -1,0 +1,58 @@
+#include "core/efficiency.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace soc::core {
+
+namespace {
+
+double rank_compute_seconds(const sim::RankStats& rs) {
+  double total = 0.0;
+  for (const auto& [phase, t] : rs.phase_compute) total += to_seconds(t);
+  return total;
+}
+
+}  // namespace
+
+double mean_compute_seconds(const sim::RunStats& stats) {
+  SOC_CHECK(!stats.ranks.empty(), "no ranks");
+  double total = 0.0;
+  for (const sim::RankStats& rs : stats.ranks) total += rank_compute_seconds(rs);
+  return total / static_cast<double>(stats.ranks.size());
+}
+
+double max_compute_seconds(const sim::RunStats& stats) {
+  SOC_CHECK(!stats.ranks.empty(), "no ranks");
+  double max = 0.0;
+  for (const sim::RankStats& rs : stats.ranks) {
+    max = std::max(max, rank_compute_seconds(rs));
+  }
+  return max;
+}
+
+EfficiencyDecomposition decompose(const trace::ScenarioRuns& runs) {
+  EfficiencyDecomposition d;
+  d.measured_seconds = runs.measured.seconds();
+  d.ideal_network_seconds = runs.ideal_network.seconds();
+  d.ideal_balance_seconds = runs.ideal_balance.seconds();
+  SOC_CHECK(d.measured_seconds > 0.0, "zero-length run");
+
+  const double mean_c = mean_compute_seconds(runs.measured);
+  const double max_c = max_compute_seconds(runs.measured);
+  SOC_CHECK(max_c > 0.0, "run performed no compute");
+
+  d.load_balance = mean_c / max_c;
+  // On the ideal network only dependencies and local data movement remain;
+  // how far the critical rank's compute is from that runtime is Ser.
+  d.serialization =
+      d.ideal_network_seconds > 0.0 ? max_c / d.ideal_network_seconds : 1.0;
+  d.serialization = std::min(d.serialization, 1.0);
+  d.transfer = d.ideal_network_seconds / d.measured_seconds;
+  d.transfer = std::min(d.transfer, 1.0);
+  d.efficiency = d.load_balance * d.serialization * d.transfer;
+  return d;
+}
+
+}  // namespace soc::core

@@ -1,0 +1,38 @@
+// Parallel-efficiency decomposition (Eq. 4 of the paper):
+//
+//   η = LB × Ser × Trf
+//
+// following the POP/BSC methodology the paper adopts from Rosas et al.:
+//   LB  — load balance: mean/max of per-rank useful compute,
+//   Ser — serialization: max compute / runtime on an ideal network
+//         (dependencies and host↔device synchronization),
+//   Trf — transfer: ideal-network runtime / real runtime (pure network
+//         cost).
+// η == mean compute / real runtime, so the factors multiply exactly.
+#pragma once
+
+#include "sim/stats.h"
+#include "trace/replay.h"
+
+namespace soc::core {
+
+struct EfficiencyDecomposition {
+  double load_balance = 1.0;   ///< LB ∈ (0, 1].
+  double serialization = 1.0;  ///< Ser ∈ (0, 1].
+  double transfer = 1.0;       ///< Trf ∈ (0, 1].
+  double efficiency = 1.0;     ///< η = LB · Ser · Trf.
+
+  double measured_seconds = 0.0;
+  double ideal_network_seconds = 0.0;
+  double ideal_balance_seconds = 0.0;
+};
+
+/// Decomposes efficiency from the three scenario replays.
+EfficiencyDecomposition decompose(const trace::ScenarioRuns& runs);
+
+/// Mean per-rank useful compute seconds of a run.
+double mean_compute_seconds(const sim::RunStats& stats);
+/// Max per-rank useful compute seconds of a run.
+double max_compute_seconds(const sim::RunStats& stats);
+
+}  // namespace soc::core

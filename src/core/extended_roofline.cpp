@@ -1,0 +1,93 @@
+#include "core/extended_roofline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace soc::core {
+
+const char* limit_name(RooflineLimit limit) {
+  switch (limit) {
+    case RooflineLimit::kCompute: return "compute";
+    case RooflineLimit::kOperational: return "operational";
+    case RooflineLimit::kNetwork: return "network";
+  }
+  return "unknown";
+}
+
+double ExtendedRoofline::attainable(double oi, double ni) const {
+  SOC_CHECK(oi > 0.0 && ni > 0.0, "intensities must be positive");
+  return std::min({peak_flops, oi * memory_bandwidth,
+                   ni * network_bandwidth});
+}
+
+RooflineLimit ExtendedRoofline::limit(double oi, double ni) const {
+  const double mem_ceiling = oi * memory_bandwidth;
+  const double net_ceiling = ni * network_bandwidth;
+  if (peak_flops <= mem_ceiling && peak_flops <= net_ceiling) {
+    return RooflineLimit::kCompute;
+  }
+  return mem_ceiling <= net_ceiling ? RooflineLimit::kOperational
+                                    : RooflineLimit::kNetwork;
+}
+
+RooflineLimit ExtendedRoofline::limiting_intensity(double oi,
+                                                   double ni) const {
+  return oi * memory_bandwidth <= ni * network_bandwidth
+             ? RooflineLimit::kOperational
+             : RooflineLimit::kNetwork;
+}
+
+RooflineMeasurement measure_roofline(const ExtendedRoofline& model,
+                                     const sim::RunStats& stats, int nodes,
+                                     const std::string& benchmark) {
+  SOC_CHECK(nodes > 0, "need at least one node");
+  RooflineMeasurement m;
+  m.benchmark = benchmark;
+
+  // Intensities are workload properties (Eqs. 1 and 2): FLOPs over the
+  // bytes each channel moved.  They do not depend on the network choice —
+  // the paper stresses this invariance.
+  const double gpu_flops = stats.total_gpu_flops > 0.0 ? stats.total_gpu_flops
+                                                       : stats.total_flops;
+  const double dram = static_cast<double>(
+      stats.total_gpu_dram_bytes > 0 ? stats.total_gpu_dram_bytes
+                                     : stats.total_dram_bytes);
+  const double net = static_cast<double>(stats.total_net_bytes);
+  SOC_CHECK(dram > 0.0, "no DRAM traffic recorded");
+  m.operational_intensity = gpu_flops / dram;
+  // Workloads with no inter-node traffic (alexnet/googlenet) have an
+  // effectively infinite network intensity; clamp for reporting.
+  m.network_intensity = net > 0.0 ? gpu_flops / net : 1e9;
+
+  m.achieved_flops = gpu_flops / stats.seconds() / static_cast<double>(nodes);
+  m.attainable_flops =
+      model.attainable(m.operational_intensity, m.network_intensity);
+  m.percent_of_peak = m.attainable_flops > 0.0
+                          ? 100.0 * m.achieved_flops / m.attainable_flops
+                          : 0.0;
+  m.limit = model.limit(m.operational_intensity, m.network_intensity);
+  m.limiting_intensity = model.limiting_intensity(m.operational_intensity,
+                                                  m.network_intensity);
+  return m;
+}
+
+std::vector<ExtendedRooflinePoint> sample_extended(
+    const ExtendedRoofline& model, double ni, double oi_min, double oi_max,
+    int points) {
+  SOC_CHECK(oi_min > 0.0 && oi_max > oi_min, "bad intensity range");
+  SOC_CHECK(points >= 2, "need at least two points");
+  std::vector<ExtendedRooflinePoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double log_min = std::log10(oi_min);
+  const double step = (std::log10(oi_max) - log_min) /
+                      static_cast<double>(points - 1);
+  for (int i = 0; i < points; ++i) {
+    const double oi = std::pow(10.0, log_min + step * i);
+    out.push_back(ExtendedRooflinePoint{oi, model.attainable(oi, ni)});
+  }
+  return out;
+}
+
+}  // namespace soc::core

@@ -1,0 +1,76 @@
+// The paper's primary analytical contribution: the Roofline extension for
+// integrated-GPGPU clusters (§III-B.3).
+//
+// Two distinct data-transfer channels feed each node's GPU: main-memory
+// traffic (DRAM → GPU) and network traffic (other nodes → NIC → DRAM).
+// The extension keeps the classic operational-intensity ceiling and adds
+// a network-intensity ceiling:
+//
+//   operational intensity  OI = FLOPs / DRAM bytes          (Eq. 1)
+//   network intensity      NI = FLOPs / NIC bytes           (Eq. 2)
+//   attainable = min(peak, OI × mem_bw, NI × net_bw)        (Eq. 3)
+//
+// All quantities are per node: peak is one node's GPU capacity, mem_bw
+// the GPU's achievable DRAM bandwidth, net_bw the NIC's achievable rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace soc::core {
+
+/// Which ceiling binds the attainable performance.
+enum class RooflineLimit { kCompute, kOperational, kNetwork };
+
+const char* limit_name(RooflineLimit limit);
+
+struct ExtendedRoofline {
+  double peak_flops = 0.0;        ///< Per-node GPU compute ceiling.
+  double memory_bandwidth = 0.0;  ///< Per-node DRAM→GPU bytes/s.
+  double network_bandwidth = 0.0; ///< Per-node achievable NIC bytes/s.
+
+  /// Eq. 3: attainable per-node FLOP/s at the given intensities.
+  double attainable(double oi, double ni) const;
+
+  /// The ceiling that limits performance at (oi, ni).  When compute is the
+  /// binding term the workload has outgrown both transfer channels.
+  RooflineLimit limit(double oi, double ni) const;
+
+  /// The paper's Table II "limit" column: which *intensity* (operational
+  /// or network) bounds the theoretical peak the most, ignoring the
+  /// compute ceiling.
+  RooflineLimit limiting_intensity(double oi, double ni) const;
+};
+
+/// Measured intensities and roofline position of one run (per node).
+struct RooflineMeasurement {
+  std::string benchmark;
+  double operational_intensity = 0.0;  ///< FLOP/DRAM-byte (Eq. 1).
+  double network_intensity = 0.0;      ///< FLOP/NIC-byte (Eq. 2).
+  double achieved_flops = 0.0;         ///< Per-node achieved FLOP/s.
+  double attainable_flops = 0.0;       ///< Model ceiling at (OI, NI).
+  double percent_of_peak = 0.0;        ///< achieved / attainable × 100.
+  RooflineLimit limit = RooflineLimit::kOperational;
+  /// Table II semantics: operational vs network only.
+  RooflineLimit limiting_intensity = RooflineLimit::kOperational;
+};
+
+/// Computes Eqs. 1–3 from a run.  GPU-side traffic is used for OI (the
+/// extension is defined for the GPGPU work); the paper's "FLOPS
+/// throughput" is the whole-cluster rate divided by the node count.
+RooflineMeasurement measure_roofline(const ExtendedRoofline& model,
+                                     const sim::RunStats& stats, int nodes,
+                                     const std::string& benchmark);
+
+/// Samples the OI ceiling sweep at a fixed NI (for the Fig 4 plots).
+struct ExtendedRooflinePoint {
+  double oi = 0.0;
+  double attainable_flops = 0.0;
+};
+std::vector<ExtendedRooflinePoint> sample_extended(
+    const ExtendedRoofline& model, double ni, double oi_min, double oi_max,
+    int points);
+
+}  // namespace soc::core

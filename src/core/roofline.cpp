@@ -1,0 +1,41 @@
+#include "core/roofline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace soc::core {
+
+double Roofline::attainable(double oi) const {
+  SOC_CHECK(oi >= 0.0, "negative operational intensity");
+  return std::min(peak_flops, oi * memory_bandwidth);
+}
+
+double Roofline::ridge_point() const {
+  SOC_CHECK(memory_bandwidth > 0.0, "zero memory bandwidth");
+  return peak_flops / memory_bandwidth;
+}
+
+bool Roofline::memory_bound(double oi) const {
+  return oi * memory_bandwidth < peak_flops;
+}
+
+std::vector<RooflinePoint> sample_roofline(const Roofline& model,
+                                           double oi_min, double oi_max,
+                                           int points) {
+  SOC_CHECK(oi_min > 0.0 && oi_max > oi_min, "bad intensity range");
+  SOC_CHECK(points >= 2, "need at least two points");
+  std::vector<RooflinePoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double log_min = std::log10(oi_min);
+  const double step = (std::log10(oi_max) - log_min) /
+                      static_cast<double>(points - 1);
+  for (int i = 0; i < points; ++i) {
+    const double oi = std::pow(10.0, log_min + step * i);
+    out.push_back(RooflinePoint{oi, model.attainable(oi)});
+  }
+  return out;
+}
+
+}  // namespace soc::core

@@ -1,0 +1,38 @@
+// The classic Roofline model (Williams, Waterman, Patterson, CACM 2009).
+//
+// attainable = min(peak compute, operational intensity × memory bandwidth).
+// This is the baseline that §III-B.3 extends with a network dimension.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soc::core {
+
+struct Roofline {
+  double peak_flops = 0.0;       ///< FLOP/s ceiling.
+  double memory_bandwidth = 0.0; ///< Bytes/s from DRAM.
+
+  /// Attainable FLOP/s at operational intensity `oi` (FLOP/byte).
+  double attainable(double oi) const;
+
+  /// Intensity at which the model transitions from memory- to
+  /// compute-bound (the "ridge point").
+  double ridge_point() const;
+
+  /// True when a kernel at `oi` is memory-bandwidth limited.
+  bool memory_bound(double oi) const;
+};
+
+/// One point of a sampled roofline curve (for plotting / table output).
+struct RooflinePoint {
+  double intensity = 0.0;
+  double attainable_flops = 0.0;
+};
+
+/// Samples the roofline at logarithmically spaced intensities.
+std::vector<RooflinePoint> sample_roofline(const Roofline& model,
+                                           double oi_min, double oi_max,
+                                           int points);
+
+}  // namespace soc::core

@@ -1,0 +1,101 @@
+#include "gpu/occupancy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace soc::gpu {
+
+const char* limiter_name(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::kThreads: return "threads";
+    case OccupancyLimiter::kBlocks: return "blocks";
+    case OccupancyLimiter::kRegisters: return "registers";
+    case OccupancyLimiter::kSharedMemory: return "shared-memory";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Rounds `value` up to a multiple of `granularity`.
+template <typename T>
+T round_up(T value, T granularity) {
+  return ((value + granularity - 1) / granularity) * granularity;
+}
+
+}  // namespace
+
+OccupancyResult occupancy(const SmLimits& limits,
+                          const KernelResources& kernel) {
+  SOC_CHECK(kernel.threads_per_block > 0 &&
+                kernel.threads_per_block <= limits.max_threads,
+            "block does not fit the SM's thread limit");
+  SOC_CHECK(kernel.registers_per_thread >= 0 &&
+                kernel.shared_per_block >= 0,
+            "negative kernel resources");
+
+  const int warps_per_block = (kernel.threads_per_block +
+                               limits.warp_size - 1) /
+                              limits.warp_size;
+
+  // Candidate block counts under each constraint.
+  const int by_threads = limits.max_threads / kernel.threads_per_block;
+  const int by_blocks = limits.max_blocks;
+  const int by_warps = limits.max_warps / warps_per_block;
+
+  int by_registers = limits.max_blocks;
+  if (kernel.registers_per_thread > 0) {
+    const int regs_per_warp = round_up(
+        kernel.registers_per_thread * limits.warp_size,
+        limits.register_granularity);
+    const int warps_by_regs = limits.registers / regs_per_warp;
+    by_registers = warps_by_regs / warps_per_block;
+  }
+
+  int by_shared = limits.max_blocks;
+  if (kernel.shared_per_block > 0) {
+    const Bytes per_block =
+        round_up(kernel.shared_per_block, limits.shared_granularity);
+    by_shared = static_cast<int>(limits.shared_memory / per_block);
+  }
+
+  OccupancyResult result;
+  result.blocks_per_sm = std::min({by_threads, by_blocks, by_warps,
+                                   by_registers, by_shared});
+  SOC_CHECK(result.blocks_per_sm >= 1,
+            "kernel resources exceed the SM (registers or shared memory)");
+  result.active_warps = result.blocks_per_sm * warps_per_block;
+  result.occupancy = static_cast<double>(result.active_warps) /
+                     static_cast<double>(limits.max_warps);
+
+  if (result.blocks_per_sm == by_registers &&
+      kernel.registers_per_thread > 0) {
+    result.limiter = OccupancyLimiter::kRegisters;
+  }
+  if (result.blocks_per_sm == by_shared && kernel.shared_per_block > 0) {
+    result.limiter = OccupancyLimiter::kSharedMemory;
+  }
+  if (result.blocks_per_sm == std::min(by_threads, by_warps)) {
+    result.limiter = OccupancyLimiter::kThreads;
+  }
+  if (result.blocks_per_sm == by_blocks &&
+      by_blocks < std::min(by_threads, by_warps)) {
+    result.limiter = OccupancyLimiter::kBlocks;
+  }
+  return result;
+}
+
+double device_utilization(const SmLimits& limits,
+                          const KernelResources& kernel, double total_threads,
+                          int sm_count) {
+  SOC_CHECK(total_threads >= 0.0 && sm_count > 0, "bad utilization inputs");
+  const OccupancyResult per_sm = occupancy(limits, kernel);
+  const double resident_capacity =
+      static_cast<double>(per_sm.active_warps) * limits.warp_size * sm_count;
+  if (resident_capacity <= 0.0) return 0.0;
+  return std::min(1.0, total_threads / resident_capacity) *
+         per_sm.occupancy;
+}
+
+}  // namespace soc::gpu

@@ -1,0 +1,60 @@
+// CUDA-style occupancy calculator.
+//
+// Given a kernel's per-block resources and a device's SM limits, computes
+// how many blocks/warps fit per SM and which resource binds — the same
+// arithmetic as Nvidia's occupancy calculator.  The cluster-level timing
+// model uses a coarser parallelism heuristic; this calculator backs the
+// GPU tests and lets users reason about why batch-1 inference can't fill
+// a 16-SM part (Figs 9–10).
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace soc::gpu {
+
+/// SM resource limits (Maxwell SMM defaults).
+struct SmLimits {
+  int max_threads = 2048;
+  int max_blocks = 32;
+  int max_warps = 64;
+  int warp_size = 32;
+  int registers = 65536;
+  Bytes shared_memory = 96 * kKiB;
+  /// Register allocation granularity (per warp).
+  int register_granularity = 256;
+  /// Shared-memory allocation granularity.
+  Bytes shared_granularity = 256;
+};
+
+/// Per-kernel launch resources.
+struct KernelResources {
+  int threads_per_block = 256;
+  int registers_per_thread = 32;
+  Bytes shared_per_block = 0;
+};
+
+enum class OccupancyLimiter { kThreads, kBlocks, kRegisters, kSharedMemory };
+
+const char* limiter_name(OccupancyLimiter limiter);
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int active_warps = 0;
+  double occupancy = 0.0;  ///< active warps / max warps.
+  OccupancyLimiter limiter = OccupancyLimiter::kThreads;
+};
+
+/// Computes achievable occupancy of `kernel` on an SM with `limits`.
+/// Throws soc::Error on invalid resources (block larger than the SM).
+OccupancyResult occupancy(const SmLimits& limits,
+                          const KernelResources& kernel);
+
+/// Grid-level utilization: fraction of the device kept busy by
+/// `total_threads` of work given the per-SM occupancy and `sm_count`.
+double device_utilization(const SmLimits& limits,
+                          const KernelResources& kernel, double total_threads,
+                          int sm_count);
+
+}  // namespace soc::gpu

@@ -1,0 +1,76 @@
+#include "net/microbench.h"
+
+#include "sim/engine.h"
+
+namespace soc::net {
+
+namespace {
+
+// Cost model with no compute: only the network matters.
+class NetOnlyCostModel : public sim::CostModel {
+ public:
+  explicit NetOnlyCostModel(const NetworkModel& network) : network_(network) {}
+
+  SimTime cpu_compute_time(int, const sim::Op&) const override { return 0; }
+  SimTime gpu_kernel_time(int, const sim::Op&) const override { return 0; }
+  SimTime copy_time(int, const sim::Op&) const override { return 0; }
+  SimTime message_latency(int src, int dst) const override {
+    return network_.latency(src, dst);
+  }
+  SimTime message_transfer_time(int src, int dst, Bytes bytes) const override {
+    return network_.transfer_time(src, dst, bytes);
+  }
+  SimTime send_overhead(int) const override { return 1 * kMicrosecond; }
+  SimTime recv_overhead(int) const override { return 1 * kMicrosecond; }
+
+ private:
+  const NetworkModel& network_;
+};
+
+}  // namespace
+
+ThroughputResult measure_throughput(const NetworkModel& network,
+                                    Bytes total_bytes, Bytes message_bytes) {
+  const int messages = static_cast<int>(total_bytes / message_bytes);
+  std::vector<sim::Program> programs(2);
+  for (int m = 0; m < messages; ++m) {
+    programs[0].push_back(sim::send_op(1, message_bytes, m));
+    programs[1].push_back(sim::recv_op(0, message_bytes, m));
+  }
+
+  NetOnlyCostModel cost(network);
+  sim::Engine engine(sim::Placement::block(2, 2), cost);
+  const sim::RunStats stats = engine.run(programs);
+
+  ThroughputResult result;
+  result.bytes_moved = static_cast<Bytes>(messages) * message_bytes;
+  result.seconds = stats.seconds();
+  result.gbit_per_second =
+      result.seconds > 0.0
+          ? static_cast<double>(result.bytes_moved) * 8.0 / 1e9 / result.seconds
+          : 0.0;
+  return result;
+}
+
+LatencyResult measure_latency(const NetworkModel& network, Bytes message_bytes,
+                              int iterations) {
+  std::vector<sim::Program> programs(2);
+  for (int i = 0; i < iterations; ++i) {
+    programs[0].push_back(sim::send_op(1, message_bytes, 2 * i));
+    programs[0].push_back(sim::recv_op(1, message_bytes, 2 * i + 1));
+    programs[1].push_back(sim::recv_op(0, message_bytes, 2 * i));
+    programs[1].push_back(sim::send_op(0, message_bytes, 2 * i + 1));
+  }
+
+  NetOnlyCostModel cost(network);
+  sim::Engine engine(sim::Placement::block(2, 2), cost);
+  const sim::RunStats stats = engine.run(programs);
+
+  LatencyResult result;
+  result.round_trip_ms =
+      stats.seconds() * 1e3 / static_cast<double>(iterations);
+  result.one_way_us = result.round_trip_ms * 1e3 / 2.0;
+  return result;
+}
+
+}  // namespace soc::net

@@ -1,0 +1,37 @@
+// Network characterization microbenchmarks (iperf / ping-pong analogues).
+//
+// §III-A of the paper reports measured throughput and ping-pong latency
+// for the on-board 1GbE vs. the PCIe 10GbE card.  These helpers run the
+// actual replay engine over two simulated nodes, so the numbers include
+// engine effects (NIC serialization, eager/rendezvous protocol) rather
+// than just echoing the configs back.
+#pragma once
+
+#include "net/network.h"
+
+namespace soc::net {
+
+struct ThroughputResult {
+  double gbit_per_second = 0.0;
+  Bytes bytes_moved = 0;
+  double seconds = 0.0;
+};
+
+struct LatencyResult {
+  double round_trip_ms = 0.0;
+  double one_way_us = 0.0;
+};
+
+/// iperf analogue: streams `total_bytes` in `message_bytes` chunks from
+/// node 0 to node 1 and reports achieved throughput.
+ThroughputResult measure_throughput(const NetworkModel& network,
+                                    Bytes total_bytes = 256 * kMB,
+                                    Bytes message_bytes = 1 * kMB);
+
+/// Ping-pong analogue: bounces a small message `iterations` times and
+/// reports the average round trip.
+LatencyResult measure_latency(const NetworkModel& network,
+                              Bytes message_bytes = 64,
+                              int iterations = 1000);
+
+}  // namespace soc::net

@@ -1,0 +1,73 @@
+#include "net/network.h"
+
+#include "common/error.h"
+
+namespace soc::net {
+
+NicConfig gigabit_nic() {
+  NicConfig nic;
+  nic.name = "1GbE";
+  nic.kind = NicKind::kGigabit;
+  nic.effective_bandwidth = gbit_per_s(0.94);
+  nic.latency = 200 * kMicrosecond;
+  nic.idle_power_w = 0.3;
+  nic.active_power_w = 0.7;
+  return nic;
+}
+
+NicConfig ten_gigabit_nic() {
+  NicConfig nic;
+  nic.name = "10GbE";
+  nic.kind = NicKind::kTenGigabit;
+  // The TX1 cannot drive the card at line rate; ~3.3 Gb/s achievable.
+  nic.effective_bandwidth = gbit_per_s(3.3);
+  nic.latency = 50 * kMicrosecond;
+  nic.idle_power_w = 5.0;  // the paper's "about 5 W per node"
+  nic.active_power_w = 1.5;
+  return nic;
+}
+
+NicConfig server_ten_gigabit_nic() {
+  NicConfig nic;
+  nic.name = "10GbE-server";
+  nic.kind = NicKind::kTenGigabit;
+  nic.effective_bandwidth = gbit_per_s(9.4);
+  nic.latency = 30 * kMicrosecond;
+  nic.idle_power_w = 5.0;
+  nic.active_power_w = 2.5;
+  return nic;
+}
+
+NetworkModel::NetworkModel(NicConfig nic, SwitchConfig sw,
+                           double intra_node_bandwidth)
+    : nic_(std::move(nic)),
+      switch_(std::move(sw)),
+      intra_node_bandwidth_(intra_node_bandwidth) {
+  SOC_CHECK(nic_.effective_bandwidth > 0.0, "bad NIC bandwidth");
+  SOC_CHECK(intra_node_bandwidth_ > 0.0, "bad intra-node bandwidth");
+}
+
+int NetworkModel::hops(int src_node, int dst_node) const {
+  if (src_node == dst_node) return 0;
+  if (switch_.topology == Topology::kSingleSwitch) return 1;
+  SOC_CHECK(switch_.pod_size > 0, "fat tree needs a positive pod size");
+  const bool same_pod =
+      src_node / switch_.pod_size == dst_node / switch_.pod_size;
+  return same_pod ? 1 : 3;  // leaf — spine — leaf
+}
+
+SimTime NetworkModel::latency(int src_node, int dst_node) const {
+  if (src_node == dst_node) return intra_node_latency_;
+  return nic_.latency + hops(src_node, dst_node) * switch_.latency;
+}
+
+SimTime NetworkModel::transfer_time(int src_node, int dst_node,
+                                    Bytes bytes) const {
+  if (bytes == 0) return 0;
+  if (src_node == dst_node) {
+    return soc::transfer_time(bytes, intra_node_bandwidth_);
+  }
+  return soc::transfer_time(bytes, nic_.effective_bandwidth);
+}
+
+}  // namespace soc::net

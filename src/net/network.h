@@ -1,0 +1,84 @@
+// Network substrate: NICs, switch, and the node-to-node timing model.
+//
+// The paper's cluster swaps the Jetson's on-board 1GbE for a PCIe 10GbE
+// card.  Crucially, the 10GbE NIC on a mobile SoC does NOT reach line
+// rate: the TX1's CPU and PCIe x1 lane cap iperf throughput at ≈3.3 Gb/s
+// (§III-A).  `effective_bandwidth` captures that gap between marketing
+// and achievable rate; every transfer in the simulator uses it.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace soc::net {
+
+enum class NicKind { kGigabit, kTenGigabit };
+
+struct NicConfig {
+  std::string name = "1GbE";
+  NicKind kind = NicKind::kGigabit;
+  /// Achievable point-to-point throughput (iperf-style), bytes/s.
+  double effective_bandwidth = gbit_per_s(0.94);
+  /// One-way small-message latency contribution of this NIC + driver.
+  SimTime latency = 100 * kMicrosecond;
+  /// Power draw added to the node when the NIC is installed.
+  double idle_power_w = 0.5;
+  /// Additional power while actively transferring.
+  double active_power_w = 1.0;
+};
+
+/// The Jetson's on-board 1GbE controller.
+NicConfig gigabit_nic();
+/// The Startech PEX10000SFP PCIe card: ~3.3 Gb/s achievable on the TX1,
+/// +5 W per node (§III-B.1).
+NicConfig ten_gigabit_nic();
+/// A server-class 10GbE NIC (Xeon hosts drive closer to line rate).
+NicConfig server_ten_gigabit_nic();
+
+/// Fabric shape.  The paper's 16-node cluster hangs off one managed
+/// switch; extrapolations past a switch's port count need a tree.
+enum class Topology {
+  kSingleSwitch,  ///< Every node one hop from every other.
+  kFatTree2,      ///< Two-level tree: pods of `pod_size` leaf ports,
+                  ///< cross-pod traffic traverses three switches.
+};
+
+struct SwitchConfig {
+  std::string name = "cisco-350xg";
+  Topology topology = Topology::kSingleSwitch;
+  /// Leaf-switch port count (fat-tree pod membership).
+  int pod_size = 16;
+  /// Aggregate bisection bandwidth of the switch fabric, bytes/s.
+  double bisection_bandwidth = gbit_per_s(160.0);
+  /// Store-and-forward latency added per switch hop.
+  SimTime latency = 5 * kMicrosecond;
+};
+
+/// Node-to-node path model: latency and serialization time for a message.
+/// Intra-node messages short-circuit through shared memory.
+class NetworkModel {
+ public:
+  NetworkModel(NicConfig nic, SwitchConfig sw, double intra_node_bandwidth);
+
+  /// One-way latency between two nodes (0-cost path pieces for same node).
+  /// Under a fat tree, cross-pod paths pay three switch hops.
+  SimTime latency(int src_node, int dst_node) const;
+
+  /// Number of switches on the src→dst path (0 intra-node).
+  int hops(int src_node, int dst_node) const;
+
+  /// Serialization time of `bytes` between two nodes (excludes latency).
+  SimTime transfer_time(int src_node, int dst_node, Bytes bytes) const;
+
+  const NicConfig& nic() const { return nic_; }
+  const SwitchConfig& switch_config() const { return switch_; }
+
+ private:
+  NicConfig nic_;
+  SwitchConfig switch_;
+  double intra_node_bandwidth_;
+  SimTime intra_node_latency_ = 2 * kMicrosecond;
+};
+
+}  // namespace soc::net

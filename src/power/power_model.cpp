@@ -1,0 +1,91 @@
+#include "power/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace soc::power {
+
+double EnergyReport::mflops_per_watt(double flops) const {
+  if (joules <= 0.0) return 0.0;
+  // MFLOPS/W == (FLOPs / 1e6) / joules.
+  return flops / 1e6 / joules;
+}
+
+EnergyReport measure_energy(const sim::RunStats& stats,
+                            const NodePowerConfig& node, int cores_per_node) {
+  SOC_CHECK(cores_per_node > 0, "need at least one core per node");
+  EnergyReport report;
+  report.seconds = stats.seconds();
+  if (report.seconds <= 0.0) return report;
+
+  const double bin_s = stats.timeline_bin_seconds;
+  SOC_CHECK(bin_s > 0.0, "invalid timeline bin width");
+  const std::size_t bins =
+      static_cast<std::size_t>(std::ceil(report.seconds / bin_s));
+
+  // Integrate per bin, then resample to 1 Hz wall-socket samples.
+  std::vector<double> bin_watts(std::max<std::size_t>(bins, 1), 0.0);
+  std::vector<EnergyBreakdown> bin_parts(bin_watts.size());
+  for (const sim::NodeTimeline& tl : stats.nodes) {
+    for (std::size_t b = 0; b < bin_watts.size(); ++b) {
+      const double cpu_busy = b < tl.cpu_busy.size() ? tl.cpu_busy[b] : 0.0;
+      const double gpu_busy = b < tl.gpu_busy.size() ? tl.gpu_busy[b] : 0.0;
+      const double nic_busy = b < tl.nic_busy.size() ? tl.nic_busy[b] : 0.0;
+      const double dram_bytes =
+          b < tl.dram_bytes.size() ? tl.dram_bytes[b] : 0.0;
+
+      // Busy seconds within the bin -> utilization in [0, capacity].
+      const double cpu_util =
+          std::min(cpu_busy / bin_s, static_cast<double>(cores_per_node));
+      const double gpu_util = std::min(gpu_busy / bin_s, 1.0);
+      const double nic_util = std::min(nic_busy / bin_s, 1.0);
+      const double dram_gbps = dram_bytes / bin_s / 1e9;
+
+      EnergyBreakdown& parts = bin_parts[b];
+      parts.idle += node.idle_w + node.host_overhead_w;
+      parts.cpu += cpu_util * node.cpu_core_active_w;
+      parts.gpu += gpu_util * node.gpu_active_w;
+      parts.nic += node.nic_idle_w + nic_util * node.nic_active_w;
+      parts.dram += dram_gbps * node.dram_w_per_gbps;
+      bin_watts[b] = parts.idle + parts.cpu + parts.gpu + parts.nic +
+                     parts.dram;
+    }
+  }
+
+  // Total energy: exact integral over bins (last bin may be partial).
+  for (std::size_t b = 0; b < bin_watts.size(); ++b) {
+    const double start = static_cast<double>(b) * bin_s;
+    const double width = std::min(bin_s, report.seconds - start);
+    if (width <= 0.0) break;
+    report.joules += bin_watts[b] * width;
+    report.peak_watts = std::max(report.peak_watts, bin_watts[b]);
+    report.breakdown.idle += bin_parts[b].idle * width;
+    report.breakdown.cpu += bin_parts[b].cpu * width;
+    report.breakdown.gpu += bin_parts[b].gpu * width;
+    report.breakdown.nic += bin_parts[b].nic * width;
+    report.breakdown.dram += bin_parts[b].dram * width;
+  }
+  report.average_watts = report.joules / report.seconds;
+
+  // 1 Hz samples, like the paper's wall-socket meter.
+  const std::size_t seconds = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(report.seconds)));
+  report.samples_w.resize(seconds, 0.0);
+  for (std::size_t s = 0; s < seconds; ++s) {
+    const double t0 = static_cast<double>(s);
+    const double t1 = std::min(t0 + 1.0, report.seconds);
+    double joules = 0.0;
+    for (std::size_t b = 0; b < bin_watts.size(); ++b) {
+      const double b0 = static_cast<double>(b) * bin_s;
+      const double b1 = std::min(b0 + bin_s, report.seconds);
+      const double overlap = std::min(t1, b1) - std::max(t0, b0);
+      if (overlap > 0.0) joules += bin_watts[b] * overlap;
+    }
+    report.samples_w[s] = joules / std::max(t1 - t0, 1e-9);
+  }
+  return report;
+}
+
+}  // namespace soc::power

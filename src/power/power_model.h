@@ -1,0 +1,59 @@
+// Node power model and energy metering.
+//
+// The paper measures whole-cluster power at the wall socket at 1 Hz and
+// reports total energy and MFLOPS/W.  We rebuild that instrument: a
+// per-node component model (idle + CPU + GPU + DRAM + NIC) integrated
+// over the engine's busy-time timelines, sampled at the same 1 Hz.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/stats.h"
+
+namespace soc::power {
+
+/// Component power of one node (watts).
+struct NodePowerConfig {
+  std::string name = "jetson-tx1";
+  double idle_w = 3.5;           ///< Board at rest (no NIC add-on).
+  double cpu_core_active_w = 1.6;  ///< Per fully-busy core.
+  double gpu_active_w = 7.0;     ///< GPU at full utilization.
+  double dram_w_per_gbps = 0.25; ///< DRAM power per GB/s of traffic.
+  double nic_idle_w = 0.3;       ///< Installed NIC baseline.
+  double nic_active_w = 0.7;     ///< Additional while transferring.
+  /// Host "power tax": chassis/PSU/fans (significant for Xeon hosts).
+  double host_overhead_w = 0.0;
+};
+
+/// Energy split by component (sums to `joules`).
+struct EnergyBreakdown {
+  double idle = 0.0;   ///< Board idle + host overhead.
+  double cpu = 0.0;
+  double gpu = 0.0;
+  double nic = 0.0;    ///< NIC idle + active.
+  double dram = 0.0;
+};
+
+/// One sampled run's energy accounting.
+struct EnergyReport {
+  double joules = 0.0;
+  double average_watts = 0.0;
+  double peak_watts = 0.0;
+  double seconds = 0.0;
+  EnergyBreakdown breakdown;
+  /// Wall-socket style samples, one per second of simulated time.
+  std::vector<double> samples_w;
+
+  /// Energy efficiency in MFLOPS/W given the run's FLOP count.
+  double mflops_per_watt(double flops) const;
+};
+
+/// Integrates the power model over a run's per-node timelines.  `nodes`
+/// is the cluster size (must match stats.nodes.size()); all nodes share
+/// one NodePowerConfig (homogeneous clusters, as in the paper).
+EnergyReport measure_energy(const sim::RunStats& stats,
+                            const NodePowerConfig& node, int cores_per_node);
+
+}  // namespace soc::power

@@ -1,0 +1,53 @@
+// Cost-model interface: how long each op takes on a concrete machine.
+//
+// The engine owns ordering, resource contention and message matching; the
+// cost model owns per-op durations.  cluster/ composes a cost model from
+// the arch/gpu/mem/net substrates for a given system configuration, and
+// trace/ wraps cost models to build what-if scenarios (e.g. ideal network).
+#pragma once
+
+#include "common/units.h"
+#include "sim/op.h"
+
+namespace soc::sim {
+
+/// Maps ranks to nodes.  `cores_per_node` bounds how many ranks may share
+/// one node's CPU (the engine gives each rank a dedicated hardware thread;
+/// contention effects beyond that belong to the cost model).
+struct Placement {
+  int nodes = 1;
+  int ranks = 1;
+  std::vector<int> node_of;  ///< size == ranks
+
+  /// Block placement: `ranks` spread over `nodes` contiguously.
+  static Placement block(int ranks, int nodes);
+};
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Duration of a host compute op on `rank`.
+  virtual SimTime cpu_compute_time(int rank, const Op& op) const = 0;
+
+  /// Duration of a GPU kernel (launch overhead + execution).
+  virtual SimTime gpu_kernel_time(int rank, const Op& op) const = 0;
+
+  /// Duration of a host<->device copy under the op's memory model.
+  virtual SimTime copy_time(int rank, const Op& op) const = 0;
+
+  /// One-way message latency between two nodes (0 allowed for intra-node).
+  virtual SimTime message_latency(int src_node, int dst_node) const = 0;
+
+  /// Serialization time of `bytes` on the src→dst path (excludes latency).
+  virtual SimTime message_transfer_time(int src_node, int dst_node,
+                                        Bytes bytes) const = 0;
+
+  /// CPU-side overhead charged to the sender per message.
+  virtual SimTime send_overhead(int rank) const = 0;
+
+  /// CPU-side overhead charged to the receiver per message.
+  virtual SimTime recv_overhead(int rank) const = 0;
+};
+
+}  // namespace soc::sim

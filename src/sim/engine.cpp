@@ -1,0 +1,572 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace soc::sim {
+
+Placement Placement::block(int ranks, int nodes) {
+  SOC_CHECK(ranks > 0 && nodes > 0, "placement needs positive sizes");
+  SOC_CHECK(ranks % nodes == 0, "block placement needs ranks % nodes == 0");
+  Placement p;
+  p.ranks = ranks;
+  p.nodes = nodes;
+  p.node_of.resize(static_cast<std::size_t>(ranks));
+  const int per_node = ranks / nodes;
+  for (int r = 0; r < ranks; ++r) p.node_of[static_cast<std::size_t>(r)] = r / per_node;
+  return p;
+}
+
+Engine::Engine(Placement placement, const CostModel& cost_model,
+               EngineConfig config, Scenario scenario)
+    : placement_(std::move(placement)),
+      cost_(cost_model),
+      config_(config),
+      scenario_(std::move(scenario)) {
+  SOC_CHECK(placement_.ranks > 0, "no ranks");
+  SOC_CHECK(static_cast<int>(placement_.node_of.size()) == placement_.ranks,
+            "placement size mismatch");
+  SOC_CHECK(scenario_.compute_scale.empty() ||
+                static_cast<int>(scenario_.compute_scale.size()) ==
+                    placement_.ranks,
+            "compute_scale size mismatch");
+}
+
+Engine::MsgKey Engine::msg_key(int src, int dst, int tag) {
+  // 21 bits each is far beyond any simulated cluster; tag is workload-local.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 21) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag) & 0x1FFFFF);
+}
+
+double Engine::compute_scale_for(int rank) const {
+  if (scenario_.compute_scale.empty()) return 1.0;
+  return scenario_.compute_scale[static_cast<std::size_t>(rank)];
+}
+
+SimTime Engine::scaled(SimTime t, int rank) const {
+  const double s = compute_scale_for(rank);
+  if (s == 1.0) return t;
+  return static_cast<SimTime>(std::llround(static_cast<double>(t) * s));
+}
+
+void Engine::add_phase_compute(int rank, SimTime duration) {
+  auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
+  rs.phase_compute[states_[static_cast<std::size_t>(rank)].phase] += duration;
+}
+
+void Engine::bin_busy(std::vector<double>& lane, SimTime start, SimTime end) {
+  if (end <= start) return;
+  const SimTime bin_ns = static_cast<SimTime>(
+      std::llround(config_.timeline_bin_seconds * static_cast<double>(kSecond)));
+  const std::size_t last_bin = static_cast<std::size_t>(end / bin_ns);
+  if (lane.size() <= last_bin) lane.resize(last_bin + 1, 0.0);
+  SimTime t = start;
+  while (t < end) {
+    const SimTime bin = t / bin_ns;
+    const SimTime bin_end = (bin + 1) * bin_ns;
+    const SimTime chunk = std::min(end, bin_end) - t;
+    lane[static_cast<std::size_t>(bin)] += to_seconds(chunk);
+    t += chunk;
+  }
+}
+
+void Engine::bin_value(std::vector<double>& lane, SimTime at, double value) {
+  const SimTime bin_ns = static_cast<SimTime>(
+      std::llround(config_.timeline_bin_seconds * static_cast<double>(kSecond)));
+  const std::size_t bin = static_cast<std::size_t>(at / bin_ns);
+  if (lane.size() <= bin) lane.resize(bin + 1, 0.0);
+  lane[bin] += value;
+}
+
+RunStats Engine::run(const std::vector<Program>& programs) {
+  SOC_CHECK(static_cast<int>(programs.size()) == placement_.ranks,
+            "one program per rank required");
+  const std::size_t n = programs.size();
+  states_.assign(n, RankState{});
+  stats_ = RunStats{};
+  stats_.timeline_bin_seconds = config_.timeline_bin_seconds;
+  stats_.ranks.assign(n, RankStats{});
+  stats_.nodes.assign(static_cast<std::size_t>(placement_.nodes),
+                      NodeTimeline{});
+  gpu_free_.assign(static_cast<std::size_t>(placement_.nodes), 0);
+  copy_free_.assign(static_cast<std::size_t>(placement_.nodes), 0);
+  nic_tx_free_.assign(static_cast<std::size_t>(placement_.nodes), 0);
+  nic_rx_free_.assign(static_cast<std::size_t>(placement_.nodes), 0);
+  fabric_free_ = 0;
+  pending_sends_.clear();
+  pending_recvs_.clear();
+  pending_irecvs_.clear();
+  arrivals_.clear();
+  queue_ = EventQueue{};
+
+  const SimTime horizon = from_seconds(config_.max_sim_seconds);
+  for (std::size_t r = 0; r < n; ++r) queue_.push(0, static_cast<int>(r));
+
+  while (!queue_.empty()) {
+    const Event e = queue_.pop();
+    SOC_CHECK(e.time <= horizon, "simulation exceeded max_sim_seconds");
+    execute_next(e.payload, e.time, programs);
+  }
+
+  // Every rank must have drained its program; otherwise communication
+  // deadlocked (a send or recv never found its partner).
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!states_[r].done) {
+      std::ostringstream os;
+      os << "deadlock: rank " << r << " stuck at op " << states_[r].pc;
+      if (states_[r].pc < programs[r].size()) {
+        const Op& op = programs[r][states_[r].pc];
+        os << " (kind=" << static_cast<int>(op.kind) << " peer=" << op.peer
+           << " tag=" << op.tag << ")";
+      }
+      throw Error(os.str());
+    }
+  }
+
+  for (std::size_t r = 0; r < n; ++r) {
+    const RankStats& rs = stats_.ranks[r];
+    stats_.makespan = std::max(stats_.makespan, rs.finish_time);
+    stats_.total_net_bytes += rs.net_bytes_sent;
+    stats_.total_dram_bytes += rs.dram_bytes;
+    stats_.total_gpu_dram_bytes += rs.gpu_dram_bytes;
+    stats_.total_flops += rs.flops;
+    stats_.total_gpu_flops += rs.gpu_flops;
+  }
+  return stats_;
+}
+
+void Engine::execute_next(int rank, SimTime now,
+                          const std::vector<Program>& programs) {
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  st.blocked = false;
+  const Program& prog = programs[static_cast<std::size_t>(rank)];
+
+  // Zero-cost ops (phase markers) are consumed inline; any op with real
+  // duration schedules a wake-up and returns.
+  while (st.pc < prog.size()) {
+    const Op& op = prog[st.pc];
+    switch (op.kind) {
+      case OpKind::kPhase:
+        st.phase = op.phase;
+        ++st.pc;
+        continue;
+      case OpKind::kCpuCompute:
+        start_compute(rank, now, op);
+        return;
+      case OpKind::kGpuKernel:
+        start_gpu(rank, now, op);
+        return;
+      case OpKind::kCopyH2D:
+      case OpKind::kCopyD2H:
+        start_copy(rank, now, op);
+        return;
+      case OpKind::kSend:
+        start_send(rank, now, op);
+        return;
+      case OpKind::kRecv:
+        start_recv(rank, now, op);
+        return;
+      case OpKind::kIsend:
+        start_isend(rank, now, op);
+        return;  // rank re-scheduled after the posting overhead
+      case OpKind::kIrecv:
+        start_irecv(rank, now, op);
+        return;
+      case OpKind::kWaitAll:
+        start_wait_all(rank, now);
+        return;
+    }
+  }
+  st.done = true;
+  stats_.ranks[static_cast<std::size_t>(rank)].finish_time =
+      std::max(stats_.ranks[static_cast<std::size_t>(rank)].finish_time, now);
+}
+
+void Engine::start_compute(int rank, SimTime now, const Op& op) {
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
+  const int node = placement_.node_of[static_cast<std::size_t>(rank)];
+  const SimTime dur = scaled(cost_.cpu_compute_time(rank, op), rank);
+
+  rs.cpu_busy += dur;
+  rs.flops += op.flops;
+  rs.instructions += op.instructions;
+  rs.dram_bytes += op.dram_bytes;
+  if (op.profile >= 0) rs.instructions_by_profile[op.profile] += op.instructions;
+  add_phase_compute(rank, dur);
+  bin_busy(stats_.nodes[static_cast<std::size_t>(node)].cpu_busy, now, now + dur);
+  bin_value(stats_.nodes[static_cast<std::size_t>(node)].dram_bytes, now,
+            static_cast<double>(op.dram_bytes));
+
+  ++st.pc;
+  queue_.push(now + dur, rank);
+}
+
+void Engine::start_gpu(int rank, SimTime now, const Op& op) {
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
+  const int node = placement_.node_of[static_cast<std::size_t>(rank)];
+  auto& gpu_free = gpu_free_[static_cast<std::size_t>(node)];
+
+  const SimTime start = std::max(now, gpu_free);
+  const SimTime dur = scaled(cost_.gpu_kernel_time(rank, op), rank);
+  gpu_free = start + dur;
+
+  rs.gpu_queue_wait += start - now;
+  rs.gpu_busy += dur;
+  rs.flops += op.flops;
+  rs.gpu_flops += op.flops;
+  rs.dram_bytes += op.dram_bytes;
+  rs.gpu_dram_bytes += op.dram_bytes;
+  add_phase_compute(rank, dur);
+  bin_busy(stats_.nodes[static_cast<std::size_t>(node)].gpu_busy, start,
+           start + dur);
+  bin_value(stats_.nodes[static_cast<std::size_t>(node)].dram_bytes, start,
+            static_cast<double>(op.dram_bytes));
+
+  ++st.pc;
+  queue_.push(start + dur, rank);
+}
+
+void Engine::start_copy(int rank, SimTime now, const Op& op) {
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
+  const int node = placement_.node_of[static_cast<std::size_t>(rank)];
+  auto& copy_free = copy_free_[static_cast<std::size_t>(node)];
+
+  const SimTime start = std::max(now, copy_free);
+  const SimTime dur = scaled(cost_.copy_time(rank, op), rank);
+  copy_free = start + dur;
+
+  rs.copy_busy += dur;
+  // An explicit copy reads and writes main memory once each.  Copies are
+  // NOT useful compute: they are host/device synchronization, which the
+  // efficiency decomposition must see as serialization (§III-B.4).
+  const Bytes traffic = op.bytes * 2;
+  rs.dram_bytes += traffic;
+  rs.gpu_dram_bytes += traffic;
+  bin_value(stats_.nodes[static_cast<std::size_t>(node)].dram_bytes, start,
+            static_cast<double>(traffic));
+
+  ++st.pc;
+  queue_.push(start + dur, rank);
+}
+
+void Engine::start_send(int rank, SimTime now, const Op& op) {
+  SOC_CHECK(op.peer >= 0 && op.peer < placement_.ranks && op.peer != rank,
+            "invalid send peer");
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
+  const MsgKey key = msg_key(rank, op.peer, op.tag);
+
+  if (op.bytes <= config_.eager_threshold) {
+    const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes);
+    const SimTime overhead = cost_.send_overhead(rank);
+    rs.msg_overhead += overhead;
+
+    auto pending = pending_recvs_.find(key);
+    auto posted = pending_irecvs_.find(key);
+    if (pending != pending_recvs_.end() && !pending->second.empty()) {
+      const PendingRecv pr = pending->second.front();
+      pending->second.pop_front();
+      auto& recv_rs = stats_.ranks[static_cast<std::size_t>(pr.rank)];
+      const SimTime complete =
+          std::max(pr.ready, arrival) + cost_.recv_overhead(pr.rank);
+      recv_rs.recv_blocked += complete - pr.ready;
+      ++states_[static_cast<std::size_t>(pr.rank)].pc;
+      queue_.push(complete, pr.rank);
+    } else if (posted != pending_irecvs_.end() && !posted->second.empty()) {
+      const int recv_rank = posted->second.front();
+      posted->second.pop_front();
+      resolve_request(recv_rank, arrival + cost_.recv_overhead(recv_rank));
+    } else {
+      arrivals_[key].push_back(Arrival{arrival, op.bytes});
+    }
+
+    ++st.pc;
+    queue_.push(now + overhead, rank);
+    return;
+  }
+
+  // Rendezvous: need a posted receive (blocking or non-blocking).
+  auto pending = pending_recvs_.find(key);
+  if (pending != pending_recvs_.end() && !pending->second.empty()) {
+    const PendingRecv pr = pending->second.front();
+    pending->second.pop_front();
+    complete_rendezvous(rank, now, pr.rank, pr.ready, op.bytes);
+    return;
+  }
+  auto posted = pending_irecvs_.find(key);
+  if (posted != pending_irecvs_.end() && !posted->second.empty()) {
+    const int recv_rank = posted->second.front();
+    posted->second.pop_front();
+    const SimTime end = timed_transfer(rank, recv_rank, now, op.bytes);
+    stats_.ranks[static_cast<std::size_t>(rank)].send_blocked += end - now;
+    ++st.pc;
+    queue_.push(end, rank);
+    resolve_request(recv_rank, end + cost_.recv_overhead(recv_rank));
+    return;
+  }
+  pending_sends_[key].push_back(PendingSend{rank, now, op.bytes, st.phase});
+  st.blocked = true;
+}
+
+void Engine::start_recv(int rank, SimTime now, const Op& op) {
+  SOC_CHECK(op.peer >= 0 && op.peer < placement_.ranks && op.peer != rank,
+            "invalid recv peer");
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
+  const MsgKey key = msg_key(op.peer, rank, op.tag);
+
+  // Eager message already in flight or delivered?
+  auto arrived = arrivals_.find(key);
+  if (arrived != arrivals_.end() && !arrived->second.empty()) {
+    const Arrival a = arrived->second.front();
+    arrived->second.pop_front();
+    const SimTime complete = std::max(now, a.time) + cost_.recv_overhead(rank);
+    rs.recv_blocked += complete - now;
+    ++st.pc;
+    queue_.push(complete, rank);
+    return;
+  }
+
+  // Rendezvous partner already waiting?
+  auto pending = pending_sends_.find(key);
+  if (pending != pending_sends_.end() && !pending->second.empty()) {
+    const PendingSend ps = pending->second.front();
+    pending->second.pop_front();
+    complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes);
+    return;
+  }
+  pending_recvs_[key].push_back(PendingRecv{rank, now, st.phase});
+  st.blocked = true;
+}
+
+void Engine::start_isend(int rank, SimTime now, const Op& op) {
+  SOC_CHECK(op.peer >= 0 && op.peer < placement_.ranks && op.peer != rank,
+            "invalid isend peer");
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
+  const MsgKey key = msg_key(rank, op.peer, op.tag);
+
+  // Buffered semantics: the transfer launches now; the sender only pays
+  // the posting overhead and its request completes locally.
+  const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes);
+  const SimTime overhead = cost_.send_overhead(rank);
+  rs.msg_overhead += overhead;
+  st.requests_complete = std::max(st.requests_complete, now + overhead);
+
+  auto pending = pending_recvs_.find(key);
+  auto posted = pending_irecvs_.find(key);
+  if (pending != pending_recvs_.end() && !pending->second.empty()) {
+    const PendingRecv pr = pending->second.front();
+    pending->second.pop_front();
+    auto& recv_rs = stats_.ranks[static_cast<std::size_t>(pr.rank)];
+    const SimTime complete =
+        std::max(pr.ready, arrival) + cost_.recv_overhead(pr.rank);
+    recv_rs.recv_blocked += complete - pr.ready;
+    ++states_[static_cast<std::size_t>(pr.rank)].pc;
+    queue_.push(complete, pr.rank);
+  } else if (posted != pending_irecvs_.end() && !posted->second.empty()) {
+    const int recv_rank = posted->second.front();
+    posted->second.pop_front();
+    resolve_request(recv_rank, arrival + cost_.recv_overhead(recv_rank));
+  } else {
+    arrivals_[key].push_back(Arrival{arrival, op.bytes});
+  }
+
+  ++st.pc;
+  queue_.push(now + overhead, rank);
+}
+
+void Engine::start_irecv(int rank, SimTime now, const Op& op) {
+  SOC_CHECK(op.peer >= 0 && op.peer < placement_.ranks && op.peer != rank,
+            "invalid irecv peer");
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  const MsgKey key = msg_key(op.peer, rank, op.tag);
+
+  // Already-arrived (eager/isend) message?
+  auto arrived = arrivals_.find(key);
+  if (arrived != arrivals_.end() && !arrived->second.empty()) {
+    const Arrival a = arrived->second.front();
+    arrived->second.pop_front();
+    st.requests_complete =
+        std::max(st.requests_complete,
+                 std::max(now, a.time) + cost_.recv_overhead(rank));
+  } else {
+    // A blocking sender already parked in rendezvous?
+    auto pending = pending_sends_.find(key);
+    if (pending != pending_sends_.end() && !pending->second.empty()) {
+      const PendingSend ps = pending->second.front();
+      pending->second.pop_front();
+      const SimTime end =
+          timed_transfer(ps.rank, rank, std::max(ps.ready, now), ps.bytes);
+      auto& send_rs = stats_.ranks[static_cast<std::size_t>(ps.rank)];
+      send_rs.send_blocked += end - ps.ready;
+      ++states_[static_cast<std::size_t>(ps.rank)].pc;
+      queue_.push(end, ps.rank);
+      st.requests_complete = std::max(st.requests_complete,
+                                      end + cost_.recv_overhead(rank));
+    } else {
+      ++st.unresolved_requests;
+      pending_irecvs_[key].push_back(rank);
+    }
+  }
+
+  ++st.pc;
+  queue_.push(now + cost_.recv_overhead(rank), rank);
+}
+
+void Engine::start_wait_all(int rank, SimTime now) {
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  if (st.unresolved_requests > 0) {
+    st.waiting_all = true;
+    st.blocked = true;
+    return;  // resolve_request wakes us
+  }
+  const SimTime done = std::max(now, st.requests_complete);
+  stats_.ranks[static_cast<std::size_t>(rank)].recv_blocked += done - now;
+  st.requests_complete = 0;
+  ++st.pc;
+  queue_.push(done, rank);
+}
+
+void Engine::resolve_request(int rank, SimTime completion) {
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  SOC_CHECK(st.unresolved_requests > 0, "resolve with no pending request");
+  --st.unresolved_requests;
+  st.requests_complete = std::max(st.requests_complete, completion);
+  if (st.waiting_all && st.unresolved_requests == 0) {
+    st.waiting_all = false;
+    st.blocked = false;
+    // Re-executes kWaitAll (pc still points at it) at the completion time.
+    queue_.push(st.requests_complete, rank);
+  }
+}
+
+SimTime Engine::timed_transfer(int send_rank, int recv_rank, SimTime earliest,
+                               Bytes bytes) {
+  const int src_node = placement_.node_of[static_cast<std::size_t>(send_rank)];
+  const int dst_node = placement_.node_of[static_cast<std::size_t>(recv_rank)];
+  SimTime start = earliest;
+  SimTime duration = 0;
+  if (!scenario_.ideal_network) {
+    if (src_node != dst_node) {
+      // Full-duplex NICs: the sender's transmit side and the receiver's
+      // receive side serialize independently.
+      start = std::max({start,
+                        nic_tx_free_[static_cast<std::size_t>(src_node)],
+                        nic_rx_free_[static_cast<std::size_t>(dst_node)]});
+      if (config_.bisection_bandwidth > 0.0) {
+        start = std::max(start, fabric_free_);
+      }
+    }
+    duration = cost_.message_latency(src_node, dst_node) +
+               cost_.message_transfer_time(src_node, dst_node, bytes);
+    if (src_node != dst_node) {
+      nic_tx_free_[static_cast<std::size_t>(src_node)] = start + duration;
+      nic_rx_free_[static_cast<std::size_t>(dst_node)] = start + duration;
+      if (config_.bisection_bandwidth > 0.0) {
+        // The fabric pipe frees once this flow's share has drained.
+        fabric_free_ =
+            start + transfer_time(bytes, config_.bisection_bandwidth);
+      }
+    }
+  }
+  const SimTime end = start + duration;
+  account_transfer(send_rank, recv_rank, start, end, bytes);
+  return end;
+}
+
+void Engine::complete_rendezvous(int send_rank, SimTime send_ready,
+                                 int recv_rank, SimTime recv_ready,
+                                 Bytes bytes) {
+  const SimTime end = timed_transfer(send_rank, recv_rank,
+                                     std::max(send_ready, recv_ready), bytes);
+  auto& send_rs = stats_.ranks[static_cast<std::size_t>(send_rank)];
+  auto& recv_rs = stats_.ranks[static_cast<std::size_t>(recv_rank)];
+  send_rs.send_blocked += end - send_ready;
+  recv_rs.recv_blocked += end - recv_ready;
+
+  ++states_[static_cast<std::size_t>(send_rank)].pc;
+  ++states_[static_cast<std::size_t>(recv_rank)].pc;
+  queue_.push(end, send_rank);
+  queue_.push(end, recv_rank);
+}
+
+SimTime Engine::launch_eager(int src_rank, int dst_rank, SimTime now,
+                             Bytes bytes) {
+  const int src_node = placement_.node_of[static_cast<std::size_t>(src_rank)];
+  const int dst_node = placement_.node_of[static_cast<std::size_t>(dst_rank)];
+  if (scenario_.ideal_network) {
+    account_transfer(src_rank, dst_rank, now, now, bytes);
+    return now;
+  }
+  SimTime start = now;
+  if (src_node != dst_node) {
+    start = std::max(now, nic_tx_free_[static_cast<std::size_t>(src_node)]);
+    if (config_.bisection_bandwidth > 0.0) {
+      start = std::max(start, fabric_free_);
+      fabric_free_ = start + transfer_time(bytes, config_.bisection_bandwidth);
+    }
+  }
+  const SimTime xfer = cost_.message_transfer_time(src_node, dst_node, bytes);
+  const SimTime arrival =
+      start + cost_.message_latency(src_node, dst_node) + xfer;
+  if (src_node != dst_node) {
+    nic_tx_free_[static_cast<std::size_t>(src_node)] = start + xfer;
+    nic_rx_free_[static_cast<std::size_t>(dst_node)] =
+        std::max(nic_rx_free_[static_cast<std::size_t>(dst_node)], arrival);
+  }
+  account_transfer(src_rank, dst_rank, start, arrival, bytes);
+  return arrival;
+}
+
+void Engine::account_transfer(int src_rank, int dst_rank, SimTime start,
+                              SimTime end, Bytes bytes) {
+  const int src_node = placement_.node_of[static_cast<std::size_t>(src_rank)];
+  const int dst_node = placement_.node_of[static_cast<std::size_t>(dst_rank)];
+  auto& send_rs = stats_.ranks[static_cast<std::size_t>(src_rank)];
+  auto& recv_rs = stats_.ranks[static_cast<std::size_t>(dst_rank)];
+  ++send_rs.messages_sent;
+  ++recv_rs.messages_received;
+
+  // Message payloads traverse main memory on both endpoints (the TX1 has
+  // no GPUDirect, so all network data lands in DRAM first — §III-B.2).
+  send_rs.dram_bytes += bytes;
+  recv_rs.dram_bytes += bytes;
+  bin_value(stats_.nodes[static_cast<std::size_t>(src_node)].dram_bytes, start,
+            static_cast<double>(bytes));
+  bin_value(stats_.nodes[static_cast<std::size_t>(dst_node)].dram_bytes, start,
+            static_cast<double>(bytes));
+
+  if (src_node == dst_node) {
+    send_rs.intra_bytes_sent += bytes;
+    return;
+  }
+  send_rs.net_bytes_sent += bytes;
+  recv_rs.net_bytes_received += bytes;
+  bin_busy(stats_.nodes[static_cast<std::size_t>(src_node)].nic_busy, start, end);
+  bin_busy(stats_.nodes[static_cast<std::size_t>(dst_node)].nic_busy, start, end);
+}
+
+double RunStats::flops_per_second() const {
+  const double s = seconds();
+  return s > 0.0 ? total_flops / s : 0.0;
+}
+
+double RunStats::dram_bytes_per_second() const {
+  const double s = seconds();
+  return s > 0.0 ? static_cast<double>(total_dram_bytes) / s : 0.0;
+}
+
+double RunStats::net_bytes_per_second() const {
+  const double s = seconds();
+  return s > 0.0 ? static_cast<double>(total_net_bytes) / s : 0.0;
+}
+
+}  // namespace soc::sim

@@ -1,0 +1,146 @@
+// The replay engine.
+//
+// Executes one Program per rank against a CostModel, resolving resource
+// contention (per-node GPU, copy engine, NIC) and blocking message
+// semantics.  Event ordering is deterministic: ties break by event
+// insertion order, so a given (programs, cost model, scenario) triple
+// always yields the identical RunStats.
+//
+// Scenario knobs implement the DIMEMAS-style what-if replays of the
+// paper's scalability methodology: `ideal_network` zeroes latency and
+// transfer time while preserving all dependencies (isolates Ser), and
+// `compute_scale` rescales each rank's compute durations (ideal load
+// balance sets these so every rank does the average amount of work).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+#include "sim/op.h"
+#include "sim/stats.h"
+
+namespace soc::sim {
+
+/// What-if replay configuration.
+struct Scenario {
+  bool ideal_network = false;       ///< Zero-latency, infinite-bandwidth net.
+  std::vector<double> compute_scale;  ///< Per-rank multiplier (empty = 1.0).
+};
+
+/// Engine tuning knobs.
+struct EngineConfig {
+  /// Messages at or below this size use the eager protocol (sender does
+  /// not block on the receiver); larger messages rendezvous.
+  Bytes eager_threshold = 8 * kKiB;
+  /// Width of the busy-time timeline bins (power-model input).
+  double timeline_bin_seconds = 0.1;
+  /// Aggregate switch-fabric capacity in bytes/s shared by all inter-node
+  /// transfers (0 = unlimited).  Models the bisection bandwidth of the
+  /// cluster switch: concurrent flows queue on the fabric once their sum
+  /// exceeds it.
+  double bisection_bandwidth = 0.0;
+  /// Safety valve: abort if simulated time exceeds this many seconds.
+  double max_sim_seconds = 3.0e6;
+};
+
+class Engine {
+ public:
+  Engine(Placement placement, const CostModel& cost_model,
+         EngineConfig config = {}, Scenario scenario = {});
+
+  /// Replays the programs to completion and returns the collected stats.
+  /// Throws soc::Error on deadlock (unmatched send/recv) or misuse.
+  RunStats run(const std::vector<Program>& programs);
+
+ private:
+  struct RankState {
+    std::size_t pc = 0;        ///< Next op index.
+    SimTime ready = 0;         ///< Time the rank becomes runnable.
+    int phase = 0;             ///< Current phase id.
+    bool blocked = false;      ///< Parked on an unmatched message.
+    bool done = false;
+    // -- Non-blocking request window (between Isend/Irecv and WaitAll) --
+    int unresolved_requests = 0;   ///< Requests with unknown completion.
+    SimTime requests_complete = 0; ///< Max known request completion.
+    bool waiting_all = false;      ///< Parked inside kWaitAll.
+  };
+
+  // A posted-but-unmatched message endpoint.
+  struct PendingSend {
+    int rank;
+    SimTime ready;    ///< When the sender reached the send.
+    Bytes bytes;
+    int phase;
+  };
+  struct PendingRecv {
+    int rank;
+    SimTime ready;
+    int phase;
+  };
+  // Eager messages that already "arrived" and wait for their receive.
+  struct Arrival {
+    SimTime time;
+    Bytes bytes;
+  };
+
+  using MsgKey = std::uint64_t;  ///< (src, dst, tag) packed.
+
+  static MsgKey msg_key(int src, int dst, int tag);
+
+  void execute_next(int rank, SimTime now, const std::vector<Program>& programs);
+  void start_compute(int rank, SimTime now, const Op& op);
+  void start_gpu(int rank, SimTime now, const Op& op);
+  void start_copy(int rank, SimTime now, const Op& op);
+  void start_send(int rank, SimTime now, const Op& op);
+  void start_recv(int rank, SimTime now, const Op& op);
+  void start_isend(int rank, SimTime now, const Op& op);
+  void start_irecv(int rank, SimTime now, const Op& op);
+  void start_wait_all(int rank, SimTime now);
+
+  /// Applies NIC/fabric occupancy to a transfer starting no earlier than
+  /// `earliest`; returns the completion time and records the traffic.
+  SimTime timed_transfer(int send_rank, int recv_rank, SimTime earliest,
+                         Bytes bytes);
+
+  /// Marks one of `rank`'s outstanding requests resolved with the given
+  /// completion time; wakes the rank if it was parked in kWaitAll.
+  void resolve_request(int rank, SimTime completion);
+
+  /// Performs a matched rendezvous transfer; wakes both ranks.
+  void complete_rendezvous(int send_rank, SimTime send_ready, int recv_rank,
+                           SimTime recv_ready, Bytes bytes);
+  /// Sends an eager message; returns its arrival time at the receiver.
+  SimTime launch_eager(int src_rank, int dst_rank, SimTime now, Bytes bytes);
+
+  double compute_scale_for(int rank) const;
+  SimTime scaled(SimTime t, int rank) const;
+  void add_phase_compute(int rank, SimTime duration);
+  void bin_busy(std::vector<double>& lane, SimTime start, SimTime end);
+  void bin_value(std::vector<double>& lane, SimTime at, double value);
+  void account_transfer(int src_rank, int dst_rank, SimTime start,
+                        SimTime end, Bytes bytes);
+
+  Placement placement_;
+  const CostModel& cost_;
+  EngineConfig config_;
+  Scenario scenario_;
+
+  EventQueue queue_;
+  std::vector<RankState> states_;
+  std::vector<SimTime> gpu_free_;     ///< Per node.
+  std::vector<SimTime> copy_free_;    ///< Per node.
+  std::vector<SimTime> nic_tx_free_;  ///< Per node (full-duplex NIC: tx).
+  std::vector<SimTime> nic_rx_free_;  ///< Per node (full-duplex NIC: rx).
+  SimTime fabric_free_ = 0;           ///< Switch bisection pipe.
+  std::map<MsgKey, std::deque<PendingSend>> pending_sends_;
+  std::map<MsgKey, std::deque<PendingRecv>> pending_recvs_;
+  std::map<MsgKey, std::deque<int>> pending_irecvs_;  ///< Posted ranks.
+  std::map<MsgKey, std::deque<Arrival>> arrivals_;
+  RunStats stats_;
+};
+
+}  // namespace soc::sim

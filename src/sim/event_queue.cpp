@@ -1,0 +1,24 @@
+#include "sim/event_queue.h"
+
+#include "common/error.h"
+
+namespace soc::sim {
+
+void EventQueue::push(SimTime time, int payload) {
+  SOC_CHECK(time >= 0, "event scheduled at negative time");
+  heap_.push(Event{time, next_seq_++, payload});
+}
+
+Event EventQueue::pop() {
+  SOC_CHECK(!heap_.empty(), "pop from empty event queue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+SimTime EventQueue::next_time() const {
+  SOC_CHECK(!heap_.empty(), "next_time on empty event queue");
+  return heap_.top().time;
+}
+
+}  // namespace soc::sim

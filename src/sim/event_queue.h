@@ -1,0 +1,49 @@
+// Deterministic event queue.
+//
+// Min-heap keyed by (time, sequence).  The monotonically increasing
+// sequence number gives a total order even among simultaneous events, so
+// replay is bit-reproducible regardless of heap implementation details.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace soc::sim {
+
+/// A scheduled wake-up for a rank (payload is an opaque int).
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  int payload = 0;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `payload` to fire at `time`.  Events at equal times fire in
+  /// insertion order.
+  void push(SimTime time, int payload);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Returns and removes the earliest event.  Queue must be non-empty.
+  Event pop();
+
+  /// Earliest scheduled time; queue must be non-empty.
+  SimTime next_time() const;
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace soc::sim

@@ -1,0 +1,67 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace soc::stats {
+
+double mean(const Vec& v) {
+  SOC_CHECK(!v.empty(), "mean of empty vector");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const Vec& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const Vec& v) { return std::sqrt(variance(v)); }
+
+double r_squared(const Vec& y, const Vec& yhat) {
+  SOC_CHECK(y.size() == yhat.size() && !y.empty(), "r² size mismatch");
+  const double m = mean(y);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ss_res += (y[i] - yhat[i]) * (y[i] - yhat[i]);
+    ss_tot += (y[i] - m) * (y[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+Vec col_means(const Matrix& m) {
+  Vec out(m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) out[c] = mean(m.col(c));
+  return out;
+}
+
+Vec col_stddevs(const Matrix& m) {
+  Vec out(m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) out[c] = stddev(m.col(c));
+  return out;
+}
+
+Matrix standardize(const Matrix& m, Vec* out_means, Vec* out_scales) {
+  Vec means = col_means(m);
+  Vec scales = col_stddevs(m);
+  Matrix out(m.rows(), m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const double scale = scales[c] > 1e-12 ? scales[c] : 1.0;
+    scales[c] = scale;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      out(r, c) = (m(r, c) - means[c]) / scale;
+    }
+  }
+  if (out_means != nullptr) *out_means = std::move(means);
+  if (out_scales != nullptr) *out_scales = std::move(scales);
+  return out;
+}
+
+}  // namespace soc::stats

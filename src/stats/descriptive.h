@@ -1,0 +1,26 @@
+// Descriptive statistics helpers: mean, variance, standardization, r².
+#pragma once
+
+#include "stats/matrix.h"
+
+namespace soc::stats {
+
+double mean(const Vec& v);
+/// Sample variance (n-1 denominator); returns 0 for fewer than 2 samples.
+double variance(const Vec& v);
+double stddev(const Vec& v);
+
+/// Coefficient of determination between observations y and predictions yhat.
+double r_squared(const Vec& y, const Vec& yhat);
+
+/// Column means of a matrix.
+Vec col_means(const Matrix& m);
+/// Column standard deviations (sample).
+Vec col_stddevs(const Matrix& m);
+
+/// Centers and scales every column to zero mean / unit variance.  Columns
+/// with ~zero variance are centered only.  Returns the standardized matrix
+/// and reports the applied means/scales through the out-params.
+Matrix standardize(const Matrix& m, Vec* out_means, Vec* out_scales);
+
+}  // namespace soc::stats

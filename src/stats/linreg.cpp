@@ -1,0 +1,36 @@
+#include "stats/linreg.h"
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+#include "stats/solve.h"
+
+namespace soc::stats {
+
+OlsResult ols(const Matrix& x, const Vec& y, bool fit_intercept,
+              double ridge) {
+  SOC_CHECK(x.rows() == y.size(), "design/response size mismatch");
+  SOC_CHECK(x.rows() > 0 && x.cols() > 0, "empty design");
+  const std::size_t p = x.cols() + (fit_intercept ? 1u : 0u);
+
+  // Augment with an intercept column of ones when requested.
+  Matrix design(x.rows(), p);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) design(r, c) = x(r, c);
+    if (fit_intercept) design(r, p - 1) = 1.0;
+  }
+
+  Matrix xtx = design.transposed() * design;
+  for (std::size_t i = 0; i < p; ++i) xtx(i, i) += ridge;
+  const Vec xty = design.transposed() * y;
+  const Vec beta = solve_gaussian(xtx, xty);
+
+  OlsResult out;
+  out.coefficients.assign(beta.begin(),
+                          beta.begin() + static_cast<std::ptrdiff_t>(x.cols()));
+  out.intercept = fit_intercept ? beta.back() : 0.0;
+  out.fitted = design * beta;
+  out.r2 = r_squared(y, out.fitted);
+  return out;
+}
+
+}  // namespace soc::stats

@@ -1,0 +1,21 @@
+// Ordinary least-squares regression (with optional ridge damping) used to
+// regress relative runtime onto PLS scores and to fit speedup-model bases.
+#pragma once
+
+#include "stats/matrix.h"
+
+namespace soc::stats {
+
+struct OlsResult {
+  Vec coefficients;   ///< One per design-matrix column.
+  double intercept;   ///< Fitted intercept (0 when fit_intercept = false).
+  double r2;          ///< Coefficient of determination on the training data.
+  Vec fitted;         ///< X·β + intercept for each observation.
+};
+
+/// Fits y ≈ X·β (+ intercept) by least squares on the normal equations,
+/// with Tikhonov damping `ridge` for near-collinear designs.
+OlsResult ols(const Matrix& x, const Vec& y, bool fit_intercept = true,
+              double ridge = 0.0);
+
+}  // namespace soc::stats

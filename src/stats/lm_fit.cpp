@@ -1,0 +1,112 @@
+#include "stats/lm_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+#include "stats/solve.h"
+
+namespace soc::stats {
+
+namespace {
+
+double sse_of(const ModelFn& model, const Vec& xs, const Vec& ys,
+              const Vec& theta) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - model(xs[i], theta);
+    s += r * r;
+  }
+  return s;
+}
+
+void project(Vec& theta, const Vec& lower) {
+  if (lower.empty()) return;
+  for (std::size_t i = 0; i < theta.size() && i < lower.size(); ++i) {
+    theta[i] = std::max(theta[i], lower[i]);
+  }
+}
+
+}  // namespace
+
+LmResult lm_fit(const ModelFn& model, const Vec& xs, const Vec& ys,
+                Vec initial_theta, const LmOptions& options,
+                const Vec& lower_bounds) {
+  SOC_CHECK(xs.size() == ys.size(), "sample size mismatch");
+  SOC_CHECK(xs.size() >= initial_theta.size(),
+            "underdetermined fit: fewer samples than parameters");
+  const std::size_t n = xs.size();
+  const std::size_t p = initial_theta.size();
+
+  LmResult res;
+  res.theta = std::move(initial_theta);
+  project(res.theta, lower_bounds);
+  res.sse = sse_of(model, xs, ys, res.theta);
+
+  double lambda = options.initial_lambda;
+  for (res.iterations = 0; res.iterations < options.max_iterations;
+       ++res.iterations) {
+    // Finite-difference Jacobian J(i,j) = ∂model(x_i)/∂θ_j.
+    Matrix j(n, p);
+    Vec r(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] = ys[i] - model(xs[i], res.theta);
+    }
+    for (std::size_t c = 0; c < p; ++c) {
+      Vec bumped = res.theta;
+      const double h =
+          options.fd_step * std::max(1.0, std::fabs(res.theta[c]));
+      bumped[c] += h;
+      for (std::size_t i = 0; i < n; ++i) {
+        j(i, c) = (model(xs[i], bumped) - model(xs[i], res.theta)) / h;
+      }
+    }
+
+    // Solve (JᵀJ + λ diag(JᵀJ)) δ = Jᵀ r.
+    Matrix jtj = j.transposed() * j;
+    const Vec jtr = j.transposed() * r;
+    Matrix damped = jtj;
+    for (std::size_t d = 0; d < p; ++d) {
+      damped(d, d) += lambda * std::max(jtj(d, d), 1e-12);
+    }
+
+    Vec delta;
+    try {
+      delta = solve_gaussian(damped, jtr);
+    } catch (const Error&) {
+      lambda *= options.lambda_up;  // singular step: damp harder and retry
+      continue;
+    }
+
+    Vec candidate = res.theta;
+    for (std::size_t d = 0; d < p; ++d) candidate[d] += delta[d];
+    project(candidate, lower_bounds);
+
+    const double candidate_sse = sse_of(model, xs, ys, candidate);
+    if (candidate_sse < res.sse) {
+      const double improvement = (res.sse - candidate_sse) /
+                                 std::max(res.sse, 1e-300);
+      res.theta = std::move(candidate);
+      res.sse = candidate_sse;
+      lambda = std::max(lambda * options.lambda_down, 1e-12);
+      if (improvement < options.tolerance) {
+        res.converged = true;
+        break;
+      }
+    } else {
+      lambda *= options.lambda_up;
+      if (lambda > 1e12) {  // no descent direction left
+        res.converged = true;
+        break;
+      }
+    }
+  }
+
+  Vec fitted(n);
+  for (std::size_t i = 0; i < n; ++i) fitted[i] = model(xs[i], res.theta);
+  res.r2 = r_squared(ys, fitted);
+  return res;
+}
+
+}  // namespace soc::stats

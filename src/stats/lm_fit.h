@@ -1,0 +1,41 @@
+// Levenberg–Marquardt nonlinear least squares.
+//
+// Used to fit the strong-scaling extrapolation models of Figs 5–6: the
+// measured speedups at small node counts are fitted to a parametric
+// speedup curve which is then evaluated out to 256 nodes.
+#pragma once
+
+#include <functional>
+
+#include "stats/matrix.h"
+
+namespace soc::stats {
+
+/// Model callback: evaluates the model at x given parameters θ.
+using ModelFn = std::function<double(double x, const Vec& theta)>;
+
+struct LmOptions {
+  int max_iterations = 200;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.3;
+  double tolerance = 1e-12;   ///< Relative SSE improvement stop criterion.
+  double fd_step = 1e-6;      ///< Finite-difference step for the Jacobian.
+};
+
+struct LmResult {
+  Vec theta;        ///< Fitted parameters.
+  double sse = 0.0; ///< Final sum of squared errors.
+  double r2 = 0.0;  ///< Coefficient of determination.
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fits model(x, θ) ≈ y over the sample points by Levenberg–Marquardt with
+/// a finite-difference Jacobian.  Optional per-parameter lower bounds are
+/// enforced by projection after each accepted step.
+LmResult lm_fit(const ModelFn& model, const Vec& xs, const Vec& ys,
+                Vec initial_theta, const LmOptions& options = {},
+                const Vec& lower_bounds = {});
+
+}  // namespace soc::stats

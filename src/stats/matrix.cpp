@@ -1,0 +1,152 @@
+#include "stats/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace soc::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<Vec>& rows) {
+  SOC_CHECK(!rows.empty(), "no rows");
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    SOC_CHECK(rows[r].size() == m.cols_, "ragged rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  SOC_CHECK(r < rows_ && c < cols_, "index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  SOC_CHECK(r < rows_ && c < cols_, "index out of range");
+  return data_[r * cols_ + c];
+}
+
+Vec Matrix::row(std::size_t r) const {
+  SOC_CHECK(r < rows_, "row out of range");
+  return Vec(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+             data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vec Matrix::col(std::size_t c) const {
+  SOC_CHECK(c < cols_, "col out of range");
+  Vec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = data_[r * cols_ + c];
+  return v;
+}
+
+void Matrix::set_col(std::size_t c, const Vec& v) {
+  SOC_CHECK(c < cols_ && v.size() == rows_, "set_col size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = v[r];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  SOC_CHECK(cols_ == rhs.rows_, "matmul shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vec Matrix::operator*(const Vec& v) const {
+  SOC_CHECK(cols_ == v.size(), "matvec shape mismatch");
+  Vec out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  SOC_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  SOC_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double s) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= s;
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+std::string Matrix::str(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      os << (*this)(r, c) << (c + 1 < cols_ ? ", " : "");
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+double dot(const Vec& a, const Vec& b) {
+  SOC_CHECK(a.size() == b.size(), "dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const Vec& v) { return std::sqrt(dot(v, v)); }
+
+Vec axpy(const Vec& a, double s, const Vec& b) {
+  SOC_CHECK(a.size() == b.size(), "axpy size mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+Vec scaled(const Vec& v, double s) {
+  Vec out(v);
+  for (double& x : out) x *= s;
+  return out;
+}
+
+}  // namespace soc::stats

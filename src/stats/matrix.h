@@ -1,0 +1,68 @@
+// Small dense matrix used by the statistics layer (PLS, OLS, curve
+// fitting).  Row-major storage, value semantics.  These matrices are tiny
+// (benchmarks × counters), so clarity beats blocking/vectorization here —
+// per the Core Guidelines, we do not optimize what is not on the critical
+// path.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace soc::stats {
+
+using Vec = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds a matrix from nested initializer data (rows of equal width).
+  static Matrix from_rows(const std::vector<Vec>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Returns row r as a vector copy.
+  Vec row(std::size_t r) const;
+  /// Returns column c as a vector copy.
+  Vec col(std::size_t c) const;
+  /// Overwrites column c.
+  void set_col(std::size_t c, const Vec& v);
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vec operator*(const Vec& v) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix scaled(double s) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  std::string str(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product; sizes must match.
+double dot(const Vec& a, const Vec& b);
+/// Euclidean norm.
+double norm(const Vec& v);
+/// a + s*b, sizes must match.
+Vec axpy(const Vec& a, double s, const Vec& b);
+/// Elementwise scaling.
+Vec scaled(const Vec& v, double s);
+
+}  // namespace soc::stats

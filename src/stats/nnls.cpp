@@ -1,0 +1,105 @@
+#include "stats/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "stats/solve.h"
+
+namespace soc::stats {
+
+namespace {
+
+// Least-squares solution restricted to the passive set (columns in
+// `passive`); zeros elsewhere.
+Vec restricted_ls(const Matrix& a, const Vec& b,
+                  const std::vector<std::size_t>& passive) {
+  Matrix ap(a.rows(), passive.size());
+  for (std::size_t c = 0; c < passive.size(); ++c) {
+    ap.set_col(c, a.col(passive[c]));
+  }
+  Matrix ata = ap.transposed() * ap;
+  for (std::size_t d = 0; d < passive.size(); ++d) ata(d, d) += 1e-12;
+  const Vec atb = ap.transposed() * b;
+  const Vec z = solve_gaussian(ata, atb);
+  Vec full(a.cols(), 0.0);
+  for (std::size_t c = 0; c < passive.size(); ++c) full[passive[c]] = z[c];
+  return full;
+}
+
+}  // namespace
+
+Vec nnls(const Matrix& a, const Vec& b, int max_iterations) {
+  SOC_CHECK(a.rows() == b.size(), "nnls shape mismatch");
+  const std::size_t p = a.cols();
+  Vec x(p, 0.0);
+  std::vector<bool> in_passive(p, false);
+  std::vector<std::size_t> passive;
+
+  for (int it = 0; it < max_iterations; ++it) {
+    // Gradient of ½‖Ax−b‖²: w = Aᵀ(b − Ax).
+    Vec residual(b);
+    const Vec ax = a * x;
+    for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= ax[i];
+    const Vec w = a.transposed() * residual;
+
+    // Pick the most promising free variable.
+    std::size_t best = p;
+    double best_w = 1e-10;
+    for (std::size_t c = 0; c < p; ++c) {
+      if (!in_passive[c] && w[c] > best_w) {
+        best_w = w[c];
+        best = c;
+      }
+    }
+    if (best == p) break;  // KKT satisfied
+
+    in_passive[best] = true;
+    passive.push_back(best);
+
+    // Inner loop: restrict to passive set and pull violators back out.
+    Vec z = restricted_ls(a, b, passive);
+    while (true) {
+      bool feasible = true;
+      for (std::size_t c : passive) {
+        if (z[c] <= 0.0) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) break;
+
+      // Step toward z as far as feasibility allows.
+      double alpha = std::numeric_limits<double>::infinity();
+      for (std::size_t c : passive) {
+        if (z[c] <= 0.0) {
+          alpha = std::min(alpha, x[c] / (x[c] - z[c]));
+        }
+      }
+      for (std::size_t c : passive) x[c] += alpha * (z[c] - x[c]);
+
+      // Drop variables that hit zero.
+      std::vector<std::size_t> keep;
+      for (std::size_t c : passive) {
+        if (x[c] > 1e-12) {
+          keep.push_back(c);
+        } else {
+          x[c] = 0.0;
+          in_passive[c] = false;
+        }
+      }
+      passive = std::move(keep);
+      if (passive.empty()) {
+        z.assign(p, 0.0);
+        break;
+      }
+      z = restricted_ls(a, b, passive);
+    }
+    x = z;
+    for (std::size_t c = 0; c < p; ++c) x[c] = std::max(x[c], 0.0);
+  }
+  return x;
+}
+
+}  // namespace soc::stats

@@ -1,0 +1,15 @@
+// Non-negative least squares (Lawson–Hanson active set).
+//
+// Scaling-model fits decompose runtime into physically non-negative cost
+// terms (serial, per-node, logarithmic and linear communication); NNLS
+// keeps every term ≥ 0 so the extrapolation stays physical.
+#pragma once
+
+#include "stats/matrix.h"
+
+namespace soc::stats {
+
+/// Solves min ‖A x − b‖₂ subject to x ≥ 0.
+Vec nnls(const Matrix& a, const Vec& b, int max_iterations = 300);
+
+}  // namespace soc::stats

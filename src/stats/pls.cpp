@@ -1,0 +1,123 @@
+#include "stats/pls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+#include "stats/solve.h"
+
+namespace soc::stats {
+
+namespace {
+
+// Deflates m by the rank-1 outer product s * l^T.
+void deflate(Matrix& m, const Vec& s, const Vec& l) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      m(r, c) -= s[r] * l[c];
+    }
+  }
+}
+
+}  // namespace
+
+PlsModel pls_fit(const Matrix& x, const Vec& y, std::size_t max_components) {
+  SOC_CHECK(x.rows() == y.size(), "PLS size mismatch");
+  SOC_CHECK(x.rows() >= 2, "PLS needs at least two observations");
+  SOC_CHECK(max_components >= 1, "PLS needs at least one component");
+
+  PlsModel model;
+  Matrix e = standardize(x, &model.x_means, &model.x_scales);
+  model.y_mean = mean(y);
+  Vec f(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) f[i] = y[i] - model.y_mean;
+
+  const double total_x = e.frobenius_norm() * e.frobenius_norm();
+  const std::size_t a_max =
+      std::min(max_components, std::min(x.rows() - 1, x.cols()));
+
+  std::vector<Vec> weights, scores, loadings;
+  Vec q;
+  double explained = 0.0;
+  for (std::size_t a = 0; a < a_max; ++a) {
+    // PLS1 weight: w = E^T f / ||E^T f||.
+    Vec w = e.transposed() * f;
+    const double wn = norm(w);
+    if (wn < 1e-12) break;  // response residual no longer correlates with X
+    w = scaled(w, 1.0 / wn);
+
+    Vec t = e * w;
+    const double tt = dot(t, t);
+    if (tt < 1e-20) break;
+
+    Vec p = scaled(e.transposed() * t, 1.0 / tt);
+    const double qa = dot(f, t) / tt;
+
+    deflate(e, t, p);
+    f = axpy(f, -qa, t);
+
+    weights.push_back(std::move(w));
+    scores.push_back(std::move(t));
+    loadings.push_back(std::move(p));
+    q.push_back(qa);
+
+    const double rem = e.frobenius_norm() * e.frobenius_norm();
+    explained = total_x > 0.0 ? 1.0 - rem / total_x : 1.0;
+    model.x_variance_explained.push_back(explained);
+  }
+  SOC_CHECK(!weights.empty(), "PLS extracted no components");
+
+  const std::size_t a = weights.size();
+  model.components = a;
+  model.x_weights = Matrix(x.cols(), a);
+  model.x_loadings = Matrix(x.cols(), a);
+  model.x_scores = Matrix(x.rows(), a);
+  model.y_loadings = q;
+  for (std::size_t k = 0; k < a; ++k) {
+    model.x_weights.set_col(k, weights[k]);
+    model.x_loadings.set_col(k, loadings[k]);
+    model.x_scores.set_col(k, scores[k]);
+  }
+
+  // β = W (PᵀW)⁻¹ q on the standardized X scale.
+  const Matrix ptw = model.x_loadings.transposed() * model.x_weights;
+  const Vec inner = solve_gaussian(ptw, q);
+  model.coefficients = model.x_weights * inner;
+
+  const Vec yhat = pls_predict(model, x);
+  model.r2 = r_squared(y, yhat);
+  return model;
+}
+
+std::size_t components_for_variance(const PlsModel& model, double fraction) {
+  for (std::size_t a = 0; a < model.x_variance_explained.size(); ++a) {
+    if (model.x_variance_explained[a] >= fraction) return a + 1;
+  }
+  return model.components;
+}
+
+std::vector<std::size_t> top_variables(const PlsModel& model, std::size_t k) {
+  std::vector<std::size_t> idx(model.coefficients.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return std::fabs(model.coefficients[a]) > std::fabs(model.coefficients[b]);
+  });
+  idx.resize(std::min(k, idx.size()));
+  return idx;
+}
+
+Vec pls_predict(const PlsModel& model, const Matrix& x) {
+  SOC_CHECK(x.cols() == model.x_means.size(), "predict shape mismatch");
+  Vec out(x.rows(), model.y_mean);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double z = (x(r, c) - model.x_means[c]) / model.x_scales[c];
+      out[r] += z * model.coefficients[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace soc::stats

@@ -1,0 +1,46 @@
+// Partial Least Squares regression (NIPALS algorithm, PLS1).
+//
+// Section IV-A of the paper builds an observation matrix of relative
+// PMU events/metrics (Cavium vs. TX cluster) per benchmark and a response
+// vector of relative runtimes, runs PLS, keeps the components explaining
+// ~95% of the X variance, and reports the variables with the largest
+// regression coefficients.  This module implements exactly that pipeline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace soc::stats {
+
+struct PlsModel {
+  std::size_t components = 0;
+  Matrix x_scores;            ///< T (n × a)
+  Matrix x_loadings;          ///< P (p × a)
+  Matrix x_weights;           ///< W (p × a)
+  Vec y_loadings;             ///< q (a)
+  Vec coefficients;           ///< β on the original (standardized) X scale.
+  Vec x_variance_explained;   ///< Cumulative fraction of ‖X‖² explained.
+  double r2 = 0.0;            ///< Fit quality on the training response.
+  Vec x_means, x_scales;      ///< Standardization applied to X.
+  double y_mean = 0.0;
+};
+
+/// Fits a PLS1 model with up to `max_components` latent components via
+/// NIPALS.  X is standardized internally; y is centered.  Extraction stops
+/// early when the residual X deflates to (numerical) zero.
+PlsModel pls_fit(const Matrix& x, const Vec& y, std::size_t max_components);
+
+/// Number of components needed to explain at least `fraction` of the X
+/// variance in a fitted model (the paper's "three components explain 95%").
+std::size_t components_for_variance(const PlsModel& model, double fraction);
+
+/// Indices of the `k` variables with the largest |coefficient|, most
+/// influential first (the paper's top-3 selection for Fig 8).
+std::vector<std::size_t> top_variables(const PlsModel& model, std::size_t k);
+
+/// Predicts responses for new observations (rows of x).
+Vec pls_predict(const PlsModel& model, const Matrix& x);
+
+}  // namespace soc::stats

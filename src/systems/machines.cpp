@@ -1,0 +1,148 @@
+#include "systems/machines.h"
+
+namespace soc::systems {
+
+NodeConfig jetson_tx1(net::NicKind nic) {
+  NodeConfig n;
+  n.name = "jetson-tx1";
+  n.cpu_cores = 4;
+
+  // Cortex-A57: 3-wide out-of-order, ~16-stage pipeline, strong two-level
+  // branch prediction, 48K/32K L1, 2 MB shared L2 (Table V).
+  n.core.name = "cortex-a57";
+  n.core.frequency_hz = 1.73e9;  // the boards cap at 1.73 GHz (§III-A)
+  n.core.issue_width = 3.0;
+  n.core.predictor = arch::PredictorKind::kTournament;
+  n.core.predictor_entries = 4096;
+  n.core.predictor_history_bits = 9;
+  n.core.mispredict_penalty = 16.0;
+  n.core.l1d = arch::CacheConfig{32 * kKiB, 2, 64};
+  n.core.l2 = arch::CacheConfig{2 * kMiB, 16, 64};  // shared by 4 cores
+  n.core.l2_hit_latency = 21.0;
+  n.core.dram_latency = 190.0;
+  n.core.memory_level_parallelism = 2.5;
+  n.core.dtlb = arch::TlbConfig{512, 4, 4 * kKiB};
+  n.core.tlb_walk_penalty = 28.0;
+
+  n.has_gpu = true;
+  n.gpu = gpu::tx1_gpu();
+
+  n.dram.name = "lpddr4-4gb";
+  n.dram.cpu_bandwidth = 14.7e9;
+  n.dram.gpu_bandwidth = 20.0e9;
+  n.dram.copy_bandwidth = 10.0e9;
+  n.dram.capacity = 4 * kGiB;
+
+  n.nic = (nic == net::NicKind::kGigabit) ? net::gigabit_nic()
+                                          : net::ten_gigabit_nic();
+  n.switch_config = net::SwitchConfig{};
+
+  n.power.name = "jetson-tx1";
+  n.power.idle_w = 6.0;  // module + carrier board + fan at rest
+  n.power.cpu_core_active_w = 1.6;
+  n.power.gpu_active_w = 8.0;
+  n.power.dram_w_per_gbps = 0.25;
+  n.power.nic_idle_w = n.nic.idle_power_w;
+  n.power.nic_active_w = n.nic.active_power_w;
+  n.power.host_overhead_w = 1.5;  // PSU / regulator losses at the wall
+  return n;
+}
+
+NodeConfig thunderx_server() {
+  NodeConfig n;
+  n.name = "cavium-thunderx";
+  n.cpu_cores = 96;  // dual socket, 48 cores each (Table V)
+
+  // ThunderX CN88xx: 2-wide in-order ARMv8, short pipeline (Octeon III
+  // lineage) with a simple predictor, 78K/32K L1, 16 MB shared L2 per
+  // socket, no L3.  The weak predictor and the thin per-thread slice of
+  // the shared L2 are the bottlenecks the paper's PLS analysis finds.
+  n.core.name = "thunderx-cn88xx";
+  n.core.frequency_hz = 2.0e9;
+  n.core.issue_width = 2.0;
+  n.core.predictor = arch::PredictorKind::kBimodal;
+  n.core.predictor_entries = 1024;
+  n.core.predictor_history_bits = 1;  // unused by bimodal
+  n.core.mispredict_penalty = 9.0;    // short pipeline: cheap flushes
+  n.core.l1d = arch::CacheConfig{32 * kKiB, 32, 64};
+  n.core.l2 = arch::CacheConfig{16 * kMiB, 16, 64};  // per socket, 48 cores
+  n.core.l2_hit_latency = 42.0;  // big shared LLC is slower to reach
+  n.core.dram_latency = 130.0;  // quad-channel DDR4: bandwidth-rich
+  n.core.memory_level_parallelism = 2.0;
+  n.core.dtlb = arch::TlbConfig{256, 4, 4 * kKiB};  // thinner TLB reach
+  n.core.tlb_walk_penalty = 36.0;
+  n.l2_domain_cores = 48;    // one L2 per socket
+  n.l2_thrash_factor = 1.6;  // many-thread conflict pressure on one LLC
+
+  n.has_gpu = false;
+
+  n.dram.name = "ddr4-quad";
+  n.dram.cpu_bandwidth = 60.0e9;
+  n.dram.gpu_bandwidth = 0.0;
+  n.dram.copy_bandwidth = 20.0e9;
+  n.dram.capacity = 128 * kGiB;
+
+  // Single-node system: the NIC is irrelevant; intra-node messaging uses
+  // shared memory.  Keep a server NIC for completeness.
+  n.nic = net::server_ten_gigabit_nic();
+  n.switch_config = net::SwitchConfig{};
+
+  n.power.name = "cavium-thunderx";
+  n.power.idle_w = 130.0;
+  n.power.cpu_core_active_w = 1.9;
+  n.power.gpu_active_w = 0.0;
+  n.power.dram_w_per_gbps = 0.15;
+  n.power.nic_idle_w = 2.0;
+  n.power.nic_active_w = 1.0;
+  n.power.host_overhead_w = 20.0;
+  return n;
+}
+
+NodeConfig xeon_gtx980() {
+  NodeConfig n;
+  n.name = "xeon-gtx980";
+  n.cpu_cores = 8;
+
+  // Xeon E5-2620v3-class host (Haswell): 4-wide OoO, strong prediction,
+  // 32K L1D, large L2/L3 (modeled as one 2.5 MB/core slice).
+  n.core.name = "xeon-e5-haswell";
+  n.core.frequency_hz = 2.4e9;
+  n.core.issue_width = 4.0;
+  n.core.predictor = arch::PredictorKind::kTournament;
+  n.core.predictor_entries = 8192;
+  n.core.predictor_history_bits = 14;
+  n.core.mispredict_penalty = 14.0;
+  n.core.l1d = arch::CacheConfig{32 * kKiB, 8, 64};
+  n.core.l2 = arch::CacheConfig{2 * kMiB, 16, 64};
+  n.l2_domain_cores = 1;  // private L2 + L3 slice per core
+  n.core.l2_hit_latency = 14.0;
+  n.core.dram_latency = 150.0;
+  n.core.memory_level_parallelism = 4.0;
+  n.core.dtlb = arch::TlbConfig{1536, 6, 4 * kKiB};
+  n.core.tlb_walk_penalty = 22.0;
+
+  n.has_gpu = true;
+  n.gpu = gpu::gtx980_gpu();
+
+  n.dram.name = "ddr4+gddr5";
+  n.dram.cpu_bandwidth = 50.0e9;
+  n.dram.gpu_bandwidth = 224.0e9;  // dedicated GDDR5 (Table VII)
+  n.dram.copy_bandwidth = 12.0e9;  // PCIe 3.0 x16 effective
+  n.dram.copy_call_overhead = 12 * kMicrosecond;
+  n.dram.capacity = 32 * kGiB;
+
+  n.nic = net::server_ten_gigabit_nic();
+  n.switch_config = net::SwitchConfig{};
+
+  n.power.name = "xeon-gtx980";
+  n.power.idle_w = 45.0;
+  n.power.cpu_core_active_w = 6.0;
+  n.power.gpu_active_w = 130.0;
+  n.power.dram_w_per_gbps = 0.10;
+  n.power.nic_idle_w = n.nic.idle_power_w;
+  n.power.nic_active_w = n.nic.active_power_w;
+  n.power.host_overhead_w = 12.0;  // PSU/fan tax of a server chassis
+  return n;
+}
+
+}  // namespace soc::systems

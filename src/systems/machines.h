@@ -1,0 +1,52 @@
+// Machine configurations for the three systems the paper evaluates:
+//   1. the proposed cluster node: Nvidia Jetson TX1 (4× Cortex-A57 +
+//      2-SM Maxwell GPU, shared 4 GB LPDDR4, 1GbE on-board / 10GbE PCIe),
+//   2. the many-core comparison: dual-socket Cavium ThunderX (96 ARMv8
+//      cores, shared 16 MB L2 per socket, weak branch prediction),
+//   3. the discrete-GPGPU comparison: Xeon E5 host + MSI GTX 980.
+//
+// Calibration sources: Tables V and VII of the paper plus public spec
+// sheets; values the OCR garbled are replaced by the physically sensible
+// figure and flagged in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+
+#include "arch/core_model.h"
+#include "gpu/device.h"
+#include "mem/dram.h"
+#include "net/network.h"
+#include "power/power_model.h"
+
+namespace soc::systems {
+
+/// Everything the cluster layer needs to know about one node type.
+struct NodeConfig {
+  std::string name;
+  arch::CoreConfig core;
+  int cpu_cores = 4;
+  bool has_gpu = false;
+  gpu::DeviceConfig gpu;
+  mem::DramConfig dram;
+  net::NicConfig nic;
+  net::SwitchConfig switch_config;
+  power::NodePowerConfig power;
+  /// Cores that share one L2 domain (core.l2 describes one domain).
+  /// TX1: all 4 cores share the 2 MB L2; ThunderX: 48 cores per socket
+  /// share one 16 MB L2; Xeon: modeled as per-core slices.
+  int l2_domain_cores = 4;
+  /// Extra L2 pressure multiplier applied on top of per-rank capacity
+  /// sharing (thread thrash on very wide SoCs).
+  double l2_thrash_factor = 1.0;
+};
+
+/// Jetson TX1 node with the chosen NIC.
+NodeConfig jetson_tx1(net::NicKind nic);
+
+/// Dual-socket Cavium ThunderX server (the Table V comparison system).
+NodeConfig thunderx_server();
+
+/// Xeon E5-2620v3-class host carrying one MSI GTX 980 (Table VII).
+NodeConfig xeon_gtx980();
+
+}  // namespace soc::systems

@@ -1,0 +1,58 @@
+#include "trace/chop.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/error.h"
+
+namespace soc::trace {
+
+std::vector<PhaseSummary> chop_phases(const sim::RunStats& stats) {
+  SOC_CHECK(!stats.ranks.empty(), "no ranks in run");
+  std::set<int> phase_ids;
+  for (const sim::RankStats& rs : stats.ranks) {
+    for (const auto& [phase, t] : rs.phase_compute) phase_ids.insert(phase);
+  }
+
+  std::vector<PhaseSummary> out;
+  out.reserve(phase_ids.size());
+  for (int phase : phase_ids) {
+    PhaseSummary s;
+    s.phase = phase;
+    s.min_compute_s = std::numeric_limits<double>::infinity();
+    double total = 0.0;
+    for (const sim::RankStats& rs : stats.ranks) {
+      const auto it = rs.phase_compute.find(phase);
+      const double t = it != rs.phase_compute.end()
+                           ? to_seconds(it->second)
+                           : 0.0;
+      total += t;
+      s.max_compute_s = std::max(s.max_compute_s, t);
+      s.min_compute_s = std::min(s.min_compute_s, t);
+    }
+    s.mean_compute_s = total / static_cast<double>(stats.ranks.size());
+    s.load_balance =
+        s.max_compute_s > 0.0 ? s.mean_compute_s / s.max_compute_s : 1.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+double global_load_balance(const sim::RunStats& stats) {
+  SOC_CHECK(!stats.ranks.empty(), "no ranks in run");
+  double total = 0.0;
+  double max_rank = 0.0;
+  for (const sim::RankStats& rs : stats.ranks) {
+    double rank_total = 0.0;
+    for (const auto& [phase, t] : rs.phase_compute) {
+      rank_total += to_seconds(t);
+    }
+    total += rank_total;
+    max_rank = std::max(max_rank, rank_total);
+  }
+  const double mean = total / static_cast<double>(stats.ranks.size());
+  return max_rank > 0.0 ? mean / max_rank : 1.0;
+}
+
+}  // namespace soc::trace

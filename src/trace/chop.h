@@ -1,0 +1,33 @@
+// Phase chopping (the PARAVER step of the paper's methodology).
+//
+// Iterative workloads mark their timesteps with phase ops; the chopper
+// summarizes per-phase work distribution so the efficiency decomposition
+// can reason about individual iterations instead of the whole run (hpl,
+// which is not iterative, is analyzed as one big phase — §III-B.4).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace soc::trace {
+
+/// Work-distribution summary of one phase.
+struct PhaseSummary {
+  int phase = 0;
+  double mean_compute_s = 0.0;
+  double max_compute_s = 0.0;
+  double min_compute_s = 0.0;
+  /// Load balance of this phase: mean/max compute (1 = perfect).
+  double load_balance = 1.0;
+};
+
+/// Chops a run into per-phase summaries (ordered by phase id).
+std::vector<PhaseSummary> chop_phases(const sim::RunStats& stats);
+
+/// Time-weighted global load balance across all phases: the paper's LB
+/// factor.  Equals mean(total compute)/max(total compute).
+double global_load_balance(const sim::RunStats& stats);
+
+}  // namespace soc::trace

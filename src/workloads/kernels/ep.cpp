@@ -1,0 +1,32 @@
+#include "workloads/kernels/ep.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace soc::workloads::kernels {
+
+EpResult ep_generate(std::uint64_t samples, std::uint64_t seed) {
+  Rng rng(seed);
+  EpResult r;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const double x = 2.0 * rng.next_double() - 1.0;
+    const double y = 2.0 * rng.next_double() - 1.0;
+    const double t = x * x + y * y;
+    if (t > 1.0 || t == 0.0) continue;
+    const double f = std::sqrt(-2.0 * std::log(t) / t);
+    const double gx = x * f;
+    const double gy = y * f;
+    r.sum_x += gx;
+    r.sum_y += gy;
+    const double m = std::max(std::fabs(gx), std::fabs(gy));
+    const auto bin = static_cast<std::size_t>(m);
+    if (bin < r.counts.size()) ++r.counts[bin];
+    ++r.pairs;
+  }
+  return r;
+}
+
+double ep_flops_per_sample() { return 14.0; }
+
+}  // namespace soc::workloads::kernels

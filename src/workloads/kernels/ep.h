@@ -1,0 +1,24 @@
+// NPB ep (embarrassingly parallel) kernel: Gaussian pairs via the
+// Marsaglia polar method, tallied into annular bins — the benchmark's
+// only result is the bin histogram and the sum of the deviates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace soc::workloads::kernels {
+
+struct EpResult {
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  std::array<std::uint64_t, 10> counts{};  ///< Pairs per annulus.
+  std::uint64_t pairs = 0;
+};
+
+/// Generates `samples` uniform pairs and tallies accepted Gaussian pairs.
+EpResult ep_generate(std::uint64_t samples, std::uint64_t seed);
+
+/// FLOPs per attempted sample (uniforms, radius test, log/sqrt on accept).
+double ep_flops_per_sample();
+
+}  // namespace soc::workloads::kernels

@@ -1,0 +1,46 @@
+#include "workloads/kernels/fft.h"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace soc::workloads::kernels {
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  SOC_CHECK(n >= 2 && std::has_single_bit(n), "fft size must be 2^k >= 2");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (Complex& c : data) c /= static_cast<double>(n);
+  }
+}
+
+double fft_flops(double n) { return 5.0 * n * std::log2(n); }
+
+}  // namespace soc::workloads::kernels

@@ -1,0 +1,19 @@
+// Radix-2 complex FFT backing the NPB ft workload model.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace soc::workloads::kernels {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT; size must be a power of 2.
+/// `inverse` applies the conjugate transform with 1/n normalization.
+void fft(std::vector<Complex>& data, bool inverse = false);
+
+/// FLOPs of an n-point complex FFT (the NPB accounting: 5·n·log2 n).
+double fft_flops(double n);
+
+}  // namespace soc::workloads::kernels

@@ -1,0 +1,109 @@
+#include "workloads/kernels/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace soc::workloads::kernels {
+
+DenseMatrix make_test_matrix(std::size_t n, std::uint64_t seed) {
+  SOC_CHECK(n > 0, "empty matrix");
+  DenseMatrix m;
+  m.n = n;
+  m.a.resize(n * n);
+  Rng rng(seed);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      m.at(r, c) = rng.next_range(-1.0, 1.0);
+    }
+  }
+  // Diagonal dominance keeps the factorization well-conditioned.
+  for (std::size_t i = 0; i < n; ++i) {
+    m.at(i, i) += static_cast<double>(n);
+  }
+  return m;
+}
+
+std::vector<std::size_t> lu_factor(DenseMatrix& m) {
+  const std::size_t n = m.n;
+  std::vector<std::size_t> pivots(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot within column k.
+    std::size_t piv = k;
+    double best = std::fabs(m.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (std::fabs(m.at(r, k)) > best) {
+        best = std::fabs(m.at(r, k));
+        piv = r;
+      }
+    }
+    SOC_CHECK(best > 1e-13, "singular matrix in lu_factor");
+    pivots[k] = piv;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(m.at(k, c), m.at(piv, c));
+    }
+    // Scale the panel column and update the trailing submatrix.
+    const double diag = m.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) m.at(r, k) /= diag;
+    for (std::size_t c = k + 1; c < n; ++c) {
+      const double mkc = m.at(k, c);
+      if (mkc == 0.0) continue;
+      for (std::size_t r = k + 1; r < n; ++r) {
+        m.at(r, c) -= m.at(r, k) * mkc;
+      }
+    }
+  }
+  return pivots;
+}
+
+std::vector<double> lu_solve(const DenseMatrix& lu,
+                             const std::vector<std::size_t>& pivots,
+                             const std::vector<double>& b) {
+  const std::size_t n = lu.n;
+  SOC_CHECK(b.size() == n && pivots.size() == n, "lu_solve size mismatch");
+  std::vector<double> x = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots[k] != k) std::swap(x[k], x[pivots[k]]);
+    for (std::size_t r = k + 1; r < n; ++r) x[r] -= lu.at(r, k) * x[k];
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t c = k + 1; c < n; ++c) x[k] -= lu.at(k, c) * x[c];
+    x[k] /= lu.at(k, k);
+  }
+  return x;
+}
+
+double residual_inf(const DenseMatrix& a, const std::vector<double>& x,
+                    const std::vector<double>& b) {
+  const std::size_t n = a.n;
+  SOC_CHECK(x.size() == n && b.size() == n, "residual size mismatch");
+  double worst = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = -b[r];
+    for (std::size_t c = 0; c < n; ++c) s += a.at(r, c) * x[c];
+    worst = std::max(worst, std::fabs(s));
+  }
+  return worst;
+}
+
+void gemm_subtract(std::size_t m, std::size_t n, std::size_t k,
+                   const double* a, std::size_t lda, const double* b,
+                   std::size_t ldb, double* c, std::size_t ldc) {
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t l = 0; l < k; ++l) {
+      const double blj = b[j * ldb + l];
+      if (blj == 0.0) continue;
+      const double* acol = a + l * lda;
+      double* ccol = c + j * ldc;
+      for (std::size_t i = 0; i < m; ++i) {
+        ccol[i] -= acol[i] * blj;
+      }
+    }
+  }
+}
+
+double lu_flops(double n) { return (2.0 / 3.0) * n * n * n + 2.0 * n * n; }
+
+}  // namespace soc::workloads::kernels

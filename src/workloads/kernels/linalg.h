@@ -1,0 +1,50 @@
+// Dense linear algebra kernels backing the hpl workload model.
+//
+// A real (small-scale) right-looking LU factorization with partial
+// pivoting and triangular solves — the algorithm HPL distributes.  The
+// generator's FLOP formulas (2/3·n³ etc.) are validated against these
+// kernels by the test suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace soc::workloads::kernels {
+
+/// Column-major dense matrix storage for the LU kernels.
+struct DenseMatrix {
+  std::size_t n = 0;
+  std::vector<double> a;  ///< n×n, column-major.
+
+  double& at(std::size_t r, std::size_t c) { return a[c * n + r]; }
+  double at(std::size_t r, std::size_t c) const { return a[c * n + r]; }
+};
+
+/// Deterministic diagonally-dominant test matrix.
+DenseMatrix make_test_matrix(std::size_t n, std::uint64_t seed);
+
+/// In-place LU with partial pivoting; returns the pivot permutation.
+/// Throws soc::Error if the matrix is singular.
+std::vector<std::size_t> lu_factor(DenseMatrix& m);
+
+/// Solves A x = b given the factors and pivots from lu_factor.
+std::vector<double> lu_solve(const DenseMatrix& lu,
+                             const std::vector<std::size_t>& pivots,
+                             const std::vector<double>& b);
+
+/// ‖A·x − b‖∞ for verification.
+double residual_inf(const DenseMatrix& a, const std::vector<double>& x,
+                    const std::vector<double>& b);
+
+/// C ← C − A·B (m×k × k×n), the trailing-update GEMM that HPL offloads to
+/// the GPU.  Plain triple loop — the simulator, not this kernel, provides
+/// performance.
+void gemm_subtract(std::size_t m, std::size_t n, std::size_t k,
+                   const double* a, std::size_t lda, const double* b,
+                   std::size_t ldb, double* c, std::size_t ldc);
+
+/// FLOPs of an n×n LU factorization (the HPL accounting formula).
+double lu_flops(double n);
+
+}  // namespace soc::workloads::kernels

@@ -1,0 +1,148 @@
+#include "workloads/kernels/multigrid.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace soc::workloads::kernels {
+
+namespace {
+
+// Damped Jacobi smoothing, ω = 0.8.
+void smooth(Grid2D& u, const Grid2D& f, double h, int sweeps) {
+  const double h2 = h * h;
+  Grid2D next = u;
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::size_t i = 1; i <= u.nx; ++i) {
+      for (std::size_t j = 1; j <= u.ny; ++j) {
+        const double jac =
+            0.25 * (u.at(i - 1, j) + u.at(i + 1, j) + u.at(i, j - 1) +
+                    u.at(i, j + 1) - h2 * f.at(i, j));
+        next.at(i, j) = u.at(i, j) + 0.8 * (jac - u.at(i, j));
+      }
+    }
+    std::swap(u.v, next.v);
+  }
+}
+
+// r = f − ∇²u.
+Grid2D residual(const Grid2D& u, const Grid2D& f, double h) {
+  Grid2D r(u.nx, u.ny);
+  const double inv_h2 = 1.0 / (h * h);
+  for (std::size_t i = 1; i <= u.nx; ++i) {
+    for (std::size_t j = 1; j <= u.ny; ++j) {
+      const double lap = (u.at(i - 1, j) + u.at(i + 1, j) + u.at(i, j - 1) +
+                          u.at(i, j + 1) - 4.0 * u.at(i, j)) *
+                         inv_h2;
+      r.at(i, j) = f.at(i, j) - lap;
+    }
+  }
+  return r;
+}
+
+// Vertex-centered grids: a fine grid of n = 2m+1 interior points coarsens
+// to m points, with coarse point (i,j) coincident with fine (2i, 2j).
+
+// Full-weighting restriction (1/4 center, 1/8 edges, 1/16 corners).
+Grid2D restrict_grid(const Grid2D& fine) {
+  Grid2D coarse((fine.nx - 1) / 2, (fine.ny - 1) / 2);
+  for (std::size_t i = 1; i <= coarse.nx; ++i) {
+    for (std::size_t j = 1; j <= coarse.ny; ++j) {
+      const std::size_t fi = 2 * i;
+      const std::size_t fj = 2 * j;
+      coarse.at(i, j) =
+          0.25 * fine.at(fi, fj) +
+          0.125 * (fine.at(fi - 1, fj) + fine.at(fi + 1, fj) +
+                   fine.at(fi, fj - 1) + fine.at(fi, fj + 1)) +
+          0.0625 * (fine.at(fi - 1, fj - 1) + fine.at(fi - 1, fj + 1) +
+                    fine.at(fi + 1, fj - 1) + fine.at(fi + 1, fj + 1));
+    }
+  }
+  return coarse;
+}
+
+// Bilinear prolongation added into the fine grid.
+void prolong_add(const Grid2D& coarse, Grid2D& fine) {
+  // Coincident points.
+  for (std::size_t i = 1; i <= coarse.nx; ++i) {
+    for (std::size_t j = 1; j <= coarse.ny; ++j) {
+      fine.at(2 * i, 2 * j) += coarse.at(i, j);
+    }
+  }
+  // Horizontal edge midpoints (odd fine i, even fine j).
+  auto cval = [&](std::size_t ci, std::size_t cj) {
+    // Halo entries of the coarse grid are zero (Dirichlet).
+    return coarse.at(ci, cj);
+  };
+  for (std::size_t i = 0; i <= coarse.nx; ++i) {
+    for (std::size_t j = 1; j <= coarse.ny; ++j) {
+      fine.at(2 * i + 1, 2 * j) += 0.5 * (cval(i, j) + cval(i + 1, j));
+    }
+  }
+  for (std::size_t i = 1; i <= coarse.nx; ++i) {
+    for (std::size_t j = 0; j <= coarse.ny; ++j) {
+      fine.at(2 * i, 2 * j + 1) += 0.5 * (cval(i, j) + cval(i, j + 1));
+    }
+  }
+  // Cell centers (odd, odd): average of the four coarse corners.
+  for (std::size_t i = 0; i <= coarse.nx; ++i) {
+    for (std::size_t j = 0; j <= coarse.ny; ++j) {
+      fine.at(2 * i + 1, 2 * j + 1) +=
+          0.25 * (cval(i, j) + cval(i + 1, j) + cval(i, j + 1) +
+                  cval(i + 1, j + 1));
+    }
+  }
+}
+
+bool can_coarsen(std::size_t n, std::size_t min_size) {
+  return n >= 2 * min_size + 1 && n % 2 == 1;
+}
+
+void vcycle(Grid2D& u, const Grid2D& f, double h, std::size_t min_size,
+            int pre, int post) {
+  smooth(u, f, h, pre);
+  if (can_coarsen(u.nx, min_size) && can_coarsen(u.ny, min_size)) {
+    const Grid2D r = residual(u, f, h);
+    const Grid2D rc = restrict_grid(r);
+    Grid2D ec(rc.nx, rc.ny);
+    vcycle(ec, rc, 2.0 * h, min_size, pre, post);
+    prolong_add(ec, u);
+  } else {
+    smooth(u, f, h, 40);  // coarse solve by heavy smoothing
+  }
+  smooth(u, f, h, post);
+}
+
+}  // namespace
+
+double mg_residual_norm(const Grid2D& u, const Grid2D& f, double h) {
+  const Grid2D r = residual(u, f, h);
+  double n2 = 0.0;
+  for (std::size_t i = 1; i <= u.nx; ++i) {
+    for (std::size_t j = 1; j <= u.ny; ++j) {
+      n2 += r.at(i, j) * r.at(i, j);
+    }
+  }
+  return std::sqrt(n2);
+}
+
+double mg_vcycle(Grid2D& u, const Grid2D& f, double h, std::size_t min_size,
+                 int pre_smooth, int post_smooth) {
+  SOC_CHECK(min_size >= 1, "min_size too small");
+  SOC_CHECK(u.nx % 2 == 1 && u.ny % 2 == 1,
+            "vertex-centered multigrid needs odd grid sizes (2^k - 1)");
+  vcycle(u, f, h, min_size, pre_smooth, post_smooth);
+  return mg_residual_norm(u, f, h);
+}
+
+int mg_levels(std::size_t n, std::size_t min_size) {
+  SOC_CHECK(n >= min_size && min_size >= 1, "bad level bounds");
+  int levels = 1;
+  while (can_coarsen(n, min_size)) {
+    n = (n - 1) / 2;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace soc::workloads::kernels

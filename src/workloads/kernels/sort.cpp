@@ -1,0 +1,51 @@
+#include "workloads/kernels/sort.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace soc::workloads::kernels {
+
+std::vector<std::uint32_t> make_keys(std::size_t count, std::uint32_t max_key,
+                                     std::uint64_t seed) {
+  SOC_CHECK(max_key > 0, "max_key must be positive");
+  Rng rng(seed);
+  std::vector<std::uint32_t> keys(count);
+  for (std::uint32_t& k : keys) {
+    // NPB is uses an average of four uniforms (bell-ish distribution).
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 4; ++i) sum += rng.next_below(max_key);
+    k = static_cast<std::uint32_t>(sum / 4);
+  }
+  return keys;
+}
+
+std::vector<std::uint32_t> bucket_sort(const std::vector<std::uint32_t>& keys,
+                                       std::uint32_t max_key,
+                                       std::size_t buckets) {
+  SOC_CHECK(buckets >= 1, "need at least one bucket");
+  const std::uint64_t width =
+      (static_cast<std::uint64_t>(max_key) + buckets - 1) / buckets;
+  SOC_CHECK(width > 0, "bucket width underflow");
+
+  std::vector<std::vector<std::uint32_t>> bins(buckets);
+  for (std::uint32_t k : keys) {
+    const std::size_t b =
+        std::min(static_cast<std::size_t>(k / width), buckets - 1);
+    bins[b].push_back(k);
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(keys.size());
+  for (std::vector<std::uint32_t>& bin : bins) {
+    std::sort(bin.begin(), bin.end());
+    out.insert(out.end(), bin.begin(), bin.end());
+  }
+  return out;
+}
+
+bool is_sorted_ascending(const std::vector<std::uint32_t>& keys) {
+  return std::is_sorted(keys.begin(), keys.end());
+}
+
+}  // namespace soc::workloads::kernels

@@ -1,0 +1,24 @@
+// Integer bucket sort backing the NPB is workload model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace soc::workloads::kernels {
+
+/// Deterministic key distribution of `count` keys in [0, max_key).
+std::vector<std::uint32_t> make_keys(std::size_t count,
+                                     std::uint32_t max_key,
+                                     std::uint64_t seed);
+
+/// Bucket sort with `buckets` equal-width buckets; returns the sorted keys
+/// (ascending).  This is the rank+redistribute structure NPB is uses
+/// across ranks.
+std::vector<std::uint32_t> bucket_sort(const std::vector<std::uint32_t>& keys,
+                                       std::uint32_t max_key,
+                                       std::size_t buckets);
+
+/// Verifies ascending order.
+bool is_sorted_ascending(const std::vector<std::uint32_t>& keys);
+
+}  // namespace soc::workloads::kernels

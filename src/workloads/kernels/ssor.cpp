@@ -1,0 +1,206 @@
+#include "workloads/kernels/ssor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace soc::workloads::kernels {
+
+double ssor_iteration(Grid2D& u, const Grid2D& f, double h, double omega) {
+  SOC_CHECK(omega > 0.0 && omega < 2.0, "SSOR needs omega in (0, 2)");
+  const double h2 = h * h;
+  double max_delta = 0.0;
+  auto relax = [&](std::size_t i, std::size_t j) {
+    const double gs = 0.25 * (u.at(i - 1, j) + u.at(i + 1, j) +
+                              u.at(i, j - 1) + u.at(i, j + 1) -
+                              h2 * f.at(i, j));
+    const double updated = u.at(i, j) + omega * (gs - u.at(i, j));
+    max_delta = std::max(max_delta, std::fabs(updated - u.at(i, j)));
+    u.at(i, j) = updated;
+  };
+  // Forward wavefront: (i,j) after (i-1,j) and (i,j-1).
+  for (std::size_t i = 1; i <= u.nx; ++i) {
+    for (std::size_t j = 1; j <= u.ny; ++j) relax(i, j);
+  }
+  // Backward wavefront.
+  for (std::size_t i = u.nx; i >= 1; --i) {
+    for (std::size_t j = u.ny; j >= 1; --j) relax(i, j);
+  }
+  return max_delta;
+}
+
+int ssor_solve(Grid2D& u, const Grid2D& f, double h, double omega, double tol,
+               int max_iterations) {
+  for (int it = 1; it <= max_iterations; ++it) {
+    if (ssor_iteration(u, f, h, omega) < tol) return it;
+  }
+  return max_iterations;
+}
+
+namespace {
+
+// Small dense helpers on bs×bs row-major blocks.
+void block_lu_solve(std::vector<double> a, std::size_t n, double* rhs,
+                    std::size_t nrhs) {
+  // Gaussian elimination with partial pivoting; rhs holds nrhs columns
+  // stored column-major (each column contiguous, length n).
+  std::vector<std::size_t> perm(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + k]) > std::fabs(a[piv * n + k])) piv = r;
+    }
+    SOC_CHECK(std::fabs(a[piv * n + k]) > 1e-13,
+              "singular pivot block in block Thomas");
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[k * n + c], a[piv * n + c]);
+      for (std::size_t c = 0; c < nrhs; ++c) {
+        std::swap(rhs[c * n + k], rhs[c * n + piv]);
+      }
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a[r * n + k] / a[k * n + k];
+      if (factor == 0.0) continue;
+      for (std::size_t c = k; c < n; ++c) a[r * n + c] -= factor * a[k * n + c];
+      for (std::size_t c = 0; c < nrhs; ++c) {
+        rhs[c * n + r] -= factor * rhs[c * n + k];
+      }
+    }
+  }
+  for (std::size_t col = 0; col < nrhs; ++col) {
+    double* x = rhs + col * n;
+    for (std::size_t k = n; k-- > 0;) {
+      for (std::size_t c = k + 1; c < n; ++c) x[k] -= a[k * n + c] * x[c];
+      x[k] /= a[k * n + k];
+    }
+  }
+  (void)perm;
+}
+
+// c -= a·b for bs×bs row-major blocks.
+void block_gemm_sub(const double* a, const double* b, double* c,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a[i * n + k];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] -= aik * b[k * n + j];
+      }
+    }
+  }
+}
+
+// y -= a·x for a bs×bs block and bs vector.
+void block_gemv_sub(const double* a, const double* x, double* y,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += a[i * n + j] * x[j];
+    y[i] -= s;
+  }
+}
+
+}  // namespace
+
+BlockTridiagonal make_block_tridiagonal(std::size_t rows, std::size_t bs,
+                                        std::uint64_t seed) {
+  SOC_CHECK(rows >= 2 && bs >= 1, "system too small");
+  BlockTridiagonal s;
+  s.rows = rows;
+  s.bs = bs;
+  const std::size_t bb = bs * bs;
+  s.lower.assign(rows * bb, 0.0);
+  s.diag.assign(rows * bb, 0.0);
+  s.upper.assign(rows * bb, 0.0);
+  s.rhs.assign(rows * bs, 0.0);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t e = 0; e < bb; ++e) {
+      if (r > 0) s.lower[r * bb + e] = rng.next_range(-0.2, 0.2);
+      if (r + 1 < rows) s.upper[r * bb + e] = rng.next_range(-0.2, 0.2);
+      s.diag[r * bb + e] = rng.next_range(-0.2, 0.2);
+    }
+    // Diagonal dominance within the diagonal block.
+    for (std::size_t i = 0; i < bs; ++i) {
+      s.diag[r * bb + i * bs + i] += 2.0 * static_cast<double>(bs);
+    }
+    for (std::size_t i = 0; i < bs; ++i) {
+      s.rhs[r * bs + i] = rng.next_range(-1.0, 1.0);
+    }
+  }
+  return s;
+}
+
+std::vector<double> block_thomas_solve(BlockTridiagonal s) {
+  const std::size_t n = s.rows;
+  const std::size_t bs = s.bs;
+  const std::size_t bb = bs * bs;
+
+  // Forward elimination: at each block row, solve D_r for [U_r | rhs_r]
+  // and subtract L_{r+1}·(that) from the next row.
+  for (std::size_t r = 0; r < n; ++r) {
+    // Pack [upper | rhs] as column-major rhs for the dense solver.
+    std::vector<double> packed((bs + 1) * bs, 0.0);
+    for (std::size_t c = 0; c < bs; ++c) {
+      for (std::size_t i = 0; i < bs; ++i) {
+        packed[c * bs + i] = s.upper[r * bb + i * bs + c];
+      }
+    }
+    for (std::size_t i = 0; i < bs; ++i) {
+      packed[bs * bs + i] = s.rhs[r * bs + i];
+    }
+    std::vector<double> diag(s.diag.begin() + static_cast<std::ptrdiff_t>(r * bb),
+                             s.diag.begin() + static_cast<std::ptrdiff_t>((r + 1) * bb));
+    block_lu_solve(std::move(diag), bs, packed.data(), bs + 1);
+    // Unpack the transformed upper block and rhs.
+    for (std::size_t c = 0; c < bs; ++c) {
+      for (std::size_t i = 0; i < bs; ++i) {
+        s.upper[r * bb + i * bs + c] = packed[c * bs + i];
+      }
+    }
+    for (std::size_t i = 0; i < bs; ++i) {
+      s.rhs[r * bs + i] = packed[bs * bs + i];
+    }
+    if (r + 1 < n) {
+      // D_{r+1} -= L_{r+1}·Ũ_r and rhs_{r+1} -= L_{r+1}·r̃hs_r.
+      block_gemm_sub(&s.lower[(r + 1) * bb], &s.upper[r * bb],
+                     &s.diag[(r + 1) * bb], bs);
+      block_gemv_sub(&s.lower[(r + 1) * bb], &s.rhs[r * bs],
+                     &s.rhs[(r + 1) * bs], bs);
+    }
+  }
+
+  // Back substitution: x_r = rhs~_r − U~_r · x_{r+1}.
+  std::vector<double> x = s.rhs;
+  for (std::size_t r = n - 1; r-- > 0;) {
+    block_gemv_sub(&s.upper[r * bb], &x[(r + 1) * bs], &x[r * bs], bs);
+  }
+  return x;
+}
+
+double block_tridiagonal_residual(const BlockTridiagonal& s,
+                                  const std::vector<double>& x) {
+  SOC_CHECK(x.size() == s.rows * s.bs, "solution size mismatch");
+  const std::size_t bs = s.bs;
+  const std::size_t bb = bs * bs;
+  double worst = 0.0;
+  for (std::size_t r = 0; r < s.rows; ++r) {
+    for (std::size_t i = 0; i < bs; ++i) {
+      double acc = -s.rhs[r * bs + i];
+      for (std::size_t j = 0; j < bs; ++j) {
+        acc += s.diag[r * bb + i * bs + j] * x[r * bs + j];
+        if (r > 0) acc += s.lower[r * bb + i * bs + j] * x[(r - 1) * bs + j];
+        if (r + 1 < s.rows) {
+          acc += s.upper[r * bb + i * bs + j] * x[(r + 1) * bs + j];
+        }
+      }
+      worst = std::max(worst, std::fabs(acc));
+    }
+  }
+  return worst;
+}
+
+}  // namespace soc::workloads::kernels

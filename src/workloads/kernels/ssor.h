@@ -1,0 +1,51 @@
+// SSOR kernels backing the NPB lu workload model: symmetric successive
+// over-relaxation sweeps with the lower/upper wavefront dependency
+// structure that forces lu's pipelined communication, plus a block-
+// tridiagonal Thomas solver (the per-line solve at the heart of bt/sp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels/stencil.h"
+
+namespace soc::workloads::kernels {
+
+/// One SSOR iteration (forward then backward sweep) for ∇²u = f with
+/// relaxation factor omega; returns the max pointwise update.  The sweeps
+/// traverse the grid in wavefront order — cell (i,j) depends on (i-1,j)
+/// and (i,j-1) in the forward pass — which is exactly the dependency the
+/// lu benchmark pipelines across ranks.
+double ssor_iteration(Grid2D& u, const Grid2D& f, double h, double omega);
+
+/// Solves ∇²u = f by SSOR until the update drops below tol; returns the
+/// iteration count (capped at max_iterations).
+int ssor_solve(Grid2D& u, const Grid2D& f, double h, double omega,
+               double tol, int max_iterations);
+
+/// Dense blocked tridiagonal system: block rows of size `bs`, with
+/// sub/main/super diagonal blocks (row-major bs×bs each) and block RHS.
+struct BlockTridiagonal {
+  std::size_t rows = 0;   ///< Number of block rows.
+  std::size_t bs = 0;     ///< Block size (bt uses 5×5).
+  std::vector<double> lower;  ///< rows×bs×bs (first unused).
+  std::vector<double> diag;   ///< rows×bs×bs.
+  std::vector<double> upper;  ///< rows×bs×bs (last unused).
+  std::vector<double> rhs;    ///< rows×bs.
+};
+
+/// Deterministic diagonally-dominant block-tridiagonal test system.
+BlockTridiagonal make_block_tridiagonal(std::size_t rows, std::size_t bs,
+                                        std::uint64_t seed);
+
+/// Solves the system in place by block Thomas elimination; returns the
+/// solution (rows×bs).  Throws soc::Error on a singular pivot block.
+std::vector<double> block_thomas_solve(BlockTridiagonal system);
+
+/// Residual ‖A·x − b‖∞ of a candidate solution against the ORIGINAL
+/// system (pass a fresh copy, not the factored one).
+double block_tridiagonal_residual(const BlockTridiagonal& system,
+                                  const std::vector<double>& x);
+
+}  // namespace soc::workloads::kernels

@@ -1,0 +1,60 @@
+// Structured-grid kernels: Jacobi/Poisson relaxation, explicit heat
+// conduction steps, and a first-order compressible Euler update.  These
+// back the jacobi, tealeaf2d/3d and cloverleaf workload models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace soc::workloads::kernels {
+
+/// Simple row-major 2D grid with a one-cell halo.
+struct Grid2D {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::vector<double> v;  ///< (nx+2) × (ny+2)
+
+  Grid2D() = default;
+  Grid2D(std::size_t nx_, std::size_t ny_, double fill = 0.0);
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+};
+
+/// One Jacobi sweep for ∇²u = f on the unit square; returns the max
+/// pointwise update (converges to 0).  `out` must match `in`'s shape.
+double jacobi_sweep(const Grid2D& in, const Grid2D& f, double h, Grid2D& out);
+
+/// Solves ∇²u = f by Jacobi iteration until the update drops below tol;
+/// returns iterations used (capped at max_iterations).
+int jacobi_solve(Grid2D& u, const Grid2D& f, double h, double tol,
+                 int max_iterations);
+
+/// FLOPs per interior grid point of one Jacobi sweep (5-point stencil).
+double jacobi_flops_per_point();
+/// DRAM bytes per interior point per sweep (streaming, cached stencil).
+double jacobi_bytes_per_point();
+
+/// One explicit conduction step u += dt·∇²u (the operator TeaLeaf applies
+/// inside its CG solve).  Returns the L2 norm of the change.
+double heat_step(Grid2D& u, double dt, double h);
+
+/// Conserved 1D Euler state vectors (density, momentum, energy) — the
+/// hydro core of CloverLeaf reduced to one dimension per sweep.
+struct EulerState {
+  std::vector<double> rho;
+  std::vector<double> mom;
+  std::vector<double> ene;
+};
+
+/// Deterministic shock-tube initial condition of `cells` cells.
+EulerState make_shock_tube(std::size_t cells);
+
+/// One Lax–Friedrichs step with ideal-gas EOS (γ=1.4); returns the new
+/// total mass (conserved up to boundary flux).
+double euler_step(EulerState& s, double dt_over_dx);
+
+/// Total mass/momentum/energy for conservation checks.
+double total_mass(const EulerState& s);
+double total_energy(const EulerState& s);
+
+}  // namespace soc::workloads::kernels

@@ -1,0 +1,29 @@
+// Named microarchitectural profiles for every benchmark's host-side code.
+//
+// These descriptors encode the published behaviour of each code: NPB mg's
+// periodic boundary branches (the worst case for a bimodal predictor),
+// ep's large randomly-accessed tables (highest L2 miss ratio in the
+// paper's Fig 8 data), cg's sparse gathers, ft/is streaming, etc.  The
+// actual miss rates per machine come from simulation in arch/core_model.
+#pragma once
+
+#include "arch/profile.h"
+
+namespace soc::workloads::profiles {
+
+arch::WorkloadProfile hpl();
+arch::WorkloadProfile jacobi();
+arch::WorkloadProfile cloverleaf();
+arch::WorkloadProfile tealeaf();
+arch::WorkloadProfile dnn_decode();  ///< JPEG decode + preprocessing.
+
+arch::WorkloadProfile npb_bt();
+arch::WorkloadProfile npb_cg();
+arch::WorkloadProfile npb_ep();
+arch::WorkloadProfile npb_ft();
+arch::WorkloadProfile npb_is();
+arch::WorkloadProfile npb_lu();
+arch::WorkloadProfile npb_mg();
+arch::WorkloadProfile npb_sp();
+
+}  // namespace soc::workloads::profiles

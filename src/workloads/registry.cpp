@@ -1,0 +1,54 @@
+#include <algorithm>
+
+#include "common/error.h"
+#include "workloads/dnn_workloads.h"
+#include "workloads/npb.h"
+#include "workloads/scientific.h"
+#include "workloads/workload.h"
+
+namespace soc::workloads {
+
+std::vector<std::unique_ptr<Workload>> cluster_soc_bench() {
+  std::vector<std::unique_ptr<Workload>> out;
+  out.push_back(std::make_unique<HplWorkload>());
+  out.push_back(std::make_unique<JacobiWorkload>());
+  out.push_back(std::make_unique<CloverLeafWorkload>());
+  out.push_back(std::make_unique<TeaLeafWorkload>(tealeaf2d_default()));
+  out.push_back(std::make_unique<TeaLeafWorkload>(tealeaf3d_default()));
+  out.push_back(std::make_unique<DnnWorkload>(DnnWorkload::Network::kAlexNet));
+  out.push_back(
+      std::make_unique<DnnWorkload>(DnnWorkload::Network::kGoogLeNet));
+  return out;
+}
+
+std::vector<std::unique_ptr<Workload>> npb_suite() {
+  std::vector<std::unique_ptr<Workload>> out;
+  out.push_back(std::make_unique<NpbWorkload>(npb_bt_spec()));
+  out.push_back(std::make_unique<NpbWorkload>(npb_cg_spec()));
+  out.push_back(std::make_unique<NpbWorkload>(npb_ep_spec()));
+  out.push_back(std::make_unique<NpbWorkload>(npb_ft_spec()));
+  out.push_back(std::make_unique<NpbWorkload>(npb_is_spec()));
+  out.push_back(std::make_unique<NpbWorkload>(npb_lu_spec()));
+  out.push_back(std::make_unique<NpbWorkload>(npb_mg_spec()));
+  out.push_back(std::make_unique<NpbWorkload>(npb_sp_spec()));
+  return out;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  for (auto& w : cluster_soc_bench()) {
+    if (w->name() == name) return std::move(w);
+  }
+  for (auto& w : npb_suite()) {
+    if (w->name() == name) return std::move(w);
+  }
+  throw Error("unknown workload: " + name);
+}
+
+std::vector<std::string> all_workload_names() {
+  std::vector<std::string> names;
+  for (const auto& w : cluster_soc_bench()) names.push_back(w->name());
+  for (const auto& w : npb_suite()) names.push_back(w->name());
+  return names;
+}
+
+}  // namespace soc::workloads

@@ -1,0 +1,66 @@
+// Workload interface and registry.
+//
+// Every benchmark of Table I (ClusterSoCBench) and the NPB suite is a
+// Workload: it owns (a) a microarchitectural profile for its host-side
+// code, (b) a generator that lowers the benchmark's computation and
+// communication structure into per-rank programs, and for the scientific
+// codes (c) a small functional kernel (workloads/kernels/) proving the
+// numerics the generator's FLOP formulas describe.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/profile.h"
+#include "sim/op.h"
+
+namespace soc::workloads {
+
+/// Parameters threaded into program generation.
+struct BuildContext {
+  int ranks = 1;
+  int nodes = 1;
+  /// CUDA memory-management model for GPU workloads (§III-B.5).
+  sim::MemModel mem_model = sim::MemModel::kHostDevice;
+  /// Fraction of offloadable work executed on the GPU; the remainder runs
+  /// on the host core (the Fig 7 work-ratio study).  1.0 = all GPU.
+  double gpu_work_fraction = 1.0;
+  /// Optional scale on the benchmark's default problem size (1.0 = the
+  /// Table I input).  Used by tests to keep runs quick.
+  double size_scale = 1.0;
+  /// Overlap halo exchanges with interior compute via non-blocking
+  /// messaging (jacobi/tealeaf support this; the overlap ablation bench
+  /// quantifies the benefit).
+  bool overlap_halos = false;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual bool gpu_accelerated() const = 0;
+
+  /// Host-side microarchitectural profile (index 0 is the profile id the
+  /// generated CPU ops reference).
+  virtual arch::WorkloadProfile cpu_profile() const = 0;
+
+  /// Generates one program per rank.
+  virtual std::vector<sim::Program> build(const BuildContext& ctx) const = 0;
+};
+
+/// All GPGPU-accelerated workloads of Table I, in paper order:
+/// hpl, jacobi, cloverleaf, tealeaf2d, tealeaf3d, alexnet, googlenet.
+std::vector<std::unique_ptr<Workload>> cluster_soc_bench();
+
+/// The NPB subset of §III-A: bt, cg, ep, ft, is, lu, mg, sp (class C).
+std::vector<std::unique_ptr<Workload>> npb_suite();
+
+/// Creates one workload by its Table I / NPB tag; throws on unknown name.
+std::unique_ptr<Workload> make_workload(const std::string& name);
+
+/// Every benchmark tag this library knows.
+std::vector<std::string> all_workload_names();
+
+}  // namespace soc::workloads

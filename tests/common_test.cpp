@@ -1,0 +1,147 @@
+// Tests for common/: units, deterministic RNG, error macros, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace soc {
+namespace {
+
+TEST(Units, SecondsRoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.0), 0);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(500 * kMillisecond), 0.5);
+}
+
+TEST(Units, FromSecondsRejectsNegative) {
+  EXPECT_THROW(from_seconds(-1.0), Error);
+}
+
+TEST(Units, TransferTimeBasics) {
+  // 1 GB at 1 GB/s = 1 s.
+  EXPECT_EQ(transfer_time(1'000'000'000, 1e9), kSecond);
+  EXPECT_EQ(transfer_time(0, 1e9), 0);
+  // Any non-empty transfer takes at least 1 ns.
+  EXPECT_GE(transfer_time(1, 1e18), 1);
+}
+
+TEST(Units, TransferTimeRejectsBadInput) {
+  EXPECT_THROW(transfer_time(-1, 1e9), Error);
+  EXPECT_THROW(transfer_time(100, 0.0), Error);
+}
+
+TEST(Units, GbitConversion) {
+  EXPECT_DOUBLE_EQ(gbit_per_s(8.0), 1e9);
+  EXPECT_DOUBLE_EQ(gbit_per_s(1.0), 125e6);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, NextBelowCoversValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(123);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  // Splitting again with the same key reproduces the stream.
+  Rng a2 = parent.split(1);
+  Rng a3 = parent.split(1);
+  EXPECT_EQ(a2.next_u64(), a3.next_u64());
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(55);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    SOC_CHECK(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+  EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace soc

@@ -1,0 +1,423 @@
+// Tests for workloads/kernels/: the functional numerics behind every
+// workload model — dense LU, stencils, Euler, sparse CG, FFT, sorting,
+// multigrid, EP, and the DNN layers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "workloads/kernels/dnn.h"
+#include "workloads/kernels/ep.h"
+#include "workloads/kernels/fft.h"
+#include "workloads/kernels/linalg.h"
+#include "workloads/kernels/multigrid.h"
+#include "workloads/kernels/sort.h"
+#include "workloads/kernels/sparse.h"
+#include "workloads/kernels/ssor.h"
+#include "workloads/kernels/stencil.h"
+
+namespace soc::workloads::kernels {
+namespace {
+
+TEST(Linalg, LuSolvesSystem) {
+  DenseMatrix a = make_test_matrix(24, 42);
+  const DenseMatrix original = a;
+  std::vector<double> b(24);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 + 0.1 * i;
+  const auto pivots = lu_factor(a);
+  const auto x = lu_solve(a, pivots, b);
+  EXPECT_LT(residual_inf(original, x, b), 1e-10);
+}
+
+TEST(Linalg, LuDetectsSingular) {
+  DenseMatrix a;
+  a.n = 2;
+  a.a = {1.0, 2.0, 2.0, 4.0};  // rank 1 (column-major)
+  EXPECT_THROW(lu_factor(a), Error);
+}
+
+TEST(Linalg, GemmSubtractMatchesReference) {
+  // C -= A·B on small matrices, checked elementwise.
+  const std::size_t m = 3;
+  const std::size_t n = 2;
+  const std::size_t k = 4;
+  std::vector<double> a(m * k);
+  std::vector<double> b(k * n);
+  std::vector<double> c(m * n, 1.0);
+  std::iota(a.begin(), a.end(), 1.0);
+  std::iota(b.begin(), b.end(), 0.5);
+  std::vector<double> expected = c;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t l = 0; l < k; ++l) {
+        expected[j * m + i] -= a[l * m + i] * b[j * k + l];
+      }
+    }
+  }
+  gemm_subtract(m, n, k, a.data(), m, b.data(), k, c.data(), m);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-12);
+  }
+}
+
+TEST(Linalg, FlopFormula) {
+  EXPECT_NEAR(lu_flops(1000), 2.0 / 3.0 * 1e9 + 2e6, 1.0);
+}
+
+TEST(Stencil, JacobiConvergesOnPoisson) {
+  const std::size_t n = 24;
+  Grid2D u(n, n, 0.0);
+  Grid2D f(n, n, 1.0);  // constant source
+  const double h = 1.0 / (n + 1);
+  const int iters = jacobi_solve(u, f, h, 1e-8, 20000);
+  EXPECT_LT(iters, 20000);
+  // Solution of ∇²u = 1 with zero boundaries is negative inside.
+  EXPECT_LT(u.at(n / 2, n / 2), 0.0);
+}
+
+TEST(Stencil, JacobiSweepReducesUpdateNorm) {
+  const std::size_t n = 16;
+  Grid2D u(n, n, 0.0);
+  Grid2D f(n, n, 1.0);
+  Grid2D next(n, n);
+  const double h = 1.0 / (n + 1);
+  const double d1 = jacobi_sweep(u, f, h, next);
+  std::swap(u.v, next.v);
+  double d2 = 0.0;
+  for (int s = 0; s < 50; ++s) {
+    d2 = jacobi_sweep(u, f, h, next);
+    std::swap(u.v, next.v);
+  }
+  EXPECT_LT(d2, d1);
+}
+
+TEST(Stencil, HeatStepConservesNothingButDecays) {
+  const std::size_t n = 16;
+  Grid2D u(n, n, 0.0);
+  u.at(8, 8) = 100.0;  // hot spot diffuses
+  const double h = 1.0;
+  const double norm1 = heat_step(u, 0.2, h);
+  const double norm2 = heat_step(u, 0.2, h);
+  EXPECT_GT(norm1, norm2);  // change decays as heat spreads
+  EXPECT_LT(u.at(8, 8), 100.0);
+  EXPECT_GT(u.at(8, 9), 0.0);
+}
+
+TEST(Stencil, HeatStepRejectsUnstableDt) {
+  Grid2D u(8, 8, 0.0);
+  EXPECT_THROW(heat_step(u, 0.3, 1.0), Error);
+}
+
+TEST(Stencil, EulerShockTubeConservesMass) {
+  EulerState s = make_shock_tube(200);
+  const double m0 = total_mass(s);
+  for (int step = 0; step < 50; ++step) euler_step(s, 0.3);
+  // Transmissive boundaries leak a little; interior conservation holds.
+  EXPECT_NEAR(total_mass(s), m0, m0 * 0.02);
+  // The shock moves right: density right of the diaphragm rises.
+  EXPECT_GT(s.rho[120], 0.125);
+}
+
+TEST(Stencil, EulerEnergyStaysPositive) {
+  EulerState s = make_shock_tube(100);
+  for (int step = 0; step < 100; ++step) euler_step(s, 0.25);
+  for (double e : s.ene) EXPECT_GT(e, 0.0);
+}
+
+TEST(Sparse, LaplacianShape) {
+  const CsrMatrix a = make_laplacian_2d(4, 4, 0.25);
+  EXPECT_EQ(a.n, 16u);
+  // Interior row has 5 entries; corner rows 3.
+  EXPECT_EQ(a.row_start[1] - a.row_start[0], 3u);
+  const std::size_t mid = 5;  // (1,1): interior of 4x4
+  EXPECT_EQ(a.row_start[mid + 1] - a.row_start[mid], 5u);
+}
+
+TEST(Sparse, SpmvIdentityLike) {
+  // With sigma→0 the operator approaches the identity.
+  const CsrMatrix a = make_laplacian_2d(3, 3, 1e-12);
+  std::vector<double> x(9);
+  std::iota(x.begin(), x.end(), 1.0);
+  std::vector<double> y;
+  spmv(a, x, y);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(y[i], x[i], 1e-9);
+}
+
+TEST(Sparse, CgSolvesLaplacianSystem) {
+  const CsrMatrix a = make_laplacian_2d(12, 12, 0.3);
+  std::vector<double> expected(a.n);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    expected[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  std::vector<double> b;
+  spmv(a, expected, b);
+  std::vector<double> x(a.n, 0.0);
+  const CgResult r = conjugate_gradient(a, b, x, 1e-10, 1000);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    EXPECT_NEAR(x[i], expected[i], 1e-6);
+  }
+}
+
+TEST(Sparse, CgSolvesRandomSpd) {
+  const CsrMatrix a = make_random_spd(200, 6, 99);
+  std::vector<double> b(a.n, 1.0);
+  std::vector<double> x(a.n, 0.0);
+  const CgResult r = conjugate_gradient(a, b, x, 1e-9, 2000);
+  EXPECT_TRUE(r.converged);
+  std::vector<double> ax;
+  spmv(a, x, ax);
+  for (std::size_t i = 0; i < a.n; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-6);
+}
+
+TEST(Sparse, CgIterationFlops) {
+  EXPECT_DOUBLE_EQ(cg_iteration_flops(100, 500), 2.0 * 500 + 10.0 * 100);
+}
+
+TEST(Fft, RoundTripRecoversSignal) {
+  std::vector<Complex> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = Complex(std::cos(0.3 * static_cast<double>(i)),
+                      std::sin(0.11 * static_cast<double>(i)));
+  }
+  const std::vector<Complex> original = data;
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, PureToneHasSingleBin) {
+  const std::size_t n = 128;
+  std::vector<Complex> data(n);
+  const double k = 5.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * 3.14159265358979 * k *
+                         static_cast<double>(i) / static_cast<double>(n);
+    data[i] = Complex(std::cos(angle), std::sin(angle));
+  }
+  fft(data);
+  for (std::size_t bin = 0; bin < n; ++bin) {
+    if (bin == 5) {
+      EXPECT_NEAR(std::abs(data[bin]), static_cast<double>(n), 1e-6);
+    } else {
+      EXPECT_NEAR(std::abs(data[bin]), 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<Complex> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = Complex(static_cast<double>(i % 7) - 3.0, 0.0);
+  }
+  double time_energy = 0.0;
+  for (const Complex& c : data) time_energy += std::norm(c);
+  fft(data);
+  double freq_energy = 0.0;
+  for (const Complex& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / 64.0, time_energy, 1e-8);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(100);
+  EXPECT_THROW(fft(data), Error);
+}
+
+TEST(Sort, BucketSortSortsKeys) {
+  const auto keys = make_keys(20'000, 1 << 20, 7);
+  const auto sorted = bucket_sort(keys, 1 << 20, 32);
+  EXPECT_EQ(sorted.size(), keys.size());
+  EXPECT_TRUE(is_sorted_ascending(sorted));
+  // Same multiset: equal sums (cheap permutation check).
+  const std::uint64_t s1 = std::accumulate(keys.begin(), keys.end(),
+                                           std::uint64_t{0});
+  const std::uint64_t s2 = std::accumulate(sorted.begin(), sorted.end(),
+                                           std::uint64_t{0});
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Sort, SingleBucketStillSorts) {
+  const auto keys = make_keys(1000, 1000, 3);
+  EXPECT_TRUE(is_sorted_ascending(bucket_sort(keys, 1000, 1)));
+}
+
+TEST(Multigrid, VcycleReducesResidual) {
+  const std::size_t n = 63;  // 2^6 - 1: coarsens to 31, 15, 7, 3
+  Grid2D u(n, n, 0.0);
+  Grid2D f(n, n, 1.0);
+  const double h = 1.0 / (n + 1);
+  const double r0 = mg_residual_norm(u, f, h);
+  double r = r0;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    r = mg_vcycle(u, f, h, 3);
+  }
+  EXPECT_LT(r, r0 * 0.05);
+}
+
+TEST(Multigrid, VcycleConvergesGeometrically) {
+  const std::size_t n = 31;
+  Grid2D u(n, n, 0.0);
+  Grid2D f(n, n, 1.0);
+  const double h = 1.0 / (n + 1);
+  const double r1 = mg_vcycle(u, f, h, 3);
+  const double r2 = mg_vcycle(u, f, h, 3);
+  EXPECT_LT(r2, r1 * 0.7);  // healthy V-cycle contraction
+}
+
+TEST(Multigrid, LevelsComputed) {
+  EXPECT_EQ(mg_levels(63, 3), 5);  // 63→31→15→7→3
+  EXPECT_EQ(mg_levels(3, 3), 1);
+}
+
+TEST(Multigrid, RejectsEvenGrids) {
+  Grid2D u(64, 64, 0.0);
+  Grid2D f(64, 64, 1.0);
+  EXPECT_THROW(mg_vcycle(u, f, 0.01, 4), Error);
+}
+
+TEST(Ep, GaussianMomentsAndAcceptance) {
+  const EpResult r = ep_generate(200'000, 17);
+  // Polar method accepts π/4 of the unit square.
+  EXPECT_NEAR(static_cast<double>(r.pairs) / 200'000.0, 3.14159 / 4.0, 0.01);
+  EXPECT_NEAR(r.sum_x / static_cast<double>(r.pairs), 0.0, 0.02);
+  // Nearly all deviates land in the first few annuli.
+  EXPECT_GT(r.counts[0] + r.counts[1], r.pairs / 2);
+}
+
+TEST(Dnn, ConvOutputShape) {
+  const Tensor in(3, 11, 11, 1.0f);
+  const Tensor out = conv2d(in, 8, 3, 2, 42);
+  EXPECT_EQ(out.channels, 8u);
+  EXPECT_EQ(out.height, 5u);
+  EXPECT_EQ(out.width, 5u);
+}
+
+TEST(Dnn, ReluClampsNegatives) {
+  Tensor t(1, 2, 2);
+  t.data = {-1.0f, 2.0f, -3.0f, 4.0f};
+  relu(t);
+  EXPECT_FLOAT_EQ(t.data[0], 0.0f);
+  EXPECT_FLOAT_EQ(t.data[1], 2.0f);
+}
+
+TEST(Dnn, MaxpoolPicksMaxima) {
+  Tensor t(1, 2, 2);
+  t.data = {1.0f, 5.0f, 3.0f, 2.0f};
+  const Tensor out = maxpool(t, 2);
+  EXPECT_FLOAT_EQ(out.data[0], 5.0f);
+}
+
+TEST(Dnn, SoftmaxIsDistribution) {
+  const auto p = softmax({1.0f, 2.0f, 3.0f});
+  float sum = 0.0f;
+  for (float v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-6);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Dnn, IdctOfDcIsConstant) {
+  float coeffs[64] = {};
+  coeffs[0] = 8.0f;  // DC only
+  float pixels[64];
+  idct8x8(coeffs, pixels);
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(pixels[i], pixels[0], 1e-5);
+}
+
+TEST(Dnn, NetworkFlopsMatchPublishedScale) {
+  // AlexNet forward ≈ 2.3 GFLOPs (2 FLOPs per MAC accounting);
+  // GoogLeNet ≈ 3-4 GFLOPs.
+  const double alex = network_flops(alexnet_layers());
+  const double goog = network_flops(googlenet_layers());
+  EXPECT_GT(alex, 1.5e9);
+  EXPECT_LT(alex, 3.5e9);
+  EXPECT_GT(goog, 2.0e9);
+  EXPECT_LT(goog, 5.0e9);
+  EXPECT_GT(goog, alex);
+}
+
+TEST(Dnn, GoogLeNetHasManyMoreKernels) {
+  // ~8 launches for AlexNet vs ~58 for GoogLeNet — the launch-overhead
+  // difference behind their different GPU utilization.
+  EXPECT_EQ(alexnet_layers().size(), 8u);
+  EXPECT_GT(googlenet_layers().size(), 50u);
+}
+
+TEST(Dnn, EndToEndTinyForwardPass) {
+  // A miniature 2-layer network end-to-end on real arithmetic.
+  Tensor img(3, 16, 16);
+  for (std::size_t i = 0; i < img.data.size(); ++i) {
+    img.data[i] = static_cast<float>(i % 13) / 13.0f;
+  }
+  Tensor c1 = conv2d(img, 4, 3, 1, 1);
+  relu(c1);
+  const Tensor p1 = maxpool(c1, 2);
+  const auto logits = fully_connected(p1, 10, 2);
+  const auto probs = softmax(logits);
+  EXPECT_EQ(probs.size(), 10u);
+  float sum = 0.0f;
+  for (float v : probs) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+
+TEST(Ssor, ConvergesFasterThanJacobi) {
+  const std::size_t n = 24;
+  const double h = 1.0 / (n + 1);
+  Grid2D uj(n, n, 0.0);
+  Grid2D us(n, n, 0.0);
+  Grid2D f(n, n, 1.0);
+  const int jacobi_iters = jacobi_solve(uj, f, h, 1e-7, 50'000);
+  const int ssor_iters = ssor_solve(us, f, h, 1.5, 1e-7, 50'000);
+  EXPECT_LT(ssor_iters, jacobi_iters / 2);
+  // Both converge to the same solution.
+  EXPECT_NEAR(us.at(n / 2, n / 2), uj.at(n / 2, n / 2), 1e-4);
+}
+
+TEST(Ssor, RejectsBadOmega) {
+  Grid2D u(8, 8, 0.0);
+  Grid2D f(8, 8, 1.0);
+  EXPECT_THROW(ssor_iteration(u, f, 0.1, 2.5), Error);
+  EXPECT_THROW(ssor_iteration(u, f, 0.1, 0.0), Error);
+}
+
+TEST(Ssor, UpdateNormDecreases) {
+  const std::size_t n = 16;
+  Grid2D u(n, n, 0.0);
+  Grid2D f(n, n, 1.0);
+  const double h = 1.0 / (n + 1);
+  const double d1 = ssor_iteration(u, f, h, 1.3);
+  double d2 = d1;
+  for (int i = 0; i < 20; ++i) d2 = ssor_iteration(u, f, h, 1.3);
+  EXPECT_LT(d2, d1);
+}
+
+TEST(BlockThomas, SolvesSystemExactly) {
+  const auto system = make_block_tridiagonal(12, 5, 31);  // bt's 5x5 blocks
+  const auto x = block_thomas_solve(system);
+  EXPECT_LT(block_tridiagonal_residual(system, x), 1e-9);
+}
+
+TEST(BlockThomas, ScalarBlocksMatchTridiagonal) {
+  // bs = 1 reduces to the classic Thomas algorithm.
+  const auto system = make_block_tridiagonal(50, 1, 7);
+  const auto x = block_thomas_solve(system);
+  EXPECT_LT(block_tridiagonal_residual(system, x), 1e-10);
+}
+
+TEST(BlockThomas, VariousShapes) {
+  for (std::size_t rows : {2u, 5u, 33u}) {
+    for (std::size_t bs : {1u, 2u, 5u}) {
+      const auto system = make_block_tridiagonal(rows, bs, rows * 100 + bs);
+      const auto x = block_thomas_solve(system);
+      EXPECT_LT(block_tridiagonal_residual(system, x), 1e-8)
+          << rows << "x" << bs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soc::workloads::kernels

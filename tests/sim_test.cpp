@@ -1,0 +1,365 @@
+// Tests for sim/: event queue ordering, op builders, and the replay
+// engine's semantics (timing, resource contention, message matching,
+// scenarios, accounting, determinism, failure modes).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+#include "sim/op.h"
+
+namespace soc::sim {
+namespace {
+
+// Fixed-cost model for deterministic engine arithmetic.
+class FixedCostModel : public CostModel {
+ public:
+  SimTime cpu_time = 10 * kMillisecond;
+  SimTime gpu_time = 20 * kMillisecond;
+  SimTime copy = 5 * kMillisecond;
+  SimTime latency = 1 * kMillisecond;
+  double bandwidth = 1e9;  // bytes/s
+  SimTime overhead = 0;
+
+  SimTime cpu_compute_time(int, const Op&) const override { return cpu_time; }
+  SimTime gpu_kernel_time(int, const Op&) const override { return gpu_time; }
+  SimTime copy_time(int, const Op&) const override { return copy; }
+  SimTime message_latency(int src, int dst) const override {
+    return src == dst ? 0 : latency;
+  }
+  SimTime message_transfer_time(int, int, Bytes bytes) const override {
+    return transfer_time(bytes, bandwidth);
+  }
+  SimTime send_overhead(int) const override { return overhead; }
+  SimTime recv_overhead(int) const override { return overhead; }
+};
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push(30, 3);
+  q.push(10, 1);
+  q.push(20, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  q.push(5, 10);
+  q.push(5, 20);
+  q.push(5, 30);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 30);
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), Error);
+  EXPECT_THROW(q.next_time(), Error);
+}
+
+TEST(EventQueue, NegativeTimeRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.push(-1, 0), Error);
+}
+
+TEST(Placement, BlockAssignsContiguously) {
+  const Placement p = Placement::block(8, 4);
+  EXPECT_EQ(p.node_of[0], 0);
+  EXPECT_EQ(p.node_of[1], 0);
+  EXPECT_EQ(p.node_of[6], 3);
+  EXPECT_EQ(p.node_of[7], 3);
+}
+
+TEST(Placement, RejectsUnevenSplit) {
+  EXPECT_THROW(Placement::block(7, 4), Error);
+}
+
+TEST(OpBuilders, FieldsArePopulated) {
+  const Op c = cpu_op(100, 50, 64, 3, 7);
+  EXPECT_EQ(c.kind, OpKind::kCpuCompute);
+  EXPECT_EQ(c.profile, 3);
+  EXPECT_EQ(c.phase, 7);
+  const Op g = gpu_op(1e9, 1024, MemModel::kUnified, 1, 4096, false);
+  EXPECT_EQ(g.kind, OpKind::kGpuKernel);
+  EXPECT_EQ(g.mem_model, MemModel::kUnified);
+  EXPECT_FALSE(g.double_precision);
+  EXPECT_DOUBLE_EQ(g.parallelism, 4096.0);
+  const Op s = send_op(2, 512, 9);
+  EXPECT_EQ(s.peer, 2);
+  EXPECT_EQ(s.tag, 9);
+}
+
+TEST(Engine, SingleRankComputeTime) {
+  FixedCostModel cost;
+  Engine engine(Placement::block(1, 1), cost);
+  std::vector<Program> programs(1);
+  programs[0] = {cpu_op(1, 1, 0, 0), cpu_op(1, 1, 0, 0)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.makespan, 2 * cost.cpu_time);
+  EXPECT_EQ(stats.ranks[0].cpu_busy, 2 * cost.cpu_time);
+}
+
+TEST(Engine, GpuSharedFifoSerializes) {
+  // Two ranks on one node both launch a kernel: the second waits.
+  FixedCostModel cost;
+  Engine engine(Placement::block(2, 1), cost);
+  std::vector<Program> programs(2);
+  programs[0] = {gpu_op(1, 0, MemModel::kHostDevice)};
+  programs[1] = {gpu_op(1, 0, MemModel::kHostDevice)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.makespan, 2 * cost.gpu_time);
+  EXPECT_EQ(stats.ranks[0].gpu_queue_wait + stats.ranks[1].gpu_queue_wait,
+            cost.gpu_time);
+}
+
+TEST(Engine, GpusOnDifferentNodesRunInParallel) {
+  FixedCostModel cost;
+  Engine engine(Placement::block(2, 2), cost);
+  std::vector<Program> programs(2);
+  programs[0] = {gpu_op(1, 0, MemModel::kHostDevice)};
+  programs[1] = {gpu_op(1, 0, MemModel::kHostDevice)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.makespan, cost.gpu_time);
+}
+
+TEST(Engine, RendezvousMessageTiming) {
+  FixedCostModel cost;
+  EngineConfig config;
+  config.eager_threshold = 0;  // force rendezvous
+  Engine engine(Placement::block(2, 2), cost, config);
+  std::vector<Program> programs(2);
+  programs[0] = {send_op(1, 1'000'000, 0)};  // 1 MB at 1 GB/s = 1 ms
+  programs[1] = {recv_op(0, 1'000'000, 0)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.makespan, cost.latency + 1 * kMillisecond);
+  EXPECT_EQ(stats.ranks[0].net_bytes_sent, 1'000'000);
+  EXPECT_EQ(stats.ranks[1].net_bytes_received, 1'000'000);
+}
+
+TEST(Engine, RendezvousSenderBlocksUntilReceiverPosts) {
+  FixedCostModel cost;
+  EngineConfig config;
+  config.eager_threshold = 0;
+  Engine engine(Placement::block(2, 2), cost, config);
+  std::vector<Program> programs(2);
+  programs[0] = {send_op(1, 1'000'000, 0)};
+  // Receiver computes first (10 ms), then posts the receive.
+  programs[1] = {cpu_op(1, 1, 0, 0), recv_op(0, 1'000'000, 0)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.makespan, cost.cpu_time + cost.latency + 1 * kMillisecond);
+  EXPECT_GE(stats.ranks[0].send_blocked, cost.cpu_time);
+}
+
+TEST(Engine, EagerSenderDoesNotBlock) {
+  FixedCostModel cost;
+  EngineConfig config;
+  config.eager_threshold = 1 * kMiB;
+  Engine engine(Placement::block(2, 2), cost, config);
+  std::vector<Program> programs(2);
+  // Sender: eager send, then long compute.  Receiver: compute, then recv.
+  programs[0] = {send_op(1, 1024, 0), cpu_op(1, 1, 0, 0)};
+  programs[1] = {cpu_op(1, 1, 0, 0), recv_op(0, 1024, 0)};
+  const RunStats stats = engine.run(programs);
+  // Sender finishes its compute immediately after the (non-blocking) send.
+  EXPECT_EQ(stats.ranks[0].finish_time, cost.cpu_time);
+}
+
+TEST(Engine, IntraNodeMessageUsesNoNic) {
+  FixedCostModel cost;
+  EngineConfig config;
+  config.eager_threshold = 0;
+  Engine engine(Placement::block(2, 1), cost, config);
+  std::vector<Program> programs(2);
+  programs[0] = {send_op(1, 4096, 0)};
+  programs[1] = {recv_op(0, 4096, 0)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.ranks[0].net_bytes_sent, 0);
+  EXPECT_EQ(stats.ranks[0].intra_bytes_sent, 4096);
+  EXPECT_EQ(stats.total_net_bytes, 0);
+}
+
+TEST(Engine, NicContentionSerializesTransfers) {
+  // Two ranks on node 0 send large messages to two ranks on node 1:
+  // both transfers share the same NICs and serialize.
+  FixedCostModel cost;
+  EngineConfig config;
+  config.eager_threshold = 0;
+  Engine engine(Placement::block(4, 2), cost, config);
+  std::vector<Program> programs(4);
+  programs[0] = {send_op(2, 1'000'000, 0)};
+  programs[1] = {send_op(3, 1'000'000, 1)};
+  programs[2] = {recv_op(0, 1'000'000, 0)};
+  programs[3] = {recv_op(1, 1'000'000, 1)};
+  const RunStats stats = engine.run(programs);
+  // Each transfer takes latency + 1 ms; they cannot overlap on the NIC.
+  EXPECT_GE(stats.makespan, 2 * (1 * kMillisecond) + cost.latency);
+}
+
+TEST(Engine, DeadlockDetected) {
+  FixedCostModel cost;
+  EngineConfig config;
+  config.eager_threshold = 0;
+  Engine engine(Placement::block(2, 2), cost, config);
+  std::vector<Program> programs(2);
+  // Both send first: classic rendezvous deadlock.
+  programs[0] = {send_op(1, 1'000'000, 0), recv_op(1, 1'000'000, 1)};
+  programs[1] = {send_op(0, 1'000'000, 1), recv_op(0, 1'000'000, 0)};
+  EXPECT_THROW(engine.run(programs), Error);
+}
+
+TEST(Engine, MismatchedTagDeadlocks) {
+  FixedCostModel cost;
+  EngineConfig config;
+  config.eager_threshold = 0;
+  Engine engine(Placement::block(2, 2), cost, config);
+  std::vector<Program> programs(2);
+  programs[0] = {send_op(1, 1'000'000, 7)};
+  programs[1] = {recv_op(0, 1'000'000, 8)};
+  EXPECT_THROW(engine.run(programs), Error);
+}
+
+TEST(Engine, SelfMessageRejected) {
+  FixedCostModel cost;
+  Engine engine(Placement::block(2, 2), cost);
+  std::vector<Program> programs(2);
+  programs[0] = {send_op(0, 10, 0)};
+  EXPECT_THROW(engine.run(programs), Error);
+}
+
+TEST(Engine, PhaseComputeAccounting) {
+  FixedCostModel cost;
+  Engine engine(Placement::block(1, 1), cost);
+  std::vector<Program> programs(1);
+  programs[0] = {phase_op(1), cpu_op(1, 1, 0, 0), phase_op(2),
+                 cpu_op(1, 1, 0, 0), cpu_op(1, 1, 0, 0)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.ranks[0].phase_compute.at(1), cost.cpu_time);
+  EXPECT_EQ(stats.ranks[0].phase_compute.at(2), 2 * cost.cpu_time);
+}
+
+TEST(Engine, CopiesAreNotUsefulCompute) {
+  FixedCostModel cost;
+  Engine engine(Placement::block(1, 1), cost);
+  std::vector<Program> programs(1);
+  programs[0] = {phase_op(1), copy_h2d_op(1024, MemModel::kHostDevice)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.ranks[0].copy_busy, cost.copy);
+  EXPECT_TRUE(stats.ranks[0].phase_compute.empty());
+}
+
+TEST(Engine, IdealNetworkZeroesTransferTime) {
+  FixedCostModel cost;
+  EngineConfig config;
+  config.eager_threshold = 0;
+  Scenario scenario;
+  scenario.ideal_network = true;
+  Engine engine(Placement::block(2, 2), cost, config, scenario);
+  std::vector<Program> programs(2);
+  programs[0] = {send_op(1, 100'000'000, 0)};
+  programs[1] = {recv_op(0, 100'000'000, 0)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.makespan, 0);
+  // Traffic is still accounted (the data still notionally moves).
+  EXPECT_EQ(stats.total_net_bytes, 100'000'000);
+}
+
+TEST(Engine, ComputeScaleStretchesWork) {
+  FixedCostModel cost;
+  Scenario scenario;
+  scenario.compute_scale = {2.0};
+  Engine engine(Placement::block(1, 1), cost, EngineConfig{}, scenario);
+  std::vector<Program> programs(1);
+  programs[0] = {cpu_op(1, 1, 0, 0)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.makespan, 2 * cost.cpu_time);
+}
+
+TEST(Engine, FlopAndTrafficAggregation) {
+  FixedCostModel cost;
+  Engine engine(Placement::block(1, 1), cost);
+  std::vector<Program> programs(1);
+  programs[0] = {cpu_op(100, 50, 64, 0), gpu_op(200, 128, MemModel::kHostDevice)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_DOUBLE_EQ(stats.total_flops, 250.0);
+  EXPECT_DOUBLE_EQ(stats.total_gpu_flops, 200.0);
+  EXPECT_EQ(stats.total_dram_bytes, 192);
+  EXPECT_EQ(stats.total_gpu_dram_bytes, 128);
+  EXPECT_DOUBLE_EQ(stats.ranks[0].instructions, 100.0);
+}
+
+TEST(Engine, InstructionsByProfileTracked) {
+  FixedCostModel cost;
+  Engine engine(Placement::block(1, 1), cost);
+  std::vector<Program> programs(1);
+  programs[0] = {cpu_op(100, 0, 0, 0), cpu_op(50, 0, 0, 1),
+                 cpu_op(25, 0, 0, 0)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_DOUBLE_EQ(stats.ranks[0].instructions_by_profile.at(0), 125.0);
+  EXPECT_DOUBLE_EQ(stats.ranks[0].instructions_by_profile.at(1), 50.0);
+}
+
+TEST(Engine, TimelineBinsAccumulateBusySeconds) {
+  FixedCostModel cost;
+  cost.cpu_time = 250 * kMillisecond;
+  EngineConfig config;
+  config.timeline_bin_seconds = 0.1;
+  Engine engine(Placement::block(1, 1), cost, config);
+  std::vector<Program> programs(1);
+  programs[0] = {cpu_op(1, 1, 0, 0)};
+  const RunStats stats = engine.run(programs);
+  const auto& cpu = stats.nodes[0].cpu_busy;
+  ASSERT_GE(cpu.size(), 3u);
+  EXPECT_NEAR(cpu[0], 0.1, 1e-9);
+  EXPECT_NEAR(cpu[1], 0.1, 1e-9);
+  EXPECT_NEAR(cpu[2], 0.05, 1e-9);
+  double total = 0.0;
+  for (double v : cpu) total += v;
+  EXPECT_NEAR(total, 0.25, 1e-9);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  FixedCostModel cost;
+  // Ring of eager-sized messages (a rendezvous ring would deadlock).
+  std::vector<Program> programs(4);
+  for (int r = 0; r < 4; ++r) {
+    programs[r].push_back(cpu_op(1, 1, 0, 0));
+    programs[r].push_back(send_op((r + 1) % 4, 1 * kKiB, r));
+  }
+  for (int r = 0; r < 4; ++r) {
+    programs[(r + 1) % 4].push_back(recv_op(r, 1 * kKiB, r));
+  }
+  Engine a(Placement::block(4, 2), cost);
+  Engine b(Placement::block(4, 2), cost);
+  const RunStats sa = a.run(programs);
+  const RunStats sb = b.run(programs);
+  EXPECT_EQ(sa.makespan, sb.makespan);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(sa.ranks[r].finish_time, sb.ranks[r].finish_time);
+    EXPECT_EQ(sa.ranks[r].recv_blocked, sb.ranks[r].recv_blocked);
+  }
+}
+
+TEST(Engine, ProgramCountMismatchThrows) {
+  FixedCostModel cost;
+  Engine engine(Placement::block(2, 2), cost);
+  std::vector<Program> programs(1);
+  EXPECT_THROW(engine.run(programs), Error);
+}
+
+TEST(Engine, MultipleMessagesSameTagFifoOrder) {
+  FixedCostModel cost;
+  EngineConfig config;
+  config.eager_threshold = 1 * kMiB;
+  Engine engine(Placement::block(2, 2), cost, config);
+  std::vector<Program> programs(2);
+  programs[0] = {send_op(1, 100, 5), send_op(1, 100, 5)};
+  programs[1] = {recv_op(0, 100, 5), recv_op(0, 100, 5)};
+  const RunStats stats = engine.run(programs);
+  EXPECT_EQ(stats.ranks[1].messages_received, 2);
+}
+
+}  // namespace
+}  // namespace soc::sim

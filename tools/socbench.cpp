@@ -1,0 +1,269 @@
+// socbench — command-line driver for the soccluster simulator.
+//
+// Subcommands:
+//   socbench list
+//       Workloads and machine models available.
+//   socbench run --workload jacobi --nodes 16 --nic 10g [--scale 1.0]
+//                [--mem-model hd|zc|um] [--gpu-fraction 1.0] [--ranks N]
+//       One metered run: runtime, throughput, energy, traffic, roofline.
+//   socbench sweep --workload hpl --nodes 2,4,8,16 --nic both
+//       Cluster-size sweep, one row per (size, NIC).
+//   socbench decompose --workload ft --nodes 16
+//       The paper's LB/Ser/Trf efficiency decomposition (Eq. 4).
+//   socbench trace --workload tealeaf3d --nodes 8 --out run.soctrace
+//       Record the generated per-rank programs to a trace file.
+//   socbench replay --trace run.soctrace --nodes 8 [--ideal-network]
+//       Replay a recorded trace (DIMEMAS-style what-if supported).
+#include <cstdio>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/args.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "core/efficiency.h"
+#include "core/extended_roofline.h"
+#include "net/network.h"
+#include "systems/machines.h"
+#include "trace/export.h"
+#include "trace/timeline.h"
+#include "trace/replay.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace soc;
+
+net::NicKind parse_nic(const std::string& s) {
+  if (s == "1g") return net::NicKind::kGigabit;
+  if (s == "10g") return net::NicKind::kTenGigabit;
+  throw Error("unknown NIC '" + s + "' (use 1g or 10g)");
+}
+
+sim::MemModel parse_mem_model(const std::string& s) {
+  if (s == "hd") return sim::MemModel::kHostDevice;
+  if (s == "zc") return sim::MemModel::kZeroCopy;
+  if (s == "um") return sim::MemModel::kUnified;
+  throw Error("unknown memory model '" + s + "' (use hd, zc, or um)");
+}
+
+int natural_ranks(const workloads::Workload& w, int nodes) {
+  if (w.name() == "alexnet" || w.name() == "googlenet") return 4 * nodes;
+  if (!w.gpu_accelerated()) return 2 * nodes;
+  return nodes;
+}
+
+void print_result(const cluster::RunResult& r, const systems::NodeConfig& node,
+                  int nodes, bool dp) {
+  std::printf("runtime        : %.3f s\n", r.seconds);
+  std::printf("throughput     : %.2f GFLOP/s\n", r.gflops);
+  std::printf("energy         : %.1f J (avg %.1f W, peak %.1f W)\n",
+              r.joules, r.average_watts, r.energy.peak_watts);
+  std::printf("efficiency     : %.1f MFLOPS/W\n", r.mflops_per_watt);
+  const power::EnergyBreakdown& e = r.energy.breakdown;
+  std::printf("energy split   : idle %.0f%%, cpu %.0f%%, gpu %.0f%%, "
+              "nic %.0f%%, dram %.0f%%\n", 100.0 * e.idle / r.joules,
+              100.0 * e.cpu / r.joules, 100.0 * e.gpu / r.joules,
+              100.0 * e.nic / r.joules, 100.0 * e.dram / r.joules);
+  std::printf("network traffic: %.3f GB (%.4f GB/s)\n",
+              static_cast<double>(r.stats.total_net_bytes) / 1e9,
+              r.stats.net_bytes_per_second() / 1e9);
+  std::printf("DRAM traffic   : %.1f GB (%.2f GB/s)\n",
+              static_cast<double>(r.stats.total_dram_bytes) / 1e9,
+              r.stats.dram_bytes_per_second() / 1e9);
+  if (node.has_gpu && r.stats.total_gpu_flops > 0.0) {
+    core::ExtendedRoofline model;
+    model.peak_flops =
+        dp ? node.gpu.peak_dp_flops() : node.gpu.peak_sp_flops();
+    model.memory_bandwidth = node.dram.gpu_bandwidth;
+    model.network_bandwidth = node.nic.effective_bandwidth;
+    const auto m = core::measure_roofline(model, r.stats, nodes, "run");
+    std::printf("roofline       : OI=%.2f NI=%s -> %.2f of %.2f GFLOP/s/node "
+                "(%s-limited)\n",
+                m.operational_intensity,
+                m.network_intensity >= 1e9
+                    ? "local"
+                    : TextTable::num(m.network_intensity, 1).c_str(),
+                m.achieved_flops / 1e9, m.attainable_flops / 1e9,
+                core::limit_name(m.limiting_intensity));
+  }
+}
+
+int cmd_list() {
+  std::printf("workloads:\n");
+  for (const std::string& name : workloads::all_workload_names()) {
+    const auto w = workloads::make_workload(name);
+    std::printf("  %-11s %s\n", name.c_str(),
+                w->gpu_accelerated() ? "(GPU-accelerated)" : "(CPU, NPB)");
+  }
+  std::printf("\nmachines:\n");
+  std::printf("  jetson-tx1   4x Cortex-A57 + 2-SM Maxwell, 4 GB LPDDR4, "
+              "1GbE/10GbE\n");
+  std::printf("  thunderx     2x48 ARMv8 cores, 2x16 MB L2 (table VI "
+              "comparison)\n");
+  std::printf("  xeon-gtx980  8-core Xeon + GTX 980 (fig 9 comparison)\n");
+  return 0;
+}
+
+cluster::RunOptions options_from(const ArgParser& args) {
+  cluster::RunOptions options;
+  options.size_scale = args.get_double("--scale");
+  options.mem_model = parse_mem_model(args.get("--mem-model"));
+  options.gpu_work_fraction = args.get_double("--gpu-fraction");
+  return options;
+}
+
+int cmd_run(const ArgParser& args) {
+  const auto workload = workloads::make_workload(args.get("--workload"));
+  const int nodes = args.get_int("--nodes");
+  const int ranks = args.given("--ranks") ? args.get_int("--ranks")
+                                          : natural_ranks(*workload, nodes);
+  const auto node = systems::jetson_tx1(parse_nic(args.get("--nic")));
+  const cluster::Cluster cl(cluster::ClusterConfig{node, nodes, ranks});
+  const auto result = cl.run(*workload, options_from(args));
+  std::printf("%s on %d x %s (%s, %d ranks)\n\n", workload->name().c_str(),
+              nodes, node.name.c_str(), node.nic.name.c_str(), ranks);
+  const bool dp = workload->name() != "alexnet" &&
+                  workload->name() != "googlenet";
+  print_result(result, node, nodes, dp);
+  if (args.get_bool("--timeline")) {
+    trace::TimelineOptions t;
+    t.cores_per_node = node.cpu_cores;
+    std::printf("\n%s", trace::render_timeline(result.stats, t).c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const ArgParser& args) {
+  const auto workload = workloads::make_workload(args.get("--workload"));
+  const auto sizes = parse_int_list(args.get("--nodes"));
+  const std::string nic_arg = args.get("--nic");
+  std::vector<net::NicKind> nics;
+  if (nic_arg == "both") {
+    nics = {net::NicKind::kGigabit, net::NicKind::kTenGigabit};
+  } else {
+    nics = {parse_nic(nic_arg)};
+  }
+  TextTable table({"nodes", "NIC", "runtime (s)", "GFLOP/s", "MFLOPS/W",
+                   "net GB"});
+  for (int nodes : sizes) {
+    for (net::NicKind nic : nics) {
+      const auto node = systems::jetson_tx1(nic);
+      const cluster::Cluster cl(cluster::ClusterConfig{
+          node, nodes, natural_ranks(*workload, nodes)});
+      const auto r = cl.run(*workload, options_from(args));
+      table.add_row({std::to_string(nodes), node.nic.name,
+                     TextTable::num(r.seconds, 2),
+                     TextTable::num(r.gflops, 1),
+                     TextTable::num(r.mflops_per_watt, 0),
+                     TextTable::num(
+                         static_cast<double>(r.stats.total_net_bytes) / 1e9,
+                         2)});
+    }
+  }
+  std::printf("%s\n%s", workload->name().c_str(), table.str().c_str());
+  return 0;
+}
+
+int cmd_decompose(const ArgParser& args) {
+  const auto workload = workloads::make_workload(args.get("--workload"));
+  const int nodes = args.get_int("--nodes");
+  const auto node = systems::jetson_tx1(parse_nic(args.get("--nic")));
+  const cluster::Cluster cl(cluster::ClusterConfig{
+      node, nodes, natural_ranks(*workload, nodes)});
+  const auto runs = cl.replay_scenarios(*workload, options_from(args));
+  const auto d = core::decompose(runs);
+  std::printf("%s on %d nodes (%s): Eq. 4 decomposition\n\n",
+              workload->name().c_str(), nodes, node.nic.name.c_str());
+  std::printf("  measured            : %.3f s\n", d.measured_seconds);
+  std::printf("  ideal network       : %.3f s (%.2fx)\n",
+              d.ideal_network_seconds,
+              d.measured_seconds / d.ideal_network_seconds);
+  std::printf("  ideal load balance  : %.3f s (%.2fx)\n",
+              d.ideal_balance_seconds,
+              d.measured_seconds / d.ideal_balance_seconds);
+  std::printf("  LB = %.3f, Ser = %.3f, Trf = %.3f  ->  eta = %.3f\n",
+              d.load_balance, d.serialization, d.transfer, d.efficiency);
+  return 0;
+}
+
+int cmd_trace(const ArgParser& args) {
+  const auto workload = workloads::make_workload(args.get("--workload"));
+  const int nodes = args.get_int("--nodes");
+  workloads::BuildContext ctx;
+  ctx.nodes = nodes;
+  ctx.ranks = args.given("--ranks") ? args.get_int("--ranks")
+                                    : natural_ranks(*workload, nodes);
+  ctx.size_scale = args.get_double("--scale");
+  ctx.mem_model = parse_mem_model(args.get("--mem-model"));
+  ctx.gpu_work_fraction = args.get_double("--gpu-fraction");
+  const auto programs = workload->build(ctx);
+  trace::save_trace(args.get("--out"), programs);
+  std::size_t ops = 0;
+  for (const auto& p : programs) ops += p.size();
+  std::printf("wrote %zu ranks / %zu ops to %s\n", programs.size(), ops,
+              args.get("--out").c_str());
+  return 0;
+}
+
+int cmd_replay(const ArgParser& args) {
+  const auto programs = trace::load_trace(args.get("--trace"));
+  const int nodes = args.get_int("--nodes");
+  const int ranks = static_cast<int>(programs.size());
+  const auto node = systems::jetson_tx1(parse_nic(args.get("--nic")));
+  cluster::ClusterCostModel cost(node, nodes, ranks,
+                                 workloads::make_workload("jacobi")
+                                     ->cpu_profile());
+  sim::Scenario scenario;
+  scenario.ideal_network = args.get_bool("--ideal-network");
+  sim::Engine engine(sim::Placement::block(ranks, nodes), cost,
+                     sim::EngineConfig{}, scenario);
+  const sim::RunStats stats = engine.run(programs);
+  std::printf("replayed %d ranks on %d nodes%s: %.3f s, %.2f GFLOP/s, "
+              "%.3f GB over the network\n",
+              ranks, nodes, scenario.ideal_network ? " (ideal network)" : "",
+              stats.seconds(), stats.flops_per_second() / 1e9,
+              static_cast<double>(stats.total_net_bytes) / 1e9);
+  return 0;
+}
+
+int usage(const ArgParser& args) {
+  std::printf(
+      "usage: socbench <list|run|sweep|decompose|trace|replay> [flags]\n\n"
+      "flags:\n%s", args.usage().c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("--workload", "workload tag (see 'socbench list')", "jacobi");
+  args.add_flag("--nodes", "cluster size, or CSV list for sweep", "8");
+  args.add_flag("--ranks", "override the natural MPI rank count");
+  args.add_flag("--nic", "1g, 10g, or both (sweep only)", "10g");
+  args.add_flag("--scale", "problem-size multiplier", "1.0");
+  args.add_flag("--mem-model", "CUDA memory model: hd, zc, um", "hd");
+  args.add_flag("--gpu-fraction", "GPU share of offloadable work", "1.0");
+  args.add_flag("--out", "output trace path (trace)", "run.soctrace");
+  args.add_flag("--trace", "input trace path (replay)", "run.soctrace");
+  args.add_bool("--ideal-network", "replay with zero-cost network");
+  args.add_bool("--timeline", "render per-node utilization strips (run)");
+
+  try {
+    args.parse(argc, argv);
+    if (args.positional().empty()) return usage(args);
+    const std::string& command = args.positional().front();
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "decompose") return cmd_decompose(args);
+    if (command == "trace") return cmd_trace(args);
+    if (command == "replay") return cmd_replay(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage(args);
+  } catch (const soc::Error& e) {
+    std::fprintf(stderr, "socbench: %s\n", e.what());
+    return 1;
+  }
+}
