@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zero_copy.dir/ablation_zero_copy.cpp.o"
+  "CMakeFiles/ablation_zero_copy.dir/ablation_zero_copy.cpp.o.d"
+  "ablation_zero_copy"
+  "ablation_zero_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zero_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

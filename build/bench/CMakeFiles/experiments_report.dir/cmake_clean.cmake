@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_report.dir/experiments_report.cpp.o"
+  "CMakeFiles/experiments_report.dir/experiments_report.cpp.o.d"
+  "experiments_report"
+  "experiments_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

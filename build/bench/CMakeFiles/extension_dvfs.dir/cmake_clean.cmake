@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_dvfs.dir/extension_dvfs.cpp.o"
+  "CMakeFiles/extension_dvfs.dir/extension_dvfs.cpp.o.d"
+  "extension_dvfs"
+  "extension_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

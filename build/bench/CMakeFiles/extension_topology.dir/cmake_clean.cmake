@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_topology.dir/extension_topology.cpp.o"
+  "CMakeFiles/extension_topology.dir/extension_topology.cpp.o.d"
+  "extension_topology"
+  "extension_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ai_balance.dir/fig10_ai_balance.cpp.o"
+  "CMakeFiles/fig10_ai_balance.dir/fig10_ai_balance.cpp.o.d"
+  "fig10_ai_balance"
+  "fig10_ai_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ai_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

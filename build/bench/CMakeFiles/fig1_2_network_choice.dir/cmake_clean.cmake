@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_2_network_choice.dir/fig1_2_network_choice.cpp.o"
+  "CMakeFiles/fig1_2_network_choice.dir/fig1_2_network_choice.cpp.o.d"
+  "fig1_2_network_choice"
+  "fig1_2_network_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_2_network_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

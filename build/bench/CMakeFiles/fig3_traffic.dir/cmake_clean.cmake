@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_traffic.dir/fig3_traffic.cpp.o"
+  "CMakeFiles/fig3_traffic.dir/fig3_traffic.cpp.o.d"
+  "fig3_traffic"
+  "fig3_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

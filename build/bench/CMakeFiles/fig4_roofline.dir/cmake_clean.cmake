@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_roofline.dir/fig4_roofline.cpp.o"
+  "CMakeFiles/fig4_roofline.dir/fig4_roofline.cpp.o.d"
+  "fig4_roofline"
+  "fig4_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

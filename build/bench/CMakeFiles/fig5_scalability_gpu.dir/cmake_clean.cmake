@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scalability_gpu.dir/fig5_scalability_gpu.cpp.o"
+  "CMakeFiles/fig5_scalability_gpu.dir/fig5_scalability_gpu.cpp.o.d"
+  "fig5_scalability_gpu"
+  "fig5_scalability_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scalability_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cpu_gpu_ratio.dir/fig7_cpu_gpu_ratio.cpp.o"
+  "CMakeFiles/fig7_cpu_gpu_ratio.dir/fig7_cpu_gpu_ratio.cpp.o.d"
+  "fig7_cpu_gpu_ratio"
+  "fig7_cpu_gpu_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cpu_gpu_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_discrete_gpu.dir/fig9_discrete_gpu.cpp.o"
+  "CMakeFiles/fig9_discrete_gpu.dir/fig9_discrete_gpu.cpp.o.d"
+  "fig9_discrete_gpu"
+  "fig9_discrete_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_discrete_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

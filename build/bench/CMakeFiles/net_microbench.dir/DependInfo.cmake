@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/net_microbench.cpp" "bench/CMakeFiles/net_microbench.dir/net_microbench.cpp.o" "gcc" "bench/CMakeFiles/net_microbench.dir/net_microbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/soc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/soc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/soc_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/soc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/soc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/soc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/soc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/soc_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/soc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/soc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/soc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_microbench.dir/net_microbench.cpp.o"
+  "CMakeFiles/net_microbench.dir/net_microbench.cpp.o.d"
+  "net_microbench"
+  "net_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_roofline_measured.dir/table2_roofline_measured.cpp.o"
+  "CMakeFiles/table2_roofline_measured.dir/table2_roofline_measured.cpp.o.d"
+  "table2_roofline_measured"
+  "table2_roofline_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_roofline_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_roofline_measured.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_memory_models.dir/table3_memory_models.cpp.o"
+  "CMakeFiles/table3_memory_models.dir/table3_memory_models.cpp.o.d"
+  "table3_memory_models"
+  "table3_memory_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_memory_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

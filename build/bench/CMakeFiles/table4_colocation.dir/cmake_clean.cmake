@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_colocation.dir/table4_colocation.cpp.o"
+  "CMakeFiles/table4_colocation.dir/table4_colocation.cpp.o.d"
+  "table4_colocation"
+  "table4_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

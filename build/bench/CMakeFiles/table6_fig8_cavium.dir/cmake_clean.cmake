@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_fig8_cavium.dir/table6_fig8_cavium.cpp.o"
+  "CMakeFiles/table6_fig8_cavium.dir/table6_fig8_cavium.cpp.o.d"
+  "table6_fig8_cavium"
+  "table6_fig8_cavium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_fig8_cavium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_fig8_cavium.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_fig8_cavium.
+# This may be replaced when dependencies are built.

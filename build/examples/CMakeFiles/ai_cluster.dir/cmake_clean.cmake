@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ai_cluster.dir/ai_cluster.cpp.o"
+  "CMakeFiles/ai_cluster.dir/ai_cluster.cpp.o.d"
+  "ai_cluster"
+  "ai_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ai_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

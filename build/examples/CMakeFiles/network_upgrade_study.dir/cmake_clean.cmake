@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_upgrade_study.dir/network_upgrade_study.cpp.o"
+  "CMakeFiles/network_upgrade_study.dir/network_upgrade_study.cpp.o.d"
+  "network_upgrade_study"
+  "network_upgrade_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_upgrade_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("sim")
+subdirs("arch")
+subdirs("mem")
+subdirs("net")
+subdirs("gpu")
+subdirs("msg")
+subdirs("power")
+subdirs("trace")
+subdirs("core")
+subdirs("systems")
+subdirs("workloads")
+subdirs("cluster")

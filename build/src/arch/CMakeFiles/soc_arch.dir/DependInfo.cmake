@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/branch.cpp" "src/arch/CMakeFiles/soc_arch.dir/branch.cpp.o" "gcc" "src/arch/CMakeFiles/soc_arch.dir/branch.cpp.o.d"
+  "/root/repo/src/arch/cache.cpp" "src/arch/CMakeFiles/soc_arch.dir/cache.cpp.o" "gcc" "src/arch/CMakeFiles/soc_arch.dir/cache.cpp.o.d"
+  "/root/repo/src/arch/core_model.cpp" "src/arch/CMakeFiles/soc_arch.dir/core_model.cpp.o" "gcc" "src/arch/CMakeFiles/soc_arch.dir/core_model.cpp.o.d"
+  "/root/repo/src/arch/pmu.cpp" "src/arch/CMakeFiles/soc_arch.dir/pmu.cpp.o" "gcc" "src/arch/CMakeFiles/soc_arch.dir/pmu.cpp.o.d"
+  "/root/repo/src/arch/streams.cpp" "src/arch/CMakeFiles/soc_arch.dir/streams.cpp.o" "gcc" "src/arch/CMakeFiles/soc_arch.dir/streams.cpp.o.d"
+  "/root/repo/src/arch/tlb.cpp" "src/arch/CMakeFiles/soc_arch.dir/tlb.cpp.o" "gcc" "src/arch/CMakeFiles/soc_arch.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

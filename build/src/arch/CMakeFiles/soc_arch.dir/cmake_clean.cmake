@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_arch.dir/branch.cpp.o"
+  "CMakeFiles/soc_arch.dir/branch.cpp.o.d"
+  "CMakeFiles/soc_arch.dir/cache.cpp.o"
+  "CMakeFiles/soc_arch.dir/cache.cpp.o.d"
+  "CMakeFiles/soc_arch.dir/core_model.cpp.o"
+  "CMakeFiles/soc_arch.dir/core_model.cpp.o.d"
+  "CMakeFiles/soc_arch.dir/pmu.cpp.o"
+  "CMakeFiles/soc_arch.dir/pmu.cpp.o.d"
+  "CMakeFiles/soc_arch.dir/streams.cpp.o"
+  "CMakeFiles/soc_arch.dir/streams.cpp.o.d"
+  "CMakeFiles/soc_arch.dir/tlb.cpp.o"
+  "CMakeFiles/soc_arch.dir/tlb.cpp.o.d"
+  "libsoc_arch.a"
+  "libsoc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_common.dir/args.cpp.o"
+  "CMakeFiles/soc_common.dir/args.cpp.o.d"
+  "CMakeFiles/soc_common.dir/error.cpp.o"
+  "CMakeFiles/soc_common.dir/error.cpp.o.d"
+  "CMakeFiles/soc_common.dir/parallel.cpp.o"
+  "CMakeFiles/soc_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/soc_common.dir/rng.cpp.o"
+  "CMakeFiles/soc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/soc_common.dir/table.cpp.o"
+  "CMakeFiles/soc_common.dir/table.cpp.o.d"
+  "CMakeFiles/soc_common.dir/units.cpp.o"
+  "CMakeFiles/soc_common.dir/units.cpp.o.d"
+  "libsoc_common.a"
+  "libsoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/counters_analysis.cpp" "src/core/CMakeFiles/soc_core.dir/counters_analysis.cpp.o" "gcc" "src/core/CMakeFiles/soc_core.dir/counters_analysis.cpp.o.d"
+  "/root/repo/src/core/efficiency.cpp" "src/core/CMakeFiles/soc_core.dir/efficiency.cpp.o" "gcc" "src/core/CMakeFiles/soc_core.dir/efficiency.cpp.o.d"
+  "/root/repo/src/core/extended_roofline.cpp" "src/core/CMakeFiles/soc_core.dir/extended_roofline.cpp.o" "gcc" "src/core/CMakeFiles/soc_core.dir/extended_roofline.cpp.o.d"
+  "/root/repo/src/core/roofline.cpp" "src/core/CMakeFiles/soc_core.dir/roofline.cpp.o" "gcc" "src/core/CMakeFiles/soc_core.dir/roofline.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "src/core/CMakeFiles/soc_core.dir/scaling.cpp.o" "gcc" "src/core/CMakeFiles/soc_core.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/soc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/soc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/soc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_core.dir/counters_analysis.cpp.o"
+  "CMakeFiles/soc_core.dir/counters_analysis.cpp.o.d"
+  "CMakeFiles/soc_core.dir/efficiency.cpp.o"
+  "CMakeFiles/soc_core.dir/efficiency.cpp.o.d"
+  "CMakeFiles/soc_core.dir/extended_roofline.cpp.o"
+  "CMakeFiles/soc_core.dir/extended_roofline.cpp.o.d"
+  "CMakeFiles/soc_core.dir/roofline.cpp.o"
+  "CMakeFiles/soc_core.dir/roofline.cpp.o.d"
+  "CMakeFiles/soc_core.dir/scaling.cpp.o"
+  "CMakeFiles/soc_core.dir/scaling.cpp.o.d"
+  "libsoc_core.a"
+  "libsoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

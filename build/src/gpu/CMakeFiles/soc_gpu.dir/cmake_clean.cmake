@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_gpu.dir/device.cpp.o"
+  "CMakeFiles/soc_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/soc_gpu.dir/occupancy.cpp.o"
+  "CMakeFiles/soc_gpu.dir/occupancy.cpp.o.d"
+  "libsoc_gpu.a"
+  "libsoc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

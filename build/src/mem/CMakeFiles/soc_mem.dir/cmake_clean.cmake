@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_mem.dir/dram.cpp.o"
+  "CMakeFiles/soc_mem.dir/dram.cpp.o.d"
+  "libsoc_mem.a"
+  "libsoc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

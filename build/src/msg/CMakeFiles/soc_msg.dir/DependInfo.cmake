@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/collectives.cpp" "src/msg/CMakeFiles/soc_msg.dir/collectives.cpp.o" "gcc" "src/msg/CMakeFiles/soc_msg.dir/collectives.cpp.o.d"
+  "/root/repo/src/msg/program_set.cpp" "src/msg/CMakeFiles/soc_msg.dir/program_set.cpp.o" "gcc" "src/msg/CMakeFiles/soc_msg.dir/program_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_msg.dir/collectives.cpp.o"
+  "CMakeFiles/soc_msg.dir/collectives.cpp.o.d"
+  "CMakeFiles/soc_msg.dir/program_set.cpp.o"
+  "CMakeFiles/soc_msg.dir/program_set.cpp.o.d"
+  "libsoc_msg.a"
+  "libsoc_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_net.dir/microbench.cpp.o"
+  "CMakeFiles/soc_net.dir/microbench.cpp.o.d"
+  "CMakeFiles/soc_net.dir/network.cpp.o"
+  "CMakeFiles/soc_net.dir/network.cpp.o.d"
+  "libsoc_net.a"
+  "libsoc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

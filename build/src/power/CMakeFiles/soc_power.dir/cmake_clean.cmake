@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_power.dir/power_model.cpp.o"
+  "CMakeFiles/soc_power.dir/power_model.cpp.o.d"
+  "libsoc_power.a"
+  "libsoc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_sim.dir/engine.cpp.o"
+  "CMakeFiles/soc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/soc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/soc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/soc_sim.dir/op.cpp.o"
+  "CMakeFiles/soc_sim.dir/op.cpp.o.d"
+  "libsoc_sim.a"
+  "libsoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/soc_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/soc_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/linreg.cpp" "src/stats/CMakeFiles/soc_stats.dir/linreg.cpp.o" "gcc" "src/stats/CMakeFiles/soc_stats.dir/linreg.cpp.o.d"
+  "/root/repo/src/stats/lm_fit.cpp" "src/stats/CMakeFiles/soc_stats.dir/lm_fit.cpp.o" "gcc" "src/stats/CMakeFiles/soc_stats.dir/lm_fit.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/soc_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/soc_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/nnls.cpp" "src/stats/CMakeFiles/soc_stats.dir/nnls.cpp.o" "gcc" "src/stats/CMakeFiles/soc_stats.dir/nnls.cpp.o.d"
+  "/root/repo/src/stats/pls.cpp" "src/stats/CMakeFiles/soc_stats.dir/pls.cpp.o" "gcc" "src/stats/CMakeFiles/soc_stats.dir/pls.cpp.o.d"
+  "/root/repo/src/stats/solve.cpp" "src/stats/CMakeFiles/soc_stats.dir/solve.cpp.o" "gcc" "src/stats/CMakeFiles/soc_stats.dir/solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/soc_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/soc_stats.dir/linreg.cpp.o"
+  "CMakeFiles/soc_stats.dir/linreg.cpp.o.d"
+  "CMakeFiles/soc_stats.dir/lm_fit.cpp.o"
+  "CMakeFiles/soc_stats.dir/lm_fit.cpp.o.d"
+  "CMakeFiles/soc_stats.dir/matrix.cpp.o"
+  "CMakeFiles/soc_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/soc_stats.dir/nnls.cpp.o"
+  "CMakeFiles/soc_stats.dir/nnls.cpp.o.d"
+  "CMakeFiles/soc_stats.dir/pls.cpp.o"
+  "CMakeFiles/soc_stats.dir/pls.cpp.o.d"
+  "CMakeFiles/soc_stats.dir/solve.cpp.o"
+  "CMakeFiles/soc_stats.dir/solve.cpp.o.d"
+  "libsoc_stats.a"
+  "libsoc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

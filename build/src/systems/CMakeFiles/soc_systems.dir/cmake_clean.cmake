@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_systems.dir/machines.cpp.o"
+  "CMakeFiles/soc_systems.dir/machines.cpp.o.d"
+  "libsoc_systems.a"
+  "libsoc_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_trace.dir/chop.cpp.o"
+  "CMakeFiles/soc_trace.dir/chop.cpp.o.d"
+  "CMakeFiles/soc_trace.dir/export.cpp.o"
+  "CMakeFiles/soc_trace.dir/export.cpp.o.d"
+  "CMakeFiles/soc_trace.dir/replay.cpp.o"
+  "CMakeFiles/soc_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/soc_trace.dir/timeline.cpp.o"
+  "CMakeFiles/soc_trace.dir/timeline.cpp.o.d"
+  "libsoc_trace.a"
+  "libsoc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/dnn_workloads.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/dnn_workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/dnn_workloads.cpp.o.d"
+  "/root/repo/src/workloads/kernels/dnn.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/dnn.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/dnn.cpp.o.d"
+  "/root/repo/src/workloads/kernels/ep.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/ep.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/ep.cpp.o.d"
+  "/root/repo/src/workloads/kernels/fft.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/fft.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/fft.cpp.o.d"
+  "/root/repo/src/workloads/kernels/linalg.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/linalg.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/linalg.cpp.o.d"
+  "/root/repo/src/workloads/kernels/multigrid.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/multigrid.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/multigrid.cpp.o.d"
+  "/root/repo/src/workloads/kernels/sort.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/sort.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/sort.cpp.o.d"
+  "/root/repo/src/workloads/kernels/sparse.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/sparse.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/sparse.cpp.o.d"
+  "/root/repo/src/workloads/kernels/ssor.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/ssor.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/ssor.cpp.o.d"
+  "/root/repo/src/workloads/kernels/stencil.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/stencil.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/kernels/stencil.cpp.o.d"
+  "/root/repo/src/workloads/npb.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/npb.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/npb.cpp.o.d"
+  "/root/repo/src/workloads/profiles.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/profiles.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/profiles.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/scientific.cpp" "src/workloads/CMakeFiles/soc_workloads.dir/scientific.cpp.o" "gcc" "src/workloads/CMakeFiles/soc_workloads.dir/scientific.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/soc_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/soc_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

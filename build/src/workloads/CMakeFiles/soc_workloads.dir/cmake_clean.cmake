@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_workloads.dir/dnn_workloads.cpp.o"
+  "CMakeFiles/soc_workloads.dir/dnn_workloads.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/kernels/dnn.cpp.o"
+  "CMakeFiles/soc_workloads.dir/kernels/dnn.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/kernels/ep.cpp.o"
+  "CMakeFiles/soc_workloads.dir/kernels/ep.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/kernels/fft.cpp.o"
+  "CMakeFiles/soc_workloads.dir/kernels/fft.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/kernels/linalg.cpp.o"
+  "CMakeFiles/soc_workloads.dir/kernels/linalg.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/kernels/multigrid.cpp.o"
+  "CMakeFiles/soc_workloads.dir/kernels/multigrid.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/kernels/sort.cpp.o"
+  "CMakeFiles/soc_workloads.dir/kernels/sort.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/kernels/sparse.cpp.o"
+  "CMakeFiles/soc_workloads.dir/kernels/sparse.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/kernels/ssor.cpp.o"
+  "CMakeFiles/soc_workloads.dir/kernels/ssor.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/kernels/stencil.cpp.o"
+  "CMakeFiles/soc_workloads.dir/kernels/stencil.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/npb.cpp.o"
+  "CMakeFiles/soc_workloads.dir/npb.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/profiles.cpp.o"
+  "CMakeFiles/soc_workloads.dir/profiles.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/registry.cpp.o"
+  "CMakeFiles/soc_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/soc_workloads.dir/scientific.cpp.o"
+  "CMakeFiles/soc_workloads.dir/scientific.cpp.o.d"
+  "libsoc_workloads.a"
+  "libsoc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_engine_test.dir/fuzz_engine_test.cpp.o"
+  "CMakeFiles/fuzz_engine_test.dir/fuzz_engine_test.cpp.o.d"
+  "fuzz_engine_test"
+  "fuzz_engine_test.pdb"
+  "fuzz_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

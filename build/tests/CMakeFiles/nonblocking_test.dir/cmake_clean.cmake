@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonblocking_test.dir/nonblocking_test.cpp.o"
+  "CMakeFiles/nonblocking_test.dir/nonblocking_test.cpp.o.d"
+  "nonblocking_test"
+  "nonblocking_test.pdb"
+  "nonblocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonblocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

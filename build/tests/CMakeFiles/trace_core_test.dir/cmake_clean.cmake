@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_core_test.dir/trace_core_test.cpp.o"
+  "CMakeFiles/trace_core_test.dir/trace_core_test.cpp.o.d"
+  "trace_core_test"
+  "trace_core_test.pdb"
+  "trace_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socbench.dir/socbench.cpp.o"
+  "CMakeFiles/socbench.dir/socbench.cpp.o.d"
+  "socbench"
+  "socbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
