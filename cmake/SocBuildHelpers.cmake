@@ -1,0 +1,85 @@
+# Shared build conventions for all soccluster targets.
+#
+# Sanitizer wiring: configure with
+#
+#   cmake -B build -S . -DSOC_SANITIZE="address;undefined"   # or "thread"
+#
+# and every library, test, bench, example, and tool is instrumented.
+# `address`, `undefined`, `thread`, and `leak` are accepted (comma- or
+# semicolon-separated); `thread` cannot be combined with `address`/`leak`.
+# Errors are fatal (-fno-sanitize-recover) so an instrumented ctest run
+# fails loudly instead of printing-and-passing.
+
+set(SOC_SANITIZE "" CACHE STRING
+    "Sanitizers to instrument with: address;undefined;thread;leak (empty = none)")
+
+set(SOC_SANITIZE_FLAGS "")
+if(SOC_SANITIZE)
+  string(REPLACE "," ";" _soc_san_list "${SOC_SANITIZE}")
+  set(_soc_san_names "")
+  foreach(_san IN LISTS _soc_san_list)
+    string(STRIP "${_san}" _san)
+    if(NOT _san MATCHES "^(address|undefined|thread|leak)$")
+      message(FATAL_ERROR
+          "SOC_SANITIZE: unknown sanitizer '${_san}' "
+          "(expected address, undefined, thread, or leak)")
+    endif()
+    list(APPEND _soc_san_names "${_san}")
+  endforeach()
+  if("thread" IN_LIST _soc_san_names AND
+     ("address" IN_LIST _soc_san_names OR "leak" IN_LIST _soc_san_names))
+    message(FATAL_ERROR
+        "SOC_SANITIZE: 'thread' cannot be combined with 'address'/'leak'")
+  endif()
+  list(JOIN _soc_san_names "," _soc_san_joined)
+  set(SOC_SANITIZE_FLAGS
+      -fsanitize=${_soc_san_joined}
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+  message(STATUS "soccluster: sanitizers enabled (${_soc_san_joined})")
+endif()
+
+# Applies the project-wide warning set and sanitizer instrumentation to one
+# target.  Every target created through the soc_add_* helpers gets this;
+# call it directly for targets declared with raw add_executable.
+function(soc_target_conventions target)
+  target_compile_options(${target} PRIVATE -Wall -Wextra)
+  if(SOC_SANITIZE_FLAGS)
+    target_compile_options(${target} PRIVATE ${SOC_SANITIZE_FLAGS})
+    target_link_options(${target} PRIVATE ${SOC_SANITIZE_FLAGS})
+  endif()
+endfunction()
+
+# Declares one soccluster module library.
+#
+#   soc_add_library(soc_sim SOURCES engine.cpp ... DEPS soc_common)
+#
+# Modules are static libraries rooted at src/ (includes are written as
+# "module/header.h"); DEPS name the modules this one may include from —
+# tools/soclint enforces the same layering statically.
+function(soc_add_library name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "soc_add_library(${name}): SOURCES is required")
+  endif()
+  add_library(${name} ${ARG_SOURCES})
+  target_include_directories(${name} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  if(ARG_DEPS)
+    target_link_libraries(${name} PUBLIC ${ARG_DEPS})
+  endif()
+  soc_target_conventions(${name})
+endfunction()
+
+# Declares one executable (bench, example, or tool) linked against the
+# given soccluster modules.
+function(soc_add_executable name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "soc_add_executable(${name}): SOURCES is required")
+  endif()
+  add_executable(${name} ${ARG_SOURCES})
+  if(ARG_DEPS)
+    target_link_libraries(${name} PRIVATE ${ARG_DEPS})
+  endif()
+  soc_target_conventions(${name})
+endfunction()

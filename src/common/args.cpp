@@ -51,14 +51,14 @@ void ArgParser::parse(int argc, const char* const* argv, int start) {
   }
 }
 
-std::string ArgParser::get(const std::string& name) const {
+const std::string& ArgParser::get(const std::string& name) const {
   const auto it = flags_.find(name);
   SOC_CHECK(it != flags_.end(), "undeclared flag: " + name);
   return it->second.value;
 }
 
 int ArgParser::get_int(const std::string& name) const {
-  const std::string v = get(name);
+  const std::string& v = get(name);
   try {
     return std::stoi(v);
   } catch (const std::exception&) {
@@ -67,7 +67,7 @@ int ArgParser::get_int(const std::string& name) const {
 }
 
 double ArgParser::get_double(const std::string& name) const {
-  const std::string v = get(name);
+  const std::string& v = get(name);
   try {
     return std::stod(v);
   } catch (const std::exception&) {

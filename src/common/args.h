@@ -7,7 +7,6 @@
 
 #include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -26,7 +25,7 @@ class ArgParser {
   void parse(int argc, const char* const* argv, int start = 1);
 
   /// Value of a declared flag (default if not given on the command line).
-  std::string get(const std::string& name) const;
+  const std::string& get(const std::string& name) const;
   int get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;

@@ -1,0 +1,44 @@
+// Order-sensitive FNV-1a (64-bit) hashing.
+//
+// The determinism auditor folds the engine's committed event stream into
+// one of these digests: two replays of the same (programs, cost model,
+// scenario) triple must produce bit-identical values, on every platform.
+// Fields are decomposed into bytes explicitly (little-endian, fixed
+// width), so the digest never depends on host endianness or padding.
+#pragma once
+
+#include <cstdint>
+
+namespace soc {
+
+/// Incremental FNV-1a 64-bit digest.  Mix order matters — that is the
+/// point: the digest certifies the *sequence* of mixed records, not a set.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  constexpr std::uint64_t value() const { return state_; }
+
+  constexpr Fnv1a& mix_byte(std::uint8_t b) {
+    state_ = (state_ ^ b) * kPrime;
+    return *this;
+  }
+
+  /// Mixes a 64-bit value as 8 little-endian bytes.
+  constexpr Fnv1a& mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    return *this;
+  }
+
+  constexpr Fnv1a& mix_i64(std::int64_t v) {
+    return mix_u64(static_cast<std::uint64_t>(v));
+  }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+}  // namespace soc

@@ -102,6 +102,7 @@ RunStats Engine::run(const std::vector<Program>& programs) {
   pending_irecvs_.clear();
   arrivals_.clear();
   queue_ = EventQueue{};
+  audit_ = Fnv1a{};
 
   const SimTime horizon = from_seconds(config_.max_sim_seconds);
   for (std::size_t r = 0; r < n; ++r) queue_.push(0, static_cast<int>(r));
@@ -136,7 +137,17 @@ RunStats Engine::run(const std::vector<Program>& programs) {
     stats_.total_flops += rs.flops;
     stats_.total_gpu_flops += rs.gpu_flops;
   }
+  stats_.event_checksum = audit_.value();
   return stats_;
+}
+
+void Engine::audit_event(SimTime now, int rank, std::uint8_t kind,
+                         Bytes bytes) {
+  audit_.mix_i64(now)
+      .mix_u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)))
+      .mix_byte(kind)
+      .mix_i64(bytes);
+  ++stats_.events_committed;
 }
 
 void Engine::execute_next(int rank, SimTime now,
@@ -149,6 +160,11 @@ void Engine::execute_next(int rank, SimTime now,
   // duration schedules a wake-up and returns.
   while (st.pc < prog.size()) {
     const Op& op = prog[st.pc];
+    // Every dispatch — including re-dispatch of a parked op after a
+    // wake-up — is one record of the determinism digest.  The dispatch
+    // sequence is exactly the engine's total event order, so equal digests
+    // mean equal schedules.
+    audit_event(now, rank, static_cast<std::uint8_t>(op.kind), op.bytes);
     switch (op.kind) {
       case OpKind::kPhase:
         st.phase = op.phase;
@@ -182,6 +198,7 @@ void Engine::execute_next(int rank, SimTime now,
     }
   }
   st.done = true;
+  audit_event(now, rank, kRankDoneAudit, 0);
   stats_.ranks[static_cast<std::size_t>(rank)].finish_time =
       std::max(stats_.ranks[static_cast<std::size_t>(rank)].finish_time, now);
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/hash.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
 #include "sim/op.h"
@@ -116,6 +117,12 @@ class Engine {
   /// Sends an eager message; returns its arrival time at the receiver.
   SimTime launch_eager(int src_rank, int dst_rank, SimTime now, Bytes bytes);
 
+  /// Folds one committed dispatch into the determinism digest
+  /// (RunStats::event_checksum).  `kind` is the OpKind byte, or
+  /// kRankDoneAudit when a rank drains its program.
+  void audit_event(SimTime now, int rank, std::uint8_t kind, Bytes bytes);
+  static constexpr std::uint8_t kRankDoneAudit = 0xFF;
+
   double compute_scale_for(int rank) const;
   SimTime scaled(SimTime t, int rank) const;
   void add_phase_compute(int rank, SimTime duration);
@@ -141,6 +148,7 @@ class Engine {
   std::map<MsgKey, std::deque<int>> pending_irecvs_;  ///< Posted ranks.
   std::map<MsgKey, std::deque<Arrival>> arrivals_;
   RunStats stats_;
+  Fnv1a audit_;  ///< Running digest of the committed event stream.
 };
 
 }  // namespace soc::sim

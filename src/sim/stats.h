@@ -7,6 +7,7 @@
 // power model's input).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -65,6 +66,16 @@ struct RunStats {
   Bytes total_gpu_dram_bytes = 0;
   double total_flops = 0.0;
   double total_gpu_flops = 0.0;
+
+  // -- Determinism audit (see DESIGN.md, "Correctness tooling"). --
+  /// Order-sensitive FNV-1a digest over the committed event stream: every
+  /// (time, rank, op kind, bytes) dispatch the engine performs, in order.
+  /// Replays of the same (programs, cost model, scenario) triple must
+  /// produce bit-identical values; tests/determinism_test.cpp and
+  /// `socbench run --audit-determinism` enforce this.
+  std::uint64_t event_checksum = 0;
+  /// Number of records folded into `event_checksum`.
+  std::uint64_t events_committed = 0;
 
   /// Wall-clock seconds of the simulated run.
   double seconds() const { return to_seconds(makespan); }

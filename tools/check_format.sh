@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Format gate: clang-format --dry-run over every first-party C++ source.
+# Check-only — this script never rewrites a file; run
+#   clang-format -i $(git ls-files '*.h' '*.cpp')
+# yourself to apply.  Exits 0 clean, 1 on violations, and 77 (the ctest
+# skip code) when clang-format is not installed.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root" || exit 1
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping" >&2
+  exit 77
+fi
+
+files=$(find src bench tests tools examples \
+        -name '*.h' -o -name '*.cpp' 2>/dev/null | sort)
+if [ -z "$files" ]; then
+  echo "check_format: no sources found" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+if clang-format --dry-run -Werror $files; then
+  echo "check_format: clean ($(echo "$files" | wc -l | tr -d ' ') files)"
+  exit 0
+fi
+echo "check_format: formatting violations found (see above)" >&2
+exit 1

@@ -14,12 +14,19 @@
 //       Record the generated per-rank programs to a trace file.
 //   socbench replay --trace run.soctrace --nodes 8 [--ideal-network]
 //       Replay a recorded trace (DIMEMAS-style what-if supported).
+//   socbench run --workload jacobi --nodes 16 --audit-determinism
+//       Determinism audit: replay the workload --repeats times serially
+//       and under parallel_for; all event checksums must be bit-identical.
+//       `--workload all` audits every registered workload.
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/args.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/efficiency.h"
 #include "core/extended_roofline.h"
@@ -113,7 +120,70 @@ cluster::RunOptions options_from(const ArgParser& args) {
   return options;
 }
 
+// Audits one workload: the baseline run, --repeats serial replays, and
+// --repeats parallel_for replays must all commit the identical event
+// stream (RunStats::event_checksum).  Returns true when they do.
+bool audit_workload(const std::string& name, const ArgParser& args) {
+  const auto workload = workloads::make_workload(name);
+  const int nodes = args.get_int("--nodes");
+  const int ranks = args.given("--ranks") ? args.get_int("--ranks")
+                                          : natural_ranks(*workload, nodes);
+  const auto node = systems::jetson_tx1(parse_nic(args.get("--nic")));
+  const cluster::ClusterConfig config{node, nodes, ranks};
+  const auto options = options_from(args);
+  const int repeats = args.get_int("--repeats");
+  SOC_CHECK(repeats >= 2, "--repeats must be at least 2");
+
+  const auto baseline = cluster::Cluster(config).run(*workload, options);
+  bool serial_ok = true;
+  for (int i = 1; i < repeats; ++i) {
+    const auto r = cluster::Cluster(config).run(*workload, options);
+    serial_ok = serial_ok && r.stats.event_checksum ==
+                                 baseline.stats.event_checksum;
+  }
+
+  std::vector<std::uint64_t> checksums(static_cast<std::size_t>(repeats), 0);
+  parallel_for(checksums.size(), [&](std::size_t i) {
+    // Each replica builds its own workload and cluster: the audit must
+    // hold with zero shared mutable state, exactly like the bench sweeps.
+    const auto replica = workloads::make_workload(name);
+    checksums[i] =
+        cluster::Cluster(config).run(*replica, options).stats.event_checksum;
+  });
+  bool parallel_ok = true;
+  for (std::uint64_t c : checksums) {
+    parallel_ok = parallel_ok && c == baseline.stats.event_checksum;
+  }
+
+  std::printf("%-11s checksum=%016llx events=%llu serial[%dx]=%s "
+              "parallel[%dx]=%s\n",
+              name.c_str(),
+              static_cast<unsigned long long>(baseline.stats.event_checksum),
+              static_cast<unsigned long long>(baseline.stats.events_committed),
+              repeats, serial_ok ? "ok" : "MISMATCH", repeats,
+              parallel_ok ? "ok" : "MISMATCH");
+  return serial_ok && parallel_ok;
+}
+
+int cmd_audit(const ArgParser& args) {
+  const std::string tag = args.get("--workload");
+  const std::vector<std::string> names =
+      tag == "all" ? workloads::all_workload_names()
+                   : std::vector<std::string>{tag};
+  bool ok = true;
+  for (const std::string& name : names) ok = audit_workload(name, args) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "socbench: determinism audit FAILED — replays of "
+                         "the same configuration diverged\n");
+    return 1;
+  }
+  std::printf("determinism audit passed (%zu workload%s)\n", names.size(),
+              names.size() == 1 ? "" : "s");
+  return 0;
+}
+
 int cmd_run(const ArgParser& args) {
+  if (args.get_bool("--audit-determinism")) return cmd_audit(args);
   const auto workload = workloads::make_workload(args.get("--workload"));
   const int nodes = args.get_int("--nodes");
   const int ranks = args.given("--ranks") ? args.get_int("--ranks")
@@ -249,6 +319,10 @@ int main(int argc, char** argv) {
   args.add_flag("--trace", "input trace path (replay)", "run.soctrace");
   args.add_bool("--ideal-network", "replay with zero-cost network");
   args.add_bool("--timeline", "render per-node utilization strips (run)");
+  args.add_bool("--audit-determinism",
+                "run: verify replays are bit-identical instead of reporting");
+  args.add_flag("--repeats", "replays per audit mode (audit-determinism)",
+                "4");
 
   try {
     args.parse(argc, argv);

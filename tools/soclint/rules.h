@@ -1,0 +1,79 @@
+// soclint — repo-specific static analysis for soccluster.
+//
+// The simulator's core promise (engine.h) is that a given (programs, cost
+// model, scenario) triple always yields identical RunStats.  soclint makes
+// the coding rules behind that promise machine-checkable:
+//
+//   banned-nondeterminism   no rand()/std::random_device/wall clocks —
+//                           all randomness flows through soc::Rng, all
+//                           time is simulated integer nanoseconds
+//   getenv-in-library       src/ behavior may not depend on the environment
+//   unordered-in-sim-state  no std::unordered_{map,set} in simulation-state
+//                           modules (src/sim, src/msg, src/cluster,
+//                           src/trace): iteration order is unspecified, so
+//                           any walk over one can reorder replays
+//   layering                #include edges must follow the module DAG from
+//                           src/CMakeLists.txt (common at the bottom,
+//                           cluster at the top); src/common may include no
+//                           other module, src/sim may not see workloads
+//   pragma-once             every header carries #pragma once
+//   soc-check-message       every SOC_CHECK has a non-empty message
+//
+// A finding can be waived for one line with a trailing
+// `// soclint: allow(<rule-id>)` comment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace soclint {
+
+/// One finding: `path:line: [rule] message`.
+struct Diagnostic {
+  std::string path;
+  std::size_t line = 0;  ///< 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// A scanned file plus the pre-computed views the rules share.
+///
+/// `code_lines` mirrors `raw_lines` character-for-character but with
+/// comments and string/character literals blanked to spaces, so token
+/// searches cannot be fooled by prose or literals and column positions
+/// stay aligned between the two views.
+struct SourceFile {
+  std::string path;         ///< Repo-relative, '/'-separated.
+  std::string top_dir;      ///< "src", "bench", "tests", "tools", "examples".
+  std::string module_name;  ///< For src/<module>/**: "<module>"; else "".
+  bool is_header = false;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+
+  /// True if `line_no` (1-based) carries a `soclint: allow(rule)` waiver.
+  bool suppressed(std::size_t line_no, const std::string& rule) const;
+};
+
+/// Builds the scan views from file text.  `path` must be repo-relative.
+SourceFile make_source_file(std::string path, const std::string& text);
+
+using RuleFn = void (*)(const SourceFile&, std::vector<Diagnostic>&);
+
+struct Rule {
+  const char* id;
+  const char* summary;
+  RuleFn fn;
+};
+
+/// Every registered rule, in report order.
+const std::vector<Rule>& all_rules();
+
+/// Runs all rules over one file, appending findings (waivers applied).
+void run_rules(const SourceFile& file, std::vector<Diagnostic>& out);
+
+/// Exercises every rule against embedded good/bad snippets.  Returns the
+/// number of failed expectations (0 = pass) and prints each failure.
+int self_test();
+
+}  // namespace soclint

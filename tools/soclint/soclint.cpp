@@ -1,0 +1,124 @@
+// soclint driver: walks the repository's C++ sources and applies the
+// determinism/layering rules in rules.cpp.
+//
+//   soclint --root <repo>     lint src/ bench/ tests/ tools/ examples/
+//   soclint --self-test       prove every rule on embedded snippets
+//   soclint --list-rules      print the rule catalog
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.  Registered in
+// ctest (tier-1) as `soclint` and `soclint_selftest`.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Directories scanned relative to the repo root.  build/ trees are never
+// under these, so generated sources are naturally excluded.
+constexpr const char* kScanDirs[] = {"src", "bench", "tests", "tools",
+                                     "examples"};
+
+bool has_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
+}
+
+std::vector<std::string> collect_files(const fs::path& root) {
+  std::vector<std::string> files;
+  for (const char* dir : kScanDirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && has_extension(entry.path())) {
+        files.push_back(
+            fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int list_rules() {
+  std::printf("soclint rules:\n");
+  for (const soclint::Rule& rule : soclint::all_rules()) {
+    std::printf("  %-24s %s\n", rule.id, rule.summary);
+  }
+  std::printf(
+      "\nwaive one line with a trailing `// soclint: allow(<rule-id>)`\n");
+  return 0;
+}
+
+int lint_tree(const fs::path& root) {
+  std::error_code ec;
+  if (!fs::exists(root, ec) || ec) {
+    std::fprintf(stderr, "soclint: root '%s' does not exist\n",
+                 root.string().c_str());
+    return 2;
+  }
+  const std::vector<std::string> files = collect_files(root);
+  if (files.empty()) {
+    std::fprintf(stderr, "soclint: no sources found under '%s'\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  std::vector<soclint::Diagnostic> diags;
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "soclint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    soclint::run_rules(soclint::make_source_file(rel, text.str()), diags);
+  }
+
+  for (const soclint::Diagnostic& d : diags) {
+    std::printf("%s:%zu: error: [%s] %s\n", d.path.c_str(), d.line,
+                d.rule.c_str(), d.message.c_str());
+  }
+  if (!diags.empty()) {
+    std::printf("soclint: %zu finding(s) in %zu file(s) scanned\n",
+                diags.size(), files.size());
+    return 1;
+  }
+  std::printf("soclint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: soclint [--root <dir>] | --self-test | --list-rules\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      return soclint::self_test() == 0 ? 0 : 1;
+    }
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      return list_rules();
+    }
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    return usage();
+  }
+  return lint_tree(root);
+}
