@@ -1,6 +1,9 @@
 // Shared helpers for the benchmark harness binaries.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +12,7 @@
 #include "common/table.h"
 #include "core/extended_roofline.h"
 #include "net/network.h"
+#include "obs/json.h"
 #include "systems/machines.h"
 #include "workloads/workload.h"
 
@@ -42,6 +46,47 @@ inline core::ExtendedRoofline tx1_roofline(net::NicKind nic,
 
 inline const char* nic_name(net::NicKind nic) {
   return nic == net::NicKind::kGigabit ? "1GbE" : "10GbE";
+}
+
+/// Writes a bench's result table as a JSON artifact when the environment
+/// variable SOC_BENCH_JSON_DIR names a directory; no-op otherwise, so the
+/// default `make bench` behaviour (stdout tables) is unchanged.  The file
+/// is `<dir>/<bench>[-<tag>].json`, schema "soccluster-bench-table/v1",
+/// and byte-identical across replays (the table cells are already
+/// deterministically rendered strings).
+inline void write_artifact(const std::string& bench, const TextTable& table,
+                           const std::string& tag = "") {
+  const char* dir = std::getenv("SOC_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "soccluster-bench-table/v1");
+  w.field("bench", std::string_view(bench));
+  w.field("tag", std::string_view(tag));
+  w.newline();
+  w.key("headers");
+  w.begin_array();
+  for (const std::string& h : table.headers()) w.value(std::string_view(h));
+  w.end_array();
+  w.newline();
+  w.key("rows");
+  w.begin_array();
+  for (const auto& row : table.cells()) {
+    w.newline();
+    w.begin_array();
+    for (const std::string& cell : row) w.value(std::string_view(cell));
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  const std::string path = std::string(dir) + "/" + bench +
+                           (tag.empty() ? "" : "-" + tag) + ".json";
+  std::ofstream f(path, std::ios::binary);
+  if (!f.good()) {
+    std::fprintf(stderr, "bench: cannot write artifact %s\n", path.c_str());
+    return;
+  }
+  f << w.str() << '\n';
 }
 
 }  // namespace soc::bench

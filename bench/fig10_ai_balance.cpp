@@ -58,5 +58,6 @@ int main() {
       "Figure 10: AI workloads, TX1 scale-out vs Xeon+GTX980 scale-up\n"
       "(16 TX nodes have the same GPU SM count as the scale-up system)\n\n%s",
       table.str().c_str());
+  soc::bench::write_artifact("fig10_ai_balance", table);
   return 0;
 }

@@ -74,5 +74,7 @@ int main() {
       "Figure 2: energy with the 10GbE NIC, normalized to 1GbE "
       "(<1 means the NIC pays for itself)\n\n%s",
       energy.str().c_str());
+  soc::bench::write_artifact("fig1_2_network_choice", speedup, "speedup");
+  soc::bench::write_artifact("fig1_2_network_choice", energy, "energy");
   return 0;
 }

@@ -35,5 +35,6 @@ int main() {
   std::printf(
       "Figure 3: average DRAM and network traffic, 16-node TX1 cluster\n\n%s",
       table.str().c_str());
+  bench::write_artifact("fig3_traffic", table);
   return 0;
 }

@@ -9,7 +9,8 @@
 
 namespace {
 
-void print_panel(const char* title, const soc::core::ExtendedRoofline& model) {
+void print_panel(const char* title, const char* tag,
+                 const soc::core::ExtendedRoofline& model) {
   using namespace soc;
   std::printf("%s\n", title);
   std::printf("  peak compute: %.1f GFLOP/s (DP), memory BW: %.1f GB/s, "
@@ -29,6 +30,7 @@ void print_panel(const char* title, const soc::core::ExtendedRoofline& model) {
     table.add_row(std::move(row));
   }
   std::printf("%s\n", table.str().c_str());
+  bench::write_artifact("fig4_roofline", table, tag);
 }
 
 }  // namespace
@@ -36,9 +38,9 @@ void print_panel(const char* title, const soc::core::ExtendedRoofline& model) {
 int main() {
   using namespace soc;
   std::printf("Figure 4: extended Roofline (attainable GFLOP/s per node)\n\n");
-  print_panel("(a) 10GbE NIC",
+  print_panel("(a) 10GbE NIC", "10g",
               bench::tx1_roofline(net::NicKind::kTenGigabit));
-  print_panel("(b) on-board 1GbE",
+  print_panel("(b) on-board 1GbE", "1g",
               bench::tx1_roofline(net::NicKind::kGigabit));
   return 0;
 }

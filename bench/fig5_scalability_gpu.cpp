@@ -87,5 +87,7 @@ int main() {
               decomp.str().c_str());
   std::printf("average ideal-network speedup: %.2fx\n", ideal_net_sum / 5.0);
   std::printf("average ideal-load-balance speedup: %.2fx\n", ideal_lb_sum / 5.0);
+  soc::bench::write_artifact("fig5_scalability_gpu", fits, "speedup");
+  soc::bench::write_artifact("fig5_scalability_gpu", decomp, "decomposition");
   return 0;
 }

@@ -74,5 +74,7 @@ int main() {
               fits.str().c_str());
   std::printf("Efficiency decomposition at 16 nodes, 10GbE (Eq. 4)\n\n%s",
               decomp.str().c_str());
+  soc::bench::write_artifact("fig6_scalability_npb", fits, "speedup");
+  soc::bench::write_artifact("fig6_scalability_npb", decomp, "decomposition");
   return 0;
 }

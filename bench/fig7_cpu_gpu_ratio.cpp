@@ -37,5 +37,6 @@ int main() {
       "Figure 7: hpl energy efficiency vs GPU/CPU work split, normalized to "
       "all-GPU\n(one CPU core per node assists the GPU)\n\n%s",
       table.str().c_str());
+  soc::bench::write_artifact("fig7_cpu_gpu_ratio", table);
   return 0;
 }

@@ -44,5 +44,6 @@ int main() {
       "Figure 9: TX1 cluster normalized to two discrete GTX 980s "
       "(values < 1 favor the TX cluster)\n\n%s",
       table.str().c_str());
+  soc::bench::write_artifact("fig9_discrete_gpu", table);
   return 0;
 }

@@ -81,6 +81,7 @@ int main() {
                    std::to_string(s.messages), std::to_string(s.kernels)});
   }
   std::printf("%s\n", table.str().c_str());
+  soc::bench::write_artifact("table1_5_7_configs", table, "table1");
 
   std::printf("Table V: many-core ARM server vs cluster node\n");
   print_node(systems::thunderx_server());

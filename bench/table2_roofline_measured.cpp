@@ -45,5 +45,6 @@ int main() {
   std::printf(
       "Table II: extended Roofline, measured parameters (16 nodes)\n\n%s",
       table.str().c_str());
+  soc::bench::write_artifact("table2_roofline_measured", table);
   return 0;
 }

@@ -65,5 +65,6 @@ int main() {
       "Table III: jacobi memory-management models, normalized to "
       "host+device\n\n%s",
       table.str().c_str());
+  soc::bench::write_artifact("table3_memory_models", table);
   return 0;
 }

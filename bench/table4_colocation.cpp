@@ -70,5 +70,7 @@ int main() {
     std::printf("%.2fx%s", colocated_eff[i] / best_alone_eff[i],
                 i < 3 ? ", " : "\n");
   }
+  soc::bench::write_artifact("table4_colocation", tput, "throughput");
+  soc::bench::write_artifact("table4_colocation", eff, "efficiency");
   return 0;
 }

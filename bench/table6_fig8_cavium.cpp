@@ -80,5 +80,7 @@ int main() {
                   TextTable::num(value_of("LD_MISS_RATIO"), 2)});
   }
   std::printf("\n%s", fig8.str().c_str());
+  soc::bench::write_artifact("table6_fig8_cavium", table, "table6");
+  soc::bench::write_artifact("table6_fig8_cavium", fig8, "fig8");
   return 0;
 }

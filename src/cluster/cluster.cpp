@@ -56,6 +56,7 @@ RunResult Cluster::run(const workloads::Workload& workload,
                         workload.cpu_profile());
   sim::Engine engine(sim::Placement::block(config_.ranks, config_.nodes),
                      cost, engine_config(options));
+  engine.set_observer(options.observer);
   return meter(engine.run(programs), cost);
 }
 

@@ -32,6 +32,9 @@ struct RunOptions {
   double size_scale = 1.0;
   bool overlap_halos = false;
   sim::EngineConfig engine;
+  /// Optional (non-owning) observer attached to the engine for the run —
+  /// see src/obs/ for metrics and Chrome-trace implementations.
+  sim::EngineObserver* observer = nullptr;
 };
 
 /// Everything a bench needs from one run.

@@ -1,0 +1,170 @@
+#include "cluster/report.h"
+
+#include <charconv>
+#include <fstream>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace soc::cluster {
+
+namespace {
+
+const char* mem_model_name(sim::MemModel mm) {
+  switch (mm) {
+    case sim::MemModel::kHostDevice: return "host-device";
+    case sim::MemModel::kZeroCopy: return "zero-copy";
+    case sim::MemModel::kUnified: return "unified";
+  }
+  return "?";
+}
+
+/// Zero-padded 16-digit hex rendering ("0x0123456789abcdef") — JSON
+/// numbers lose precision above 2^53, so the digest travels as a string.
+std::string checksum_hex(std::uint64_t v) {
+  char buf[17] = "0000000000000000";
+  char tmp[17];
+  const auto r = std::to_chars(tmp, tmp + sizeof(tmp), v, 16);
+  const auto len = static_cast<std::size_t>(r.ptr - tmp);
+  for (std::size_t i = 0; i < len; ++i) buf[16 - len + i] = tmp[i];
+  return std::string("0x") + buf;
+}
+
+void write_energy(obs::JsonWriter& w, const power::EnergyReport& e) {
+  w.begin_object();
+  w.field("joules", e.joules);
+  w.field("average_watts", e.average_watts);
+  w.field("peak_watts", e.peak_watts);
+  w.field("seconds", e.seconds);
+  w.key("breakdown");
+  w.begin_object();
+  w.field("idle", e.breakdown.idle);
+  w.field("cpu", e.breakdown.cpu);
+  w.field("gpu", e.breakdown.gpu);
+  w.field("nic", e.breakdown.nic);
+  w.field("dram", e.breakdown.dram);
+  w.end_object();
+  w.end_object();
+}
+
+void write_counters(obs::JsonWriter& w, const arch::CounterSet& c) {
+  w.begin_object();
+  for (std::size_t i = 0; i < arch::kPmuEventCount; ++i) {
+    const auto e = static_cast<arch::PmuEvent>(i);
+    w.field(arch::pmu_event_name(e), c[e]);
+  }
+  w.end_object();
+}
+
+void write_rank(obs::JsonWriter& w, const sim::RankStats& r) {
+  w.begin_object();
+  w.field("finish_time_ns", r.finish_time);
+  w.field("cpu_busy_ns", r.cpu_busy);
+  w.field("gpu_busy_ns", r.gpu_busy);
+  w.field("gpu_queue_wait_ns", r.gpu_queue_wait);
+  w.field("copy_busy_ns", r.copy_busy);
+  w.field("send_blocked_ns", r.send_blocked);
+  w.field("recv_blocked_ns", r.recv_blocked);
+  w.field("msg_overhead_ns", r.msg_overhead);
+  w.field("net_bytes_sent", static_cast<std::int64_t>(r.net_bytes_sent));
+  w.field("net_bytes_received",
+          static_cast<std::int64_t>(r.net_bytes_received));
+  w.field("intra_bytes_sent", static_cast<std::int64_t>(r.intra_bytes_sent));
+  w.field("dram_bytes", static_cast<std::int64_t>(r.dram_bytes));
+  w.field("flops", r.flops);
+  w.field("instructions", r.instructions);
+  w.field("messages_sent", r.messages_sent);
+  w.field("messages_received", r.messages_received);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string report_json(const ClusterConfig& config,
+                        const RunOptions& options,
+                        const std::string& workload,
+                        const RunResult& result,
+                        const obs::MetricsRegistry* metrics) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "soccluster-run-report/v1");
+  w.field("workload", std::string_view(workload));
+  w.newline();
+
+  w.key("config");
+  w.begin_object();
+  w.field("node", std::string_view(config.node.name));
+  w.field("nodes", config.nodes);
+  w.field("ranks", config.ranks);
+  w.field("mem_model", mem_model_name(options.mem_model));
+  w.field("gpu_work_fraction", options.gpu_work_fraction);
+  w.field("size_scale", options.size_scale);
+  w.field("overlap_halos", options.overlap_halos);
+  w.field("eager_threshold_bytes",
+          static_cast<std::int64_t>(options.engine.eager_threshold));
+  w.field("bisection_bandwidth", options.engine.bisection_bandwidth);
+  w.end_object();
+  w.newline();
+
+  w.key("result");
+  w.begin_object();
+  w.field("seconds", result.seconds);
+  w.field("gflops", result.gflops);
+  w.field("mflops_per_watt", result.mflops_per_watt);
+  w.field("joules", result.joules);
+  w.field("average_watts", result.average_watts);
+  w.field("makespan_ns", result.stats.makespan);
+  w.field("event_checksum", checksum_hex(result.stats.event_checksum));
+  w.field("events_committed", result.stats.events_committed);
+  w.field("total_net_bytes",
+          static_cast<std::int64_t>(result.stats.total_net_bytes));
+  w.field("total_dram_bytes",
+          static_cast<std::int64_t>(result.stats.total_dram_bytes));
+  w.field("total_gpu_dram_bytes",
+          static_cast<std::int64_t>(result.stats.total_gpu_dram_bytes));
+  w.field("total_flops", result.stats.total_flops);
+  w.field("total_gpu_flops", result.stats.total_gpu_flops);
+  w.newline();
+  w.key("ranks");
+  w.begin_array();
+  for (const sim::RankStats& r : result.stats.ranks) {
+    w.newline();
+    write_rank(w, r);
+  }
+  w.end_array();
+  w.end_object();
+  w.newline();
+
+  w.key("energy");
+  write_energy(w, result.energy);
+  w.newline();
+
+  w.key("counters");
+  write_counters(w, result.counters);
+  w.newline();
+
+  if (metrics != nullptr) {
+    w.key("metrics");
+    metrics->write_json(w);
+    w.newline();
+  }
+  w.end_object();
+
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
+
+void write_report(const std::string& path, const ClusterConfig& config,
+                  const RunOptions& options, const std::string& workload,
+                  const RunResult& result,
+                  const obs::MetricsRegistry* metrics) {
+  std::ofstream f(path, std::ios::binary);
+  SOC_CHECK(f.good(), "cannot open report file for writing: " + path);
+  const std::string doc =
+      report_json(config, options, workload, result, metrics);
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  SOC_CHECK(f.good(), "failed writing report file: " + path);
+}
+
+}  // namespace soc::cluster

@@ -1,0 +1,32 @@
+// Run-report emitter.
+//
+// Serializes one metered run — configuration, RunResult, energy, PMU
+// counters, and (optionally) an obs::MetricsRegistry — as a canonical
+// JSON document, schema "soccluster-run-report/v1".  Output is
+// byte-identical across replays of the same configuration: integer
+// fields are engine-deterministic and doubles render via
+// shortest-round-trip std::to_chars.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "obs/metrics.h"
+
+namespace soc::cluster {
+
+/// Renders the report document (ends with a newline).  `metrics` may be
+/// nullptr when no MetricsObserver was attached.
+std::string report_json(const ClusterConfig& config,
+                        const RunOptions& options,
+                        const std::string& workload,
+                        const RunResult& result,
+                        const obs::MetricsRegistry* metrics = nullptr);
+
+/// Writes report_json(...) to `path`; throws soc::Error on I/O failure.
+void write_report(const std::string& path, const ClusterConfig& config,
+                  const RunOptions& options, const std::string& workload,
+                  const RunResult& result,
+                  const obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace soc::cluster

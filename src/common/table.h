@@ -29,6 +29,11 @@ class TextTable {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Read access for exporters that re-serialize a table (e.g. the bench
+  /// JSON artifacts in bench/bench_common.h).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& cells() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

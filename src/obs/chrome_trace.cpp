@@ -1,0 +1,114 @@
+#include "obs/chrome_trace.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "obs/json.h"
+#include "sim/op.h"
+
+namespace soc::obs {
+
+namespace {
+
+/// Renders integer nanoseconds as fixed-point microseconds ("12.345").
+/// Integer math end to end, so the rendering is platform-independent.
+std::string micros(SimTime ns) {
+  const auto frac = static_cast<int>(ns % 1000);
+  std::string out = std::to_string(ns / 1000);
+  out += '.';
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + (frac / 10) % 10);
+  out += static_cast<char>('0' + frac % 10);
+  return out;
+}
+
+void meta_event(JsonWriter& w, const char* name, int pid, int tid,
+                const std::string& arg_name) {
+  w.begin_object();
+  w.field("name", name);
+  w.field("ph", "M");
+  w.field("pid", pid);
+  if (tid >= 0) w.field("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.field("name", std::string_view(arg_name));
+  w.end_object();
+  w.end_object();
+  w.newline();
+}
+
+}  // namespace
+
+void ChromeTraceRecorder::on_run_begin(const sim::Placement& placement,
+                                       const sim::EngineConfig& /*config*/) {
+  placement_ = placement;
+  spans_.clear();
+}
+
+void ChromeTraceRecorder::on_span(const sim::SpanRecord& span) {
+  spans_.push_back(span);
+}
+
+std::string ChromeTraceRecorder::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  w.newline();
+  // Name every process (node) and thread (rank row + resource lanes).
+  for (int node = 0; node < placement_.nodes; ++node) {
+    meta_event(w, "process_name", node, -1, "node " + std::to_string(node));
+    for (const sim::Lane lane : {sim::Lane::kGpu, sim::Lane::kCopy,
+                                 sim::Lane::kNicTx, sim::Lane::kNicRx}) {
+      meta_event(w, "thread_name", node,
+                 kLaneTidBase + static_cast<int>(lane),
+                 sim::lane_name(lane));
+    }
+  }
+  for (int rank = 0; rank < placement_.ranks; ++rank) {
+    meta_event(w, "thread_name", placement_.node_of[rank], rank,
+               "rank " + std::to_string(rank));
+  }
+  for (const sim::SpanRecord& s : spans_) {
+    const int tid = s.lane == sim::Lane::kCpu
+                        ? s.rank
+                        : kLaneTidBase + static_cast<int>(s.lane);
+    w.begin_object();
+    w.field("name",
+            sim::op_kind_name(static_cast<sim::OpKind>(s.kind)));
+    w.field("cat", sim::lane_name(s.lane));
+    w.field("ph", "X");
+    w.field("pid", s.node);
+    w.field("tid", tid);
+    w.key("ts");
+    w.value_raw(micros(s.start));
+    w.key("dur");
+    w.value_raw(micros(s.end - s.start));
+    w.key("args");
+    w.begin_object();
+    w.field("rank", s.rank);
+    w.field("phase", s.phase);
+    w.field("bytes", static_cast<std::int64_t>(s.bytes));
+    w.field("queue_wait_ns", s.queue_wait);
+    w.field("fabric_wait_ns", s.fabric_wait);
+    w.end_object();
+    w.end_object();
+    w.newline();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
+
+void ChromeTraceRecorder::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  SOC_CHECK(f.good(), "cannot open trace file for writing: " + path);
+  const std::string doc = json();
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  SOC_CHECK(f.good(), "failed writing trace file: " + path);
+}
+
+}  // namespace soc::obs

@@ -1,0 +1,48 @@
+// Chrome trace-event exporter.
+//
+// Records the engine's span stream and serializes it in the Chrome
+// trace-event JSON format (the `traceEvents` array of `X` duration
+// events), loadable in Perfetto / chrome://tracing.  Mapping:
+//
+//   pid  = node id (one process row per node)
+//   tid  = rank id for CPU spans; kLaneTidBase + lane for the node's
+//          shared resource lanes (gpu, copy, nic-tx, nic-rx)
+//   ts / dur = microseconds, rendered fixed-point from integer
+//          nanoseconds so output is byte-identical across replays
+//
+// Metadata (`M`) events name every process and thread before the first
+// duration event.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace soc::obs {
+
+/// tid offset for resource lanes, keeping them clear of real rank ids.
+inline constexpr int kLaneTidBase = 1000000;
+
+/// EngineObserver that buffers spans and renders the trace JSON.
+/// Reusable across runs: each on_run_begin drops prior spans.
+class ChromeTraceRecorder : public sim::EngineObserver {
+ public:
+  void on_run_begin(const sim::Placement& placement,
+                    const sim::EngineConfig& config) override;
+  void on_span(const sim::SpanRecord& span) override;
+
+  std::size_t span_count() const { return spans_.size(); }
+
+  /// Renders the complete trace document (ends with a newline).
+  std::string json() const;
+
+  /// Writes json() to `path`; throws soc::Error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  sim::Placement placement_;
+  std::vector<sim::SpanRecord> spans_;
+};
+
+}  // namespace soc::obs

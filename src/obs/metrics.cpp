@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace soc::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  SOC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+            "histogram bounds must be ascending");
+}
+
+void Histogram::observe(std::int64_t v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  count_ += 1;
+  sum_ += v;
+  max_ = std::max(max_, v);
+}
+
+const std::vector<std::int64_t>& wait_bounds_ns() {
+  static const std::vector<std::int64_t> kBounds = {
+      1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000,
+      1'000'000'000};
+  return kBounds;
+}
+
+const std::vector<std::int64_t>& size_bounds_bytes() {
+  static const std::vector<std::int64_t> kBounds = {256, 4096, 65536,
+                                                    1048576, 16777216};
+  return kBounds;
+}
+
+void MetricsRegistry::add(std::string_view name, std::int64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set(std::string_view name, std::int64_t v) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), v);
+  } else {
+    it->second = v;
+  }
+}
+
+void MetricsRegistry::set_max(std::string_view name, std::int64_t v) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), v);
+  } else {
+    it->second = std::max(it->second, v);
+  }
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<std::int64_t>& bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(bounds)).first;
+  }
+  return it->second;
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters_) w.field(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges_) w.field(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("max", h.max());
+    w.key("bounds");
+    w.begin_array();
+    for (const std::int64_t b : h.bounds()) w.value(b);
+    w.end_array();
+    w.key("buckets");
+    w.begin_array();
+    for (const std::uint64_t c : h.bucket_counts()) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+std::string MetricsRegistry::table() const {
+  std::string out;
+  {
+    TextTable t({"counter", "value"});
+    for (const auto& [name, v] : counters_)
+      t.add_row({name, std::to_string(v)});
+    for (const auto& [name, v] : gauges_)
+      t.add_row({name + " (gauge)", std::to_string(v)});
+    if (t.rows() > 0) out += t.str();
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "\n";
+    out += name;
+    out += ": count=" + std::to_string(h.count()) +
+           " sum=" + std::to_string(h.sum()) +
+           " max=" + std::to_string(h.max()) + "\n";
+    TextTable t({"bucket", "count"});
+    const auto& bounds = h.bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::string label =
+          i < bounds.size() ? "<= " + std::to_string(bounds[i])
+          : bounds.empty()  ? std::string("all")
+                            : "> " + std::to_string(bounds.back());
+      t.add_row({label, std::to_string(counts[i])});
+    }
+    out += t.str();
+  }
+  return out;
+}
+
+}  // namespace soc::obs

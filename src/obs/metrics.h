@@ -1,0 +1,95 @@
+// Deterministic run-metrics registry.
+//
+// The registry carries the run detail RunStats drops: protocol mix,
+// per-resource queue-wait distributions, pending-message high-water marks,
+// per-phase traffic.  Everything is integer-valued (nanoseconds, bytes,
+// counts) and stored in ordered containers, so two replays of the same
+// configuration produce equal registries and byte-identical JSON — the
+// registry inherits the engine's determinism promise, and
+// tests/determinism_test.cpp asserts it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace soc::obs {
+
+/// Fixed-bucket histogram over int64 samples (ns or bytes).  `bounds` are
+/// inclusive upper edges in ascending order; one implicit overflow bucket
+/// catches everything above the last edge.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t max() const { return max_; }
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  bool operator==(const Histogram&) const = default;
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Bucket edges for queue-wait histograms: 1us … 1s in decades (ns).
+const std::vector<std::int64_t>& wait_bounds_ns();
+
+/// Bucket edges for message-size histograms: 256B … 16MiB (bytes).
+const std::vector<std::int64_t>& size_bounds_bytes();
+
+/// Named counters, gauges, and fixed-bucket histograms in ordered storage.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the named counter (created at zero).
+  void add(std::string_view name, std::int64_t delta = 1);
+  /// Sets the named gauge.
+  void set(std::string_view name, std::int64_t v);
+  /// Raises the named gauge to `v` if larger (high-water mark semantics;
+  /// created at `v`).
+  void set_max(std::string_view name, std::int64_t v);
+  /// Returns the named histogram, creating it with `bounds` on first use.
+  Histogram& histogram(std::string_view name,
+                       const std::vector<std::int64_t>& bounds);
+
+  /// Reads (0 / nullptr when absent).
+  std::int64_t counter(std::string_view name) const;
+  std::int64_t gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  bool operator==(const MetricsRegistry&) const = default;
+
+  /// Emits {"counters":{...},"gauges":{...},"histograms":{...}} with keys
+  /// in lexicographic order.
+  void write_json(JsonWriter& w) const;
+  /// The whole registry as one canonical JSON object.
+  std::string json() const;
+  /// Human-readable rendering for `socbench run --metrics`.
+  std::string table() const;
+
+ private:
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, std::int64_t, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace soc::obs

@@ -1,0 +1,112 @@
+#include "obs/observers.h"
+
+#include <string>
+
+namespace soc::obs {
+
+namespace {
+
+const char* wait_metric_for(sim::Lane lane) {
+  switch (lane) {
+    case sim::Lane::kGpu: return "wait.gpu";
+    case sim::Lane::kCopy: return "wait.copy";
+    case sim::Lane::kNicTx: return "wait.nic_tx";
+    case sim::Lane::kNicRx: return "wait.nic_rx";
+    default: return nullptr;  // CPU spans never queue.
+  }
+}
+
+}  // namespace
+
+void MetricsObserver::on_run_begin(const sim::Placement& placement,
+                                   const sim::EngineConfig& config) {
+  registry_.clear();
+  registry_.set("run.ranks", placement.ranks);
+  registry_.set("run.nodes", placement.nodes);
+  registry_.set("run.eager_threshold_bytes",
+                static_cast<std::int64_t>(config.eager_threshold));
+  registry_.set("pending.sends.high_water", 0);
+  registry_.set("pending.recvs.high_water", 0);
+}
+
+void MetricsObserver::on_dispatch(const sim::DispatchRecord& record) {
+  if (record.kind == 0xFF) {
+    registry_.add("ops.rank_done");
+    return;
+  }
+  registry_.add(std::string("ops.") +
+                sim::op_kind_name(static_cast<sim::OpKind>(record.kind)));
+}
+
+void MetricsObserver::on_span(const sim::SpanRecord& span) {
+  if (const char* metric = wait_metric_for(span.lane)) {
+    registry_.histogram(metric, wait_bounds_ns()).observe(span.queue_wait);
+  }
+  // Fabric waits only on the tx side so shared-fabric queueing is counted
+  // once per transfer, not once per NIC endpoint.
+  if (span.lane == sim::Lane::kNicTx) {
+    registry_.histogram("wait.fabric", wait_bounds_ns())
+        .observe(span.fabric_wait);
+  }
+}
+
+void MetricsObserver::on_message(const sim::MessageRecord& message) {
+  const std::int64_t bytes = static_cast<std::int64_t>(message.bytes);
+  if (message.eager) {
+    registry_.add("msg.eager");
+    registry_.add("msg.eager_bytes", bytes);
+  } else {
+    registry_.add("msg.rendezvous");
+    registry_.add("msg.rendezvous_bytes", bytes);
+  }
+  registry_.add(message.inter_node ? "msg.inter_node" : "msg.intra_node");
+  registry_.add("phase." + std::to_string(message.phase) + ".msg_bytes",
+                bytes);
+  registry_.histogram("msg.bytes", size_bounds_bytes()).observe(bytes);
+}
+
+void MetricsObserver::on_pending(int pending_sends, int pending_recvs) {
+  registry_.set_max("pending.sends.high_water", pending_sends);
+  registry_.set_max("pending.recvs.high_water", pending_recvs);
+}
+
+void MetricsObserver::on_run_end(const sim::RunStats& stats) {
+  registry_.set("run.makespan_ns", stats.makespan);
+  registry_.set("run.events_committed",
+                static_cast<std::int64_t>(stats.events_committed));
+  registry_.set("run.net_bytes",
+                static_cast<std::int64_t>(stats.total_net_bytes));
+  registry_.set("run.dram_bytes",
+                static_cast<std::int64_t>(stats.total_dram_bytes));
+}
+
+void ObserverList::add(sim::EngineObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void ObserverList::on_run_begin(const sim::Placement& placement,
+                                const sim::EngineConfig& config) {
+  for (auto* o : observers_) o->on_run_begin(placement, config);
+}
+
+void ObserverList::on_dispatch(const sim::DispatchRecord& record) {
+  for (auto* o : observers_) o->on_dispatch(record);
+}
+
+void ObserverList::on_span(const sim::SpanRecord& span) {
+  for (auto* o : observers_) o->on_span(span);
+}
+
+void ObserverList::on_message(const sim::MessageRecord& message) {
+  for (auto* o : observers_) o->on_message(message);
+}
+
+void ObserverList::on_pending(int pending_sends, int pending_recvs) {
+  for (auto* o : observers_) o->on_pending(pending_sends, pending_recvs);
+}
+
+void ObserverList::on_run_end(const sim::RunStats& stats) {
+  for (auto* o : observers_) o->on_run_end(stats);
+}
+
+}  // namespace soc::obs

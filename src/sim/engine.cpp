@@ -8,6 +8,27 @@
 
 namespace soc::sim {
 
+const char* lane_name(Lane lane) {
+  switch (lane) {
+    case Lane::kCpu: return "cpu";
+    case Lane::kGpu: return "gpu";
+    case Lane::kCopy: return "copy";
+    case Lane::kNicTx: return "nic-tx";
+    case Lane::kNicRx: return "nic-rx";
+    case Lane::kCount: break;
+  }
+  return "?";
+}
+
+// Default observer callbacks are no-ops so implementations override only
+// the streams they consume (and the vtable is anchored here).
+void EngineObserver::on_run_begin(const Placement&, const EngineConfig&) {}
+void EngineObserver::on_dispatch(const DispatchRecord&) {}
+void EngineObserver::on_span(const SpanRecord&) {}
+void EngineObserver::on_message(const MessageRecord&) {}
+void EngineObserver::on_pending(int, int) {}
+void EngineObserver::on_run_end(const RunStats&) {}
+
 Placement Placement::block(int ranks, int nodes) {
   SOC_CHECK(ranks > 0 && nodes > 0, "placement needs positive sizes");
   SOC_CHECK(ranks % nodes == 0, "block placement needs ranks % nodes == 0");
@@ -103,6 +124,9 @@ RunStats Engine::run(const std::vector<Program>& programs) {
   arrivals_.clear();
   queue_ = EventQueue{};
   audit_ = Fnv1a{};
+  pending_send_depth_ = 0;
+  pending_recv_depth_ = 0;
+  if (observer_ != nullptr) observer_->on_run_begin(placement_, config_);
 
   const SimTime horizon = from_seconds(config_.max_sim_seconds);
   for (std::size_t r = 0; r < n; ++r) queue_.push(0, static_cast<int>(r));
@@ -138,6 +162,7 @@ RunStats Engine::run(const std::vector<Program>& programs) {
     stats_.total_gpu_flops += rs.gpu_flops;
   }
   stats_.event_checksum = audit_.value();
+  if (observer_ != nullptr) observer_->on_run_end(stats_);
   return stats_;
 }
 
@@ -148,6 +173,40 @@ void Engine::audit_event(SimTime now, int rank, std::uint8_t kind,
       .mix_byte(kind)
       .mix_i64(bytes);
   ++stats_.events_committed;
+  if (observer_ != nullptr) {
+    DispatchRecord record;
+    record.time = now;
+    record.rank = rank;
+    record.node = placement_.node_of[static_cast<std::size_t>(rank)];
+    record.phase = states_[static_cast<std::size_t>(rank)].phase;
+    record.kind = kind;
+    record.bytes = bytes;
+    observer_->on_dispatch(record);
+  }
+}
+
+void Engine::observe_span(Lane lane, int rank, int node, std::uint8_t kind,
+                          SimTime start, SimTime end, SimTime queue_wait,
+                          SimTime fabric_wait, Bytes bytes) {
+  if (observer_ == nullptr) return;
+  SpanRecord span;
+  span.lane = lane;
+  span.rank = rank;
+  span.node = node;
+  span.phase = states_[static_cast<std::size_t>(rank)].phase;
+  span.kind = kind;
+  span.start = start;
+  span.end = end;
+  span.queue_wait = queue_wait;
+  span.fabric_wait = fabric_wait;
+  span.bytes = bytes;
+  observer_->on_span(span);
+}
+
+void Engine::observe_pending() {
+  if (observer_ != nullptr) {
+    observer_->on_pending(pending_send_depth_, pending_recv_depth_);
+  }
 }
 
 void Engine::execute_next(int rank, SimTime now,
@@ -218,6 +277,8 @@ void Engine::start_compute(int rank, SimTime now, const Op& op) {
   bin_busy(stats_.nodes[static_cast<std::size_t>(node)].cpu_busy, now, now + dur);
   bin_value(stats_.nodes[static_cast<std::size_t>(node)].dram_bytes, now,
             static_cast<double>(op.dram_bytes));
+  observe_span(Lane::kCpu, rank, node, static_cast<std::uint8_t>(op.kind),
+               now, now + dur, 0, 0, op.dram_bytes);
 
   ++st.pc;
   queue_.push(now + dur, rank);
@@ -244,6 +305,8 @@ void Engine::start_gpu(int rank, SimTime now, const Op& op) {
            start + dur);
   bin_value(stats_.nodes[static_cast<std::size_t>(node)].dram_bytes, start,
             static_cast<double>(op.dram_bytes));
+  observe_span(Lane::kGpu, rank, node, static_cast<std::uint8_t>(op.kind),
+               start, start + dur, start - now, 0, op.dram_bytes);
 
   ++st.pc;
   queue_.push(start + dur, rank);
@@ -268,6 +331,8 @@ void Engine::start_copy(int rank, SimTime now, const Op& op) {
   rs.gpu_dram_bytes += traffic;
   bin_value(stats_.nodes[static_cast<std::size_t>(node)].dram_bytes, start,
             static_cast<double>(traffic));
+  observe_span(Lane::kCopy, rank, node, static_cast<std::uint8_t>(op.kind),
+               start, start + dur, start - now, 0, op.bytes);
 
   ++st.pc;
   queue_.push(start + dur, rank);
@@ -290,6 +355,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
     if (pending != pending_recvs_.end() && !pending->second.empty()) {
       const PendingRecv pr = pending->second.front();
       pending->second.pop_front();
+      --pending_recv_depth_;
       auto& recv_rs = stats_.ranks[static_cast<std::size_t>(pr.rank)];
       const SimTime complete =
           std::max(pr.ready, arrival) + cost_.recv_overhead(pr.rank);
@@ -299,6 +365,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
     } else if (posted != pending_irecvs_.end() && !posted->second.empty()) {
       const int recv_rank = posted->second.front();
       posted->second.pop_front();
+      --pending_recv_depth_;
       resolve_request(recv_rank, arrival + cost_.recv_overhead(recv_rank));
     } else {
       arrivals_[key].push_back(Arrival{arrival, op.bytes});
@@ -314,6 +381,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
   if (pending != pending_recvs_.end() && !pending->second.empty()) {
     const PendingRecv pr = pending->second.front();
     pending->second.pop_front();
+    --pending_recv_depth_;
     complete_rendezvous(rank, now, pr.rank, pr.ready, op.bytes);
     return;
   }
@@ -321,6 +389,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
   if (posted != pending_irecvs_.end() && !posted->second.empty()) {
     const int recv_rank = posted->second.front();
     posted->second.pop_front();
+    --pending_recv_depth_;
     const SimTime end = timed_transfer(rank, recv_rank, now, op.bytes);
     stats_.ranks[static_cast<std::size_t>(rank)].send_blocked += end - now;
     ++st.pc;
@@ -329,6 +398,8 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
     return;
   }
   pending_sends_[key].push_back(PendingSend{rank, now, op.bytes, st.phase});
+  ++pending_send_depth_;
+  observe_pending();
   st.blocked = true;
 }
 
@@ -356,10 +427,13 @@ void Engine::start_recv(int rank, SimTime now, const Op& op) {
   if (pending != pending_sends_.end() && !pending->second.empty()) {
     const PendingSend ps = pending->second.front();
     pending->second.pop_front();
+    --pending_send_depth_;
     complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes);
     return;
   }
   pending_recvs_[key].push_back(PendingRecv{rank, now, st.phase});
+  ++pending_recv_depth_;
+  observe_pending();
   st.blocked = true;
 }
 
@@ -382,6 +456,7 @@ void Engine::start_isend(int rank, SimTime now, const Op& op) {
   if (pending != pending_recvs_.end() && !pending->second.empty()) {
     const PendingRecv pr = pending->second.front();
     pending->second.pop_front();
+    --pending_recv_depth_;
     auto& recv_rs = stats_.ranks[static_cast<std::size_t>(pr.rank)];
     const SimTime complete =
         std::max(pr.ready, arrival) + cost_.recv_overhead(pr.rank);
@@ -391,6 +466,7 @@ void Engine::start_isend(int rank, SimTime now, const Op& op) {
   } else if (posted != pending_irecvs_.end() && !posted->second.empty()) {
     const int recv_rank = posted->second.front();
     posted->second.pop_front();
+    --pending_recv_depth_;
     resolve_request(recv_rank, arrival + cost_.recv_overhead(recv_rank));
   } else {
     arrivals_[key].push_back(Arrival{arrival, op.bytes});
@@ -420,6 +496,7 @@ void Engine::start_irecv(int rank, SimTime now, const Op& op) {
     if (pending != pending_sends_.end() && !pending->second.empty()) {
       const PendingSend ps = pending->second.front();
       pending->second.pop_front();
+      --pending_send_depth_;
       const SimTime end =
           timed_transfer(ps.rank, rank, std::max(ps.ready, now), ps.bytes);
       auto& send_rs = stats_.ranks[static_cast<std::size_t>(ps.rank)];
@@ -431,6 +508,8 @@ void Engine::start_irecv(int rank, SimTime now, const Op& op) {
     } else {
       ++st.unresolved_requests;
       pending_irecvs_[key].push_back(rank);
+      ++pending_recv_depth_;
+      observe_pending();
     }
   }
 
@@ -471,6 +550,7 @@ SimTime Engine::timed_transfer(int send_rank, int recv_rank, SimTime earliest,
   const int dst_node = placement_.node_of[static_cast<std::size_t>(recv_rank)];
   SimTime start = earliest;
   SimTime duration = 0;
+  SimTime fabric_wait = 0;
   if (!scenario_.ideal_network) {
     if (src_node != dst_node) {
       // Full-duplex NICs: the sender's transmit side and the receiver's
@@ -479,7 +559,9 @@ SimTime Engine::timed_transfer(int send_rank, int recv_rank, SimTime earliest,
                         nic_tx_free_[static_cast<std::size_t>(src_node)],
                         nic_rx_free_[static_cast<std::size_t>(dst_node)]});
       if (config_.bisection_bandwidth > 0.0) {
+        const SimTime nic_ready = start;
         start = std::max(start, fabric_free_);
+        fabric_wait = start - nic_ready;
       }
     }
     duration = cost_.message_latency(src_node, dst_node) +
@@ -495,7 +577,8 @@ SimTime Engine::timed_transfer(int send_rank, int recv_rank, SimTime earliest,
     }
   }
   const SimTime end = start + duration;
-  account_transfer(send_rank, recv_rank, start, end, bytes);
+  account_transfer(send_rank, recv_rank, earliest, start, end, bytes,
+                   /*eager=*/false, fabric_wait);
   return end;
 }
 
@@ -520,14 +603,18 @@ SimTime Engine::launch_eager(int src_rank, int dst_rank, SimTime now,
   const int src_node = placement_.node_of[static_cast<std::size_t>(src_rank)];
   const int dst_node = placement_.node_of[static_cast<std::size_t>(dst_rank)];
   if (scenario_.ideal_network) {
-    account_transfer(src_rank, dst_rank, now, now, bytes);
+    account_transfer(src_rank, dst_rank, now, now, now, bytes,
+                     /*eager=*/true, 0);
     return now;
   }
   SimTime start = now;
+  SimTime fabric_wait = 0;
   if (src_node != dst_node) {
     start = std::max(now, nic_tx_free_[static_cast<std::size_t>(src_node)]);
     if (config_.bisection_bandwidth > 0.0) {
+      const SimTime nic_ready = start;
       start = std::max(start, fabric_free_);
+      fabric_wait = start - nic_ready;
       fabric_free_ = start + transfer_time(bytes, config_.bisection_bandwidth);
     }
   }
@@ -539,18 +626,33 @@ SimTime Engine::launch_eager(int src_rank, int dst_rank, SimTime now,
     nic_rx_free_[static_cast<std::size_t>(dst_node)] =
         std::max(nic_rx_free_[static_cast<std::size_t>(dst_node)], arrival);
   }
-  account_transfer(src_rank, dst_rank, start, arrival, bytes);
+  account_transfer(src_rank, dst_rank, now, start, arrival, bytes,
+                   /*eager=*/true, fabric_wait);
   return arrival;
 }
 
-void Engine::account_transfer(int src_rank, int dst_rank, SimTime start,
-                              SimTime end, Bytes bytes) {
+void Engine::account_transfer(int src_rank, int dst_rank, SimTime requested,
+                              SimTime start, SimTime end, Bytes bytes,
+                              bool eager, SimTime fabric_wait) {
   const int src_node = placement_.node_of[static_cast<std::size_t>(src_rank)];
   const int dst_node = placement_.node_of[static_cast<std::size_t>(dst_rank)];
   auto& send_rs = stats_.ranks[static_cast<std::size_t>(src_rank)];
   auto& recv_rs = stats_.ranks[static_cast<std::size_t>(dst_rank)];
   ++send_rs.messages_sent;
   ++recv_rs.messages_received;
+
+  if (observer_ != nullptr) {
+    MessageRecord message;
+    message.eager = eager;
+    message.inter_node = src_node != dst_node;
+    message.src_rank = src_rank;
+    message.dst_rank = dst_rank;
+    message.phase = states_[static_cast<std::size_t>(src_rank)].phase;
+    message.bytes = bytes;
+    message.start = start;
+    message.end = end;
+    observer_->on_message(message);
+  }
 
   // Message payloads traverse main memory on both endpoints (the TX1 has
   // no GPUDirect, so all network data lands in DRAM first — §III-B.2).
@@ -569,6 +671,12 @@ void Engine::account_transfer(int src_rank, int dst_rank, SimTime start,
   recv_rs.net_bytes_received += bytes;
   bin_busy(stats_.nodes[static_cast<std::size_t>(src_node)].nic_busy, start, end);
   bin_busy(stats_.nodes[static_cast<std::size_t>(dst_node)].nic_busy, start, end);
+  const std::uint8_t kind = static_cast<std::uint8_t>(
+      eager ? OpKind::kIsend : OpKind::kSend);
+  observe_span(Lane::kNicTx, src_rank, src_node, kind, start, end,
+               start - requested, fabric_wait, bytes);
+  observe_span(Lane::kNicRx, dst_rank, dst_node, kind, start, end,
+               start - requested, fabric_wait, bytes);
 }
 
 double RunStats::flops_per_second() const {

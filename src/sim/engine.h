@@ -32,6 +32,90 @@ struct Scenario {
   std::vector<double> compute_scale;  ///< Per-rank multiplier (empty = 1.0).
 };
 
+/// Resource lanes a committed span can occupy.  Observers key queue-wait
+/// histograms and timeline rows off these.
+enum class Lane : std::uint8_t {
+  kCpu = 0,  ///< The rank's host core (compute ops).
+  kGpu,      ///< The node's shared GPU.
+  kCopy,     ///< The node's copy engine.
+  kNicTx,    ///< NIC transmit side (inter-node transfers only).
+  kNicRx,    ///< NIC receive side (inter-node transfers only).
+  kCount,
+};
+
+inline constexpr std::size_t kLaneCount = static_cast<std::size_t>(Lane::kCount);
+
+/// Short stable identifier ("cpu", "gpu", "copy", "nic-tx", "nic-rx").
+const char* lane_name(Lane lane);
+
+/// One committed dispatch: exactly the record the determinism auditor
+/// folds into RunStats::event_checksum, plus placement context.
+struct DispatchRecord {
+  SimTime time = 0;       ///< Dispatch time (the audited timestamp).
+  int rank = 0;
+  int node = 0;
+  int phase = 0;          ///< The rank's phase at dispatch.
+  std::uint8_t kind = 0;  ///< OpKind byte, or 0xFF when a rank drains.
+  Bytes bytes = 0;
+};
+
+/// One timed occupancy of a resource lane.
+struct SpanRecord {
+  Lane lane = Lane::kCpu;
+  int rank = 0;            ///< Rank whose op occupies the lane.
+  int node = 0;            ///< Node hosting the lane.
+  int phase = 0;
+  std::uint8_t kind = 0;   ///< OpKind byte of the originating op.
+  SimTime start = 0;
+  SimTime end = 0;
+  SimTime queue_wait = 0;  ///< start minus request time (contention).
+  SimTime fabric_wait = 0; ///< Portion of queue_wait spent on the fabric.
+  Bytes bytes = 0;         ///< Message/copy size; DRAM bytes for compute.
+};
+
+/// One matched message transfer (fires once per send/recv pair, at the
+/// moment the transfer is committed).
+struct MessageRecord {
+  bool eager = false;       ///< Eager protocol (false = rendezvous).
+  bool inter_node = false;
+  int src_rank = 0;
+  int dst_rank = 0;
+  int phase = 0;            ///< Sender's phase.
+  Bytes bytes = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+struct EngineConfig;
+
+/// Hook interface over the engine's committed event stream.
+///
+/// Attach with Engine::set_observer before run().  Every callback fires in
+/// the engine's deterministic total event order, so anything an observer
+/// derives inherits the determinism promise (equal configurations produce
+/// equal observations).  When no observer is attached the engine pays a
+/// single predictable branch per hook site and performs no per-event
+/// allocation — src/obs/ builds the metrics registry and Chrome-trace
+/// exporter on top of this interface.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  /// A run is starting; `placement` maps ranks to nodes.
+  virtual void on_run_begin(const Placement& placement,
+                            const EngineConfig& config);
+  /// One committed dispatch (the determinism-digest stream).
+  virtual void on_dispatch(const DispatchRecord& record);
+  /// One resource-lane occupancy with its queue-wait breakdown.
+  virtual void on_span(const SpanRecord& span);
+  /// One matched message transfer.
+  virtual void on_message(const MessageRecord& message);
+  /// A message endpoint parked unmatched; arguments are the current
+  /// pending-send / pending-receive depths (posted irecvs included).
+  virtual void on_pending(int pending_sends, int pending_recvs);
+  /// The run finished; `stats` carries the final aggregates and digest.
+  virtual void on_run_end(const RunStats& stats);
+};
+
 /// Engine tuning knobs.
 struct EngineConfig {
   /// Messages at or below this size use the eager protocol (sender does
@@ -56,6 +140,10 @@ class Engine {
   /// Replays the programs to completion and returns the collected stats.
   /// Throws soc::Error on deadlock (unmatched send/recv) or misuse.
   RunStats run(const std::vector<Program>& programs);
+
+  /// Attaches a (non-owning) observer over the committed event stream;
+  /// nullptr detaches.  Must not change during run().
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
 
  private:
   struct RankState {
@@ -128,8 +216,19 @@ class Engine {
   void add_phase_compute(int rank, SimTime duration);
   void bin_busy(std::vector<double>& lane, SimTime start, SimTime end);
   void bin_value(std::vector<double>& lane, SimTime at, double value);
-  void account_transfer(int src_rank, int dst_rank, SimTime start,
-                        SimTime end, Bytes bytes);
+  /// Books a committed transfer into the stats and, when an observer is
+  /// attached, emits its message record and NIC spans.  `requested` is when
+  /// the transfer was asked for (start - requested = queue wait);
+  /// `fabric_wait` the share of that wait spent queued on the fabric.
+  void account_transfer(int src_rank, int dst_rank, SimTime requested,
+                        SimTime start, SimTime end, Bytes bytes, bool eager,
+                        SimTime fabric_wait);
+  /// Emits one resource-lane span to the observer (no-op when detached).
+  void observe_span(Lane lane, int rank, int node, std::uint8_t kind,
+                    SimTime start, SimTime end, SimTime queue_wait,
+                    SimTime fabric_wait, Bytes bytes);
+  /// Notifies the observer that a message endpoint parked unmatched.
+  void observe_pending();
 
   Placement placement_;
   const CostModel& cost_;
@@ -149,6 +248,10 @@ class Engine {
   std::map<MsgKey, std::deque<Arrival>> arrivals_;
   RunStats stats_;
   Fnv1a audit_;  ///< Running digest of the committed event stream.
+
+  EngineObserver* observer_ = nullptr;  ///< Non-owning; nullptr = detached.
+  int pending_send_depth_ = 0;  ///< Parked rendezvous senders.
+  int pending_recv_depth_ = 0;  ///< Parked blocking recvs + posted irecvs.
 };
 
 }  // namespace soc::sim

@@ -2,6 +2,22 @@
 
 namespace soc::sim {
 
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCpuCompute: return "cpu";
+    case OpKind::kGpuKernel: return "gpu";
+    case OpKind::kCopyH2D: return "h2d";
+    case OpKind::kCopyD2H: return "d2h";
+    case OpKind::kSend: return "send";
+    case OpKind::kRecv: return "recv";
+    case OpKind::kIsend: return "isend";
+    case OpKind::kIrecv: return "irecv";
+    case OpKind::kWaitAll: return "waitall";
+    case OpKind::kPhase: return "phase";
+  }
+  return "?";
+}
+
 Op cpu_op(double instructions, double flops, Bytes dram_bytes, int profile,
           int phase) {
   Op op;

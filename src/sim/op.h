@@ -28,6 +28,11 @@ enum class OpKind : std::uint8_t {
   kPhase,       ///< Marks the start of iteration phase `phase` (zero cost).
 };
 
+/// Short stable identifier for an op kind ("cpu", "gpu", "h2d", "d2h",
+/// "send", "recv", "isend", "irecv", "waitall", "phase") — the soctrace
+/// verbs.  Observers and exporters key on these.
+const char* op_kind_name(OpKind kind);
+
 /// GPU memory-management model under which kernel/copy ops execute
 /// (Section III-B.5 of the paper).
 enum class MemModel : std::uint8_t {

@@ -19,8 +19,16 @@ namespace soc::sim {
 struct RankStats {
   SimTime finish_time = 0;       ///< When the rank's program completed.
   SimTime cpu_busy = 0;          ///< Host compute time.
-  SimTime gpu_busy = 0;          ///< Kernel execution time (incl. queueing none).
-  SimTime gpu_queue_wait = 0;    ///< Time spent waiting for the node's GPU.
+  /// Kernel execution time only: the sum of (end - start) of this rank's
+  /// kernels on the node's GPU.  Queueing is NOT included — a kernel that
+  /// waits for the shared GPU accrues that wait in `gpu_queue_wait`, so
+  /// for any rank the GPU-related wall time is gpu_busy + gpu_queue_wait
+  /// and the two never overlap.
+  SimTime gpu_busy = 0;
+  /// Time between a kernel's dispatch and its start on the node's GPU
+  /// (co-located ranks serialize on the one device).  Disjoint from
+  /// `gpu_busy`; zero when the rank has the GPU to itself.
+  SimTime gpu_queue_wait = 0;
   SimTime copy_busy = 0;         ///< Host<->device copy time.
   SimTime send_blocked = 0;      ///< Time blocked in sends.
   SimTime recv_blocked = 0;      ///< Time blocked in receives.

@@ -20,6 +20,7 @@
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "net/network.h"
+#include "obs/observers.h"
 #include "systems/machines.h"
 #include "workloads/workload.h"
 
@@ -85,6 +86,39 @@ TEST(Determinism, ParallelForReplaysMatchSerial) {
       EXPECT_EQ(makespans[i], serial.stats.makespan)
           << name << " replica " << i;
     }
+  }
+}
+
+// The metrics registry derives everything from the committed event stream,
+// so it must inherit the engine's replay promise: registries from serial
+// and parallel_for replays of one configuration compare equal, member by
+// member, and render byte-identical JSON.
+TEST(Determinism, MetricsRegistryIdenticalAcrossReplays) {
+  auto run_with_metrics = [](const workloads::Workload& w) {
+    obs::MetricsObserver observer;
+    auto options = quick();
+    options.observer = &observer;
+    make_cluster(w, 4).run(w, options);
+    return observer.registry();
+  };
+
+  const auto w = workloads::make_workload("jacobi");
+  const obs::MetricsRegistry serial_a = run_with_metrics(*w);
+  const obs::MetricsRegistry serial_b = run_with_metrics(*w);
+  EXPECT_FALSE(serial_a.empty());
+  EXPECT_GT(serial_a.counter("msg.eager") + serial_a.counter("msg.rendezvous"),
+            0);
+  EXPECT_TRUE(serial_a == serial_b);
+  EXPECT_EQ(serial_a.json(), serial_b.json());
+
+  constexpr std::size_t kReplicas = 4;
+  std::vector<obs::MetricsRegistry> replicas(kReplicas);
+  parallel_for(kReplicas, [&](std::size_t i) {
+    const auto w2 = workloads::make_workload("jacobi");
+    replicas[i] = run_with_metrics(*w2);
+  });
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    EXPECT_TRUE(replicas[i] == serial_a) << "replica " << i;
   }
 }
 

@@ -12,7 +12,9 @@
 #include "core/scaling.h"
 #include "sim/engine.h"
 #include "trace/chop.h"
+#include "trace/export.h"
 #include "trace/replay.h"
+#include "trace/timeline.h"
 
 namespace soc {
 namespace {
@@ -339,6 +341,112 @@ TEST(CountersAnalysis, RelativeRowIsOneForIdenticalSystems) {
   obs.system_a = obs.system_b;
   const stats::Vec row = core::relative_row(obs);
   for (double v : row) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline rendering edge cases
+// ---------------------------------------------------------------------------
+
+// Stats with `nodes` nodes whose cpu lane is uniformly `busy_fraction`
+// utilized over `bins` bins (gpu/nic lanes left empty so only the cpu
+// rows render).
+sim::RunStats uniform_cpu_stats(int nodes, int bins, double busy_fraction) {
+  sim::RunStats stats;
+  stats.timeline_bin_seconds = 0.1;
+  stats.makespan = static_cast<SimTime>(bins) * 100 * kMillisecond;
+  stats.nodes.resize(static_cast<std::size_t>(nodes));
+  for (auto& tl : stats.nodes) {
+    tl.cpu_busy.assign(static_cast<std::size_t>(bins),
+                       busy_fraction * stats.timeline_bin_seconds);
+  }
+  return stats;
+}
+
+TEST(Timeline, EmptyStatsRenderHeaderAndLegendOnly) {
+  const sim::RunStats stats;  // no nodes, zero makespan
+  const std::string out = trace::render_timeline(stats);
+  EXPECT_NE(out.find("timeline: 0s"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_EQ(out.find("node0"), std::string::npos);
+  EXPECT_EQ(out.find("more nodes"), std::string::npos);
+}
+
+TEST(Timeline, SingleBinFillsTheWholeStrip) {
+  const sim::RunStats stats = uniform_cpu_stats(1, 1, 0.6);
+  trace::TimelineOptions options;
+  options.width = 10;
+  options.cores_per_node = 1;
+  const std::string out = trace::render_timeline(stats, options);
+  // One 60%-busy bin resamples to '=' ([0.50, 0.75)) across every bucket.
+  EXPECT_NE(out.find("node0 cpu |==========|"), std::string::npos);
+}
+
+TEST(Timeline, GlyphThresholds) {
+  // Utilizations chosen with safe margins around the documented
+  // boundaries: <5%, <25%, <50%, <75%, <95%, >=95%.
+  const struct { double utilization; char glyph; } cases[] = {
+      {0.04, ' '}, {0.10, '.'}, {0.30, '-'},
+      {0.60, '='}, {0.80, '#'}, {0.96, '@'},
+  };
+  for (const auto& c : cases) {
+    const sim::RunStats stats = uniform_cpu_stats(1, 10, c.utilization);
+    trace::TimelineOptions options;
+    options.width = 10;
+    options.cores_per_node = 1;
+    const std::string out = trace::render_timeline(stats, options);
+    EXPECT_NE(out.find("|" + std::string(10, c.glyph) + "|"),
+              std::string::npos)
+        << "utilization " << c.utilization << " should render '" << c.glyph
+        << "':\n" << out;
+  }
+}
+
+TEST(Timeline, MaxNodesSummarizesTheRest) {
+  const sim::RunStats stats = uniform_cpu_stats(5, 2, 0.3);
+  trace::TimelineOptions options;
+  options.max_nodes = 2;
+  const std::string out = trace::render_timeline(stats, options);
+  EXPECT_NE(out.find("node0 cpu"), std::string::npos);
+  EXPECT_NE(out.find("node1 cpu"), std::string::npos);
+  EXPECT_EQ(out.find("node2 cpu"), std::string::npos);
+  EXPECT_NE(out.find("(3 more nodes not shown)"), std::string::npos);
+}
+
+TEST(Timeline, NarrowWidthRejected) {
+  trace::TimelineOptions options;
+  options.width = 4;
+  EXPECT_THROW(trace::render_timeline(sim::RunStats{}, options), Error);
+}
+
+// ---------------------------------------------------------------------------
+// soctrace export → import → export stability
+// ---------------------------------------------------------------------------
+
+TEST(Export, RoundTripIsByteStable) {
+  // One op of every verb, exercising every field the format carries.
+  std::vector<sim::Program> programs(2);
+  programs[0] = {
+      sim::phase_op(0),
+      sim::cpu_op(1.5e6, 2e6, 4096, 3, 0),
+      sim::gpu_op(1e9, 8 * kMB, sim::MemModel::kZeroCopy, 0, 1e6, false),
+      sim::copy_h2d_op(2 * kMB, sim::MemModel::kHostDevice, 0),
+      sim::copy_d2h_op(1 * kMB, sim::MemModel::kUnified, 0),
+      sim::send_op(1, 64 * kKiB, 7, 0),
+      sim::isend_op(1, 3 * kKiB, 8, 0),
+      sim::wait_all_op(0),
+  };
+  programs[1] = {
+      sim::phase_op(0),
+      sim::recv_op(0, 64 * kKiB, 7, 0),
+      sim::irecv_op(0, 3 * kKiB, 8, 0),
+      sim::wait_all_op(0),
+  };
+  const std::string once = trace::export_programs(programs);
+  const std::string twice =
+      trace::export_programs(trace::import_programs(once));
+  EXPECT_EQ(once, twice);
+  // And a third pass for fixed-point confirmation.
+  EXPECT_EQ(twice, trace::export_programs(trace::import_programs(twice)));
 }
 
 }  // namespace

@@ -5,7 +5,11 @@
 //       Workloads and machine models available.
 //   socbench run --workload jacobi --nodes 16 --nic 10g [--scale 1.0]
 //                [--mem-model hd|zc|um] [--gpu-fraction 1.0] [--ranks N]
+//                [--metrics] [--chrome-trace t.json] [--report-json r.json]
 //       One metered run: runtime, throughput, energy, traffic, roofline.
+//       Observability artifacts on demand: --metrics prints the run's
+//       metrics registry, --chrome-trace writes a Perfetto-loadable
+//       trace, --report-json a canonical machine-readable run report.
 //   socbench sweep --workload hpl --nodes 2,4,8,16 --nic both
 //       Cluster-size sweep, one row per (size, NIC).
 //   socbench decompose --workload ft --nodes 16
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/report.h"
 #include "common/args.h"
 #include "common/error.h"
 #include "common/parallel.h"
@@ -31,6 +36,8 @@
 #include "core/efficiency.h"
 #include "core/extended_roofline.h"
 #include "net/network.h"
+#include "obs/chrome_trace.h"
+#include "obs/observers.h"
 #include "systems/machines.h"
 #include "trace/export.h"
 #include "trace/timeline.h"
@@ -190,7 +197,20 @@ int cmd_run(const ArgParser& args) {
                                           : natural_ranks(*workload, nodes);
   const auto node = systems::jetson_tx1(parse_nic(args.get("--nic")));
   const cluster::Cluster cl(cluster::ClusterConfig{node, nodes, ranks});
-  const auto result = cl.run(*workload, options_from(args));
+
+  // Observability: attach only what the flags ask for, so the default
+  // run keeps the engine's no-observer fast path.
+  const bool want_metrics =
+      args.get_bool("--metrics") || args.given("--report-json");
+  obs::MetricsObserver metrics;
+  obs::ChromeTraceRecorder chrome;
+  obs::ObserverList observers;
+  if (want_metrics) observers.add(&metrics);
+  if (args.given("--chrome-trace")) observers.add(&chrome);
+  auto options = options_from(args);
+  if (!observers.empty()) options.observer = &observers;
+
+  const auto result = cl.run(*workload, options);
   std::printf("%s on %d x %s (%s, %d ranks)\n\n", workload->name().c_str(),
               nodes, node.name.c_str(), node.nic.name.c_str(), ranks);
   const bool dp = workload->name() != "alexnet" &&
@@ -200,6 +220,21 @@ int cmd_run(const ArgParser& args) {
     trace::TimelineOptions t;
     t.cores_per_node = node.cpu_cores;
     std::printf("\n%s", trace::render_timeline(result.stats, t).c_str());
+  }
+  if (args.get_bool("--metrics")) {
+    std::printf("\nmetrics\n-------\n%s",
+                metrics.registry().table().c_str());
+  }
+  if (args.given("--chrome-trace")) {
+    chrome.write(args.get("--chrome-trace"));
+    std::printf("\nwrote %zu spans to %s\n", chrome.span_count(),
+                args.get("--chrome-trace").c_str());
+  }
+  if (args.given("--report-json")) {
+    cluster::write_report(args.get("--report-json"), cl.config(), options,
+                          workload->name(), result, &metrics.registry());
+    std::printf("wrote run report to %s\n",
+                args.get("--report-json").c_str());
   }
   return 0;
 }
@@ -299,8 +334,17 @@ int cmd_replay(const ArgParser& args) {
 
 int usage(const ArgParser& args) {
   std::printf(
-      "usage: socbench <list|run|sweep|decompose|trace|replay> [flags]\n\n"
-      "flags:\n%s", args.usage().c_str());
+      "usage: socbench <command> [flags]\n\n"
+      "commands:\n"
+      "  list       workloads and machine models available\n"
+      "  run        one metered run (add --metrics, --chrome-trace,\n"
+      "             --report-json for observability artifacts;\n"
+      "             --audit-determinism for a replay audit)\n"
+      "  sweep      cluster-size sweep, one row per (size, NIC)\n"
+      "  decompose  LB/Ser/Trf efficiency decomposition (paper Eq. 4)\n"
+      "  trace      record generated per-rank programs to a .soctrace file\n"
+      "  replay     replay a recorded trace (what-if scenarios supported)\n"
+      "\nflags:\n%s", args.usage().c_str());
   return 2;
 }
 
@@ -323,6 +367,10 @@ int main(int argc, char** argv) {
                 "run: verify replays are bit-identical instead of reporting");
   args.add_flag("--repeats", "replays per audit mode (audit-determinism)",
                 "4");
+  args.add_bool("--metrics", "run: print the metrics registry");
+  args.add_flag("--chrome-trace",
+                "run: write a Chrome trace-event JSON (Perfetto) here");
+  args.add_flag("--report-json", "run: write a canonical run report here");
 
   try {
     args.parse(argc, argv);

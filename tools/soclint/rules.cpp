@@ -213,7 +213,7 @@ void rule_getenv(const SourceFile& file, std::vector<Diagnostic>& out) {
 
 const std::set<std::string>& sim_state_modules() {
   static const std::set<std::string> kModules = {"sim", "msg", "cluster",
-                                                 "trace"};
+                                                 "trace", "obs"};
   return kModules;
 }
 
@@ -249,6 +249,7 @@ const std::map<std::string, std::set<std::string>>& allowed_includes() {
       {"common", {}},
       {"stats", {"common"}},
       {"sim", {"common"}},
+      {"obs", {"common", "sim"}},
       {"arch", {"common"}},
       {"mem", {"common"}},
       {"net", {"common", "sim"}},
@@ -260,8 +261,8 @@ const std::map<std::string, std::set<std::string>>& allowed_includes() {
       {"systems", {"common", "arch", "gpu", "mem", "net", "power"}},
       {"workloads", {"common", "sim", "msg", "arch"}},
       {"cluster",
-       {"common", "stats", "sim", "arch", "mem", "net", "gpu", "msg", "power",
-        "trace", "core", "systems", "workloads"}},
+       {"common", "stats", "sim", "obs", "arch", "mem", "net", "gpu", "msg",
+        "power", "trace", "core", "systems", "workloads"}},
   };
   return kAllowed;
 }
@@ -438,7 +439,7 @@ const std::vector<Rule>& all_rules() {
       {"getenv-in-library",
        "src/ code may not read the process environment", rule_getenv},
       {"unordered-in-sim-state",
-       "no std::unordered_{map,set} in src/{sim,msg,cluster,trace}",
+       "no std::unordered_{map,set} in src/{sim,obs,msg,cluster,trace}",
        rule_unordered},
       {"layering", "#include edges must follow the src/ module DAG",
        rule_layering},
@@ -532,6 +533,9 @@ int self_test() {
   t.lint_case("unordered_map outside sim state ok", "src/workloads/npb.cpp",
               "std::unordered_map<int, int> m;\n", "unordered-in-sim-state",
               0);
+  t.lint_case("unordered_map in obs flagged", "src/obs/metrics.cpp",
+              "std::unordered_map<int, int> m;\n", "unordered-in-sim-state",
+              1);
 
   // layering.
   t.lint_case("common including sim flagged", "src/common/units.h",
@@ -542,6 +546,12 @@ int self_test() {
               "#include \"common/units.h\"\n", "layering", 0);
   t.lint_case("cluster including workloads ok", "src/cluster/cluster.cpp",
               "#include \"workloads/workload.h\"\n", "layering", 0);
+  t.lint_case("obs including cluster flagged", "src/obs/metrics.cpp",
+              "#include \"cluster/cluster.h\"\n", "layering", 1);
+  t.lint_case("obs including sim ok", "src/obs/observers.cpp",
+              "#include \"sim/engine.h\"\n", "layering", 0);
+  t.lint_case("cluster including obs ok", "src/cluster/report.cpp",
+              "#include \"obs/json.h\"\n", "layering", 0);
   t.lint_case("system header ignored", "src/common/units.cpp",
               "#include <vector>\n", "layering", 0);
 
