@@ -7,7 +7,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
   const struct {
     const char* label;
@@ -18,24 +18,35 @@ int main() {
       {"40 Gb/s fabric", gbit_per_s(40.0)},
       {"10 Gb/s fabric (oversubscribed)", gbit_per_s(10.0)},
   };
+  const char* names[] = {"ft", "is", "tealeaf3d"};
+  const int nodes = 16;
 
-  TextTable table({"fabric model", "ft (s)", "is (s)", "tealeaf3d (s)"});
+  std::vector<cluster::RunRequest> requests;
   for (const auto& f : fabrics) {
-    std::vector<std::string> row{f.label};
-    for (const char* name : {"ft", "is", "tealeaf3d"}) {
+    for (const char* name : names) {
       const auto workload = workloads::make_workload(name);
-      const int nodes = 16;
-      const int ranks = bench::natural_ranks(*workload, nodes);
       cluster::RunOptions options;
       options.size_scale = 0.3;
       // The cluster fills in the node's switch config when 0; use a huge
       // value to express "uncapped".
       options.engine.bisection_bandwidth = f.bisection < 0 ? 1e18
                                                            : f.bisection;
-      const auto result =
-          bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, ranks)
-              .run(*workload, options);
-      row.push_back(TextTable::num(result.seconds, 2));
+      requests.push_back(
+          bench::tx1_request(name, net::NicKind::kTenGigabit, nodes,
+                             bench::natural_ranks(*workload, nodes), options));
+    }
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "ablation_contention"));
+  const auto results = runner.run(requests);
+
+  TextTable table({"fabric model", "ft (s)", "is (s)", "tealeaf3d (s)"});
+  std::size_t job = 0;
+  for (const auto& f : fabrics) {
+    std::vector<std::string> row{f.label};
+    for (std::size_t n = 0; n < std::size(names); ++n) {
+      row.push_back(TextTable::num(results[job++].seconds, 2));
     }
     table.add_row(std::move(row));
   }

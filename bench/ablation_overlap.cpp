@@ -7,22 +7,38 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  TextTable table({"workload", "NIC", "blocking (s)", "overlapped (s)",
-                   "overlap gain"});
-  for (const char* name : {"jacobi", "tealeaf2d", "tealeaf3d"}) {
-    const auto workload = workloads::make_workload(name);
-    for (net::NicKind nic :
-         {net::NicKind::kGigabit, net::NicKind::kTenGigabit}) {
-      const int nodes = 16;
-      const auto cl = bench::tx1_cluster(nic, nodes, nodes);
+  const char* names[] = {"jacobi", "tealeaf2d", "tealeaf3d"};
+  const net::NicKind nics[] = {net::NicKind::kGigabit,
+                               net::NicKind::kTenGigabit};
+  const int nodes = 16;
+
+  // Per (workload, NIC): the blocking run then the overlapped run.
+  std::vector<cluster::RunRequest> requests;
+  for (const char* name : names) {
+    for (const net::NicKind nic : nics) {
       cluster::RunOptions blocking;
       blocking.size_scale = 0.5;
       cluster::RunOptions overlapped = blocking;
       overlapped.overlap_halos = true;
-      const double tb = cl.run(*workload, blocking).seconds;
-      const double to = cl.run(*workload, overlapped).seconds;
+      requests.push_back(bench::tx1_request(name, nic, nodes, nodes, blocking));
+      requests.push_back(
+          bench::tx1_request(name, nic, nodes, nodes, overlapped));
+    }
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "ablation_overlap"));
+  const auto results = runner.run(requests);
+
+  TextTable table({"workload", "NIC", "blocking (s)", "overlapped (s)",
+                   "overlap gain"});
+  std::size_t job = 0;
+  for (const char* name : names) {
+    for (const net::NicKind nic : nics) {
+      const double tb = results[job++].seconds;
+      const double to = results[job++].seconds;
       table.add_row({name, bench::nic_name(nic), TextTable::num(tb, 2),
                      TextTable::num(to, 2),
                      TextTable::num(tb / to, 2) + "x"});

@@ -6,25 +6,36 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
   const Bytes thresholds[] = {0, 1 * kKiB, 8 * kKiB, 64 * kKiB, 1 * kMiB};
+  const char* names[] = {"cg", "lu", "ft", "jacobi"};
+  const int nodes = 8;
 
-  TextTable table({"workload", "rendezvous-only", "eager<=1K", "eager<=8K",
-                   "eager<=64K", "eager<=1M"});
-  for (const char* name : {"cg", "lu", "ft", "jacobi"}) {
+  std::vector<cluster::RunRequest> requests;
+  for (const char* name : names) {
     const auto workload = workloads::make_workload(name);
-    const int nodes = 8;
     const int ranks = bench::natural_ranks(*workload, nodes);
-    std::vector<std::string> row{name};
     for (Bytes threshold : thresholds) {
       cluster::RunOptions options;
       options.size_scale = 0.3;
       options.engine.eager_threshold = threshold;
-      const auto result =
-          bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, ranks)
-              .run(*workload, options);
-      row.push_back(TextTable::num(result.seconds, 2) + "s");
+      requests.push_back(bench::tx1_request(name, net::NicKind::kTenGigabit,
+                                            nodes, ranks, options));
+    }
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "ablation_protocol"));
+  const auto results = runner.run(requests);
+
+  TextTable table({"workload", "rendezvous-only", "eager<=1K", "eager<=8K",
+                   "eager<=64K", "eager<=1M"});
+  std::size_t job = 0;
+  for (const char* name : names) {
+    std::vector<std::string> row{name};
+    for (std::size_t t = 0; t < std::size(thresholds); ++t) {
+      row.push_back(TextTable::num(results[job++].seconds, 2) + "s");
     }
     table.add_row(std::move(row));
   }

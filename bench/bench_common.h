@@ -13,23 +13,73 @@
 #include "core/extended_roofline.h"
 #include "net/network.h"
 #include "obs/json.h"
+#include "sweep/grid.h"
+#include "sweep/sweep.h"
 #include "systems/machines.h"
 #include "workloads/workload.h"
 
 namespace soc::bench {
 
-/// TX1 cluster with `nodes` nodes and the workload's natural rank count:
-/// 1 rank/node for GPU codes, 4 for the DNN decode workers, 2 for NPB.
+/// TX1 cluster with `nodes` nodes and the workload's natural rank count
+/// (delegates to the sweep library's shared definition).
 inline int natural_ranks(const workloads::Workload& w, int nodes) {
-  const std::string n = w.name();
-  if (n == "alexnet" || n == "googlenet") return 4 * nodes;
-  if (!w.gpu_accelerated()) return 2 * nodes;
-  return nodes;
+  return sweep::natural_ranks(w, nodes);
 }
 
 inline cluster::Cluster tx1_cluster(net::NicKind nic, int nodes, int ranks) {
   return cluster::Cluster(
       cluster::ClusterConfig{systems::jetson_tx1(nic), nodes, ranks});
+}
+
+/// A RunRequest against a TX1 cluster — the unit the sweep runner shards.
+inline cluster::RunRequest tx1_request(std::string workload, net::NicKind nic,
+                                       int nodes, int ranks,
+                                       cluster::RunOptions options = {}) {
+  cluster::RunRequest request;
+  request.workload = std::move(workload);
+  request.config = {systems::jetson_tx1(nic), nodes, ranks};
+  request.options = options;
+  return request;
+}
+
+inline unsigned parse_sweep_threads(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "bench: bad sweep thread count '%s'\n", s);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(v);
+}
+
+/// Shared sweep configuration for every bench binary: `--sweep-threads=N`
+/// (or `--sweep-threads N`) picks the host fan-out, `--progress` turns on
+/// the stderr ETA narrator; the SOC_SWEEP_THREADS and SOC_SWEEP_PROGRESS
+/// environment variables are the flag-less equivalents (flags win).
+/// Thread count never changes bench output — only wall-clock.
+inline sweep::SweepOptions sweep_options(int argc, char** argv,
+                                         std::string label) {
+  sweep::SweepOptions options;
+  options.label = std::move(label);
+  if (const char* env = std::getenv("SOC_SWEEP_THREADS");
+      env != nullptr && *env != '\0') {
+    options.threads = parse_sweep_threads(env);
+  }
+  if (const char* env = std::getenv("SOC_SWEEP_PROGRESS");
+      env != nullptr && *env != '\0' && std::string(env) != "0") {
+    options.progress = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sweep-threads=", 0) == 0) {
+      options.threads = parse_sweep_threads(arg.c_str() + 16);
+    } else if (arg == "--sweep-threads" && i + 1 < argc) {
+      options.threads = parse_sweep_threads(argv[++i]);
+    } else if (arg == "--progress") {
+      options.progress = true;
+    }
+  }
+  return options;
 }
 
 /// The extended-roofline model instance for one TX1 node (Eq. 3 inputs).
@@ -87,6 +137,25 @@ inline void write_artifact(const std::string& bench, const TextTable& table,
     return;
   }
   f << w.str() << '\n';
+}
+
+/// Writes the sweep-report document (`<dir>/<bench>-sweep.json`, schema
+/// "soccluster-sweep-report/v1") when SOC_BENCH_JSON_DIR is set.  The
+/// document excludes thread count and wall-clock by construction, so it
+/// is byte-identical whatever --sweep-threads was.
+inline void write_sweep_artifact(
+    const std::string& bench, const std::vector<cluster::RunRequest>& requests,
+    const std::vector<cluster::RunResult>& results,
+    const sweep::SweepSummary& summary) {
+  const char* dir = std::getenv("SOC_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + bench + "-sweep.json";
+  std::ofstream f(path, std::ios::binary);
+  if (!f.good()) {
+    std::fprintf(stderr, "bench: cannot write artifact %s\n", path.c_str());
+    return;
+  }
+  f << sweep::sweep_report_json(bench, requests, results, summary);
 }
 
 }  // namespace soc::bench

@@ -13,12 +13,15 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  TextTable table({"freq scale", "workload", "runtime (s)", "avg W",
-                   "energy (kJ)", "MFLOPS/W (rel)"});
+  const char* names[] = {"jacobi", "tealeaf3d"};
+  const double scales[] = {0.6, 0.8, 1.0, 1.2};
 
-  auto run_at = [](const char* name, double k) {
+  // Each frequency point is its own node config — every request here
+  // deliberately misses the sweep runner's cost-model cache (configs
+  // compare by value), plus one baseline (k=1.0) per workload up front.
+  auto request_at = [](const char* name, double k) {
     systems::NodeConfig node = systems::jetson_tx1(net::NicKind::kTenGigabit);
     node.core.frequency_hz *= k;
     node.gpu.frequency_hz *= k;
@@ -29,18 +32,31 @@ int main() {
     node.power.cpu_core_active_w *= pscale;
     node.power.gpu_active_w *= pscale;
 
-    const cluster::Cluster tx(cluster::ClusterConfig{node, 16, 16});
-    const auto workload = workloads::make_workload(name);
-    cluster::RunOptions options;
-    options.size_scale = 0.5;
-    return tx.run(*workload, options);
+    cluster::RunRequest request;
+    request.workload = name;
+    request.config = {node, 16, 16};
+    request.options.size_scale = 0.5;
+    return request;
   };
 
-  for (const char* name : {"jacobi", "tealeaf3d"}) {
-    const double base_eff = run_at(name, 1.0).mflops_per_watt;
-    for (double k : {0.6, 0.8, 1.0, 1.2}) {
-      const auto r = run_at(name, k);
-      table.add_row({TextTable::num(k, 1), name, TextTable::num(r.seconds, 1),
+  std::vector<cluster::RunRequest> requests;
+  for (const char* name : names) {
+    requests.push_back(request_at(name, 1.0));  // baseline for normalization
+    for (double k : scales) requests.push_back(request_at(name, k));
+  }
+
+  sweep::SweepRunner runner(bench::sweep_options(argc, argv, "extension_dvfs"));
+  const auto results = runner.run(requests);
+
+  const std::size_t stride = 1 + std::size(scales);
+  TextTable table({"freq scale", "workload", "runtime (s)", "avg W",
+                   "energy (kJ)", "MFLOPS/W (rel)"});
+  for (std::size_t w = 0; w < std::size(names); ++w) {
+    const double base_eff = results[w * stride].mflops_per_watt;
+    for (std::size_t i = 0; i < std::size(scales); ++i) {
+      const auto& r = results[w * stride + 1 + i];
+      table.add_row({TextTable::num(scales[i], 1), names[w],
+                     TextTable::num(r.seconds, 1),
                      TextTable::num(r.average_watts, 0),
                      TextTable::num(r.joules / 1e3, 2),
                      TextTable::num(r.mflops_per_watt / base_eff, 2)});

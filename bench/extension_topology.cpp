@@ -7,34 +7,51 @@
 #include "bench_common.h"
 #include "core/scaling.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
+  const char* names[] = {"jacobi", "hpl", "ft"};
+  const struct {
+    const char* label;
+    net::Topology topology;
+    double bisection;
+  } fabrics[] = {
+      {"single switch", net::Topology::kSingleSwitch, gbit_per_s(320.0)},
+      {"fat tree 16-port", net::Topology::kFatTree2, gbit_per_s(80.0)},
+      {"fat tree, 2:1 oversub", net::Topology::kFatTree2, gbit_per_s(40.0)},
+  };
+  const int nodes = 32;
+
+  std::vector<cluster::RunRequest> requests;
+  for (const char* name : names) {
+    const auto workload = workloads::make_workload(name);
+    const int ranks = bench::natural_ranks(*workload, nodes);
+    for (const auto& f : fabrics) {
+      systems::NodeConfig node =
+          systems::jetson_tx1(net::NicKind::kTenGigabit);
+      node.switch_config.topology = f.topology;
+      node.switch_config.pod_size = 16;
+      node.switch_config.bisection_bandwidth = f.bisection;
+      cluster::RunRequest request;
+      request.workload = name;
+      request.config = {node, nodes, ranks};
+      request.options.size_scale = 0.5;
+      requests.push_back(std::move(request));
+    }
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "extension_topology"));
+  const auto results = runner.run(requests);
 
   TextTable table({"workload", "fabric", "32-node runtime (s)",
                    "vs single switch"});
-  for (const char* name : {"jacobi", "hpl", "ft"}) {
-    const auto workload = workloads::make_workload(name);
+  std::size_t job = 0;
+  for (const char* name : names) {
     double base = 0.0;
-    for (const auto& [label, topology, bisection] :
-         {std::tuple{"single switch", net::Topology::kSingleSwitch,
-                     gbit_per_s(320.0)},
-          std::tuple{"fat tree 16-port", net::Topology::kFatTree2,
-                     gbit_per_s(80.0)},
-          std::tuple{"fat tree, 2:1 oversub", net::Topology::kFatTree2,
-                     gbit_per_s(40.0)}}) {
-      systems::NodeConfig node =
-          systems::jetson_tx1(net::NicKind::kTenGigabit);
-      node.switch_config.topology = topology;
-      node.switch_config.pod_size = 16;
-      node.switch_config.bisection_bandwidth = bisection;
-      const int nodes = 32;
-      const int ranks = bench::natural_ranks(*workload, nodes);
-      const cluster::Cluster cl(cluster::ClusterConfig{node, nodes, ranks});
-      cluster::RunOptions options;
-      options.size_scale = 0.5;
-      const auto r = cl.run(*workload, options);
+    for (const auto& f : fabrics) {
+      const auto& r = results[job++];
       if (base == 0.0) base = r.seconds;
-      table.add_row({name, label, TextTable::num(r.seconds, 2),
+      table.add_row({name, f.label, TextTable::num(r.seconds, 2),
                      TextTable::num(r.seconds / base, 2) + "x"});
     }
   }

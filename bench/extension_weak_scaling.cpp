@@ -8,29 +8,46 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  const auto hpl = workloads::make_workload("hpl");
+  const int sizes[] = {2, 4, 8, 16};
+  const struct {
+    const char* label;
+    bool colocated;
+  } configs[] = {
+      {"GPU+10GbE", false},
+      {"CPU+GPU+10GbE", true},
+  };
 
-  TextTable table({"nodes", "config", "runtime (s)", "GFLOPS",
-                   "efficiency vs 2 nodes", "MFLOPS/W", "MFLOPS/W/core"});
-  for (auto [label, nic, colocated] :
-       {std::tuple{"GPU+10GbE", net::NicKind::kTenGigabit, false},
-        std::tuple{"CPU+GPU+10GbE", net::NicKind::kTenGigabit, true}}) {
-    double base_per_node_gflops = 0.0;
-    for (int nodes : {2, 4, 8, 16}) {
+  std::vector<cluster::RunRequest> requests;
+  for (const auto& c : configs) {
+    for (const int nodes : sizes) {
       cluster::RunOptions options;
       // Weak scaling: size_scale multiplies total FLOPs ~linearly (the
       // generator takes cbrt(size_scale) on N), so scaling it with the
       // node count holds per-node work constant.
       options.size_scale = 0.1 * nodes;
-      const int ranks = colocated ? 4 * nodes : nodes;
-      const auto result = bench::tx1_cluster(nic, nodes, ranks)
-                              .run(*hpl, options);
+      const int ranks = c.colocated ? 4 * nodes : nodes;
+      requests.push_back(bench::tx1_request(
+          "hpl", net::NicKind::kTenGigabit, nodes, ranks, options));
+    }
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "extension_weak_scaling"));
+  const auto results = runner.run(requests);
+
+  TextTable table({"nodes", "config", "runtime (s)", "GFLOPS",
+                   "efficiency vs 2 nodes", "MFLOPS/W", "MFLOPS/W/core"});
+  std::size_t job = 0;
+  for (const auto& c : configs) {
+    double base_per_node_gflops = 0.0;
+    for (const int nodes : sizes) {
+      const auto& result = results[job++];
       const double per_node = result.gflops / nodes;
       if (nodes == 2) base_per_node_gflops = per_node;
       table.add_row(
-          {std::to_string(nodes), label, TextTable::num(result.seconds, 1),
+          {std::to_string(nodes), c.label, TextTable::num(result.seconds, 1),
            TextTable::num(result.gflops, 1),
            TextTable::num(per_node / base_per_node_gflops, 2),
            TextTable::num(result.mflops_per_watt, 0),

@@ -29,26 +29,41 @@ double cpu_cycles_per_second(const soc::cluster::RunResult& result,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  const cluster::Cluster scale_up(cluster::ClusterConfig{
-      systems::xeon_gtx980(), /*nodes=*/2, /*ranks=*/16});
+  const char* ai[] = {"alexnet", "googlenet"};
+  const int sizes[] = {2, 4, 8, 16};
   const double xeon_hz = systems::xeon_gtx980().core.frequency_hz;
   const double a57_hz =
       systems::jetson_tx1(net::NicKind::kTenGigabit).core.frequency_hz;
 
+  // Per workload: the scale-up baseline first, then the TX cluster sizes.
+  std::vector<cluster::RunRequest> requests;
+  for (const char* name : ai) {
+    cluster::RunRequest baseline;
+    baseline.workload = name;
+    baseline.config = {systems::xeon_gtx980(), /*nodes=*/2, /*ranks=*/16};
+    requests.push_back(std::move(baseline));
+    for (int nodes : sizes) {
+      requests.push_back(bench::tx1_request(name, net::NicKind::kTenGigabit,
+                                            nodes, 4 * nodes));
+    }
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "fig10_ai_balance"));
+  const auto results = runner.run(requests);
+
+  const std::size_t stride = 1 + std::size(sizes);
   TextTable table({"network", "TX nodes", "speedup vs scale-up",
                    "norm. unhalted CPU cycles/s"});
-  for (const char* name : {"alexnet", "googlenet"}) {
-    const auto workload = workloads::make_workload(name);
-    const auto baseline = scale_up.run(*workload);
+  for (std::size_t w = 0; w < std::size(ai); ++w) {
+    const auto& baseline = results[w * stride];
     const double base_cycles = cpu_cycles_per_second(baseline, xeon_hz);
-    for (int nodes : {2, 4, 8, 16}) {
-      const auto result =
-          bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, 4 * nodes)
-              .run(*workload);
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+      const auto& result = results[w * stride + 1 + i];
       table.add_row(
-          {name, std::to_string(nodes),
+          {ai[w], std::to_string(sizes[i]),
            TextTable::num(baseline.seconds / result.seconds, 2),
            TextTable::num(cpu_cycles_per_second(result, a57_hz) / base_cycles,
                           2)});
@@ -59,5 +74,7 @@ int main() {
       "(16 TX nodes have the same GPU SM count as the scale-up system)\n\n%s",
       table.str().c_str());
   soc::bench::write_artifact("fig10_ai_balance", table);
+  soc::bench::write_sweep_artifact("fig10_ai_balance", requests, results,
+                                   runner.summary());
   return 0;
 }

@@ -7,63 +7,55 @@
 // all-to-all codes ft and is gain the most.  Both the speedup and the
 // energy advantage grow with cluster size (inter-node communication grows
 // with the node count).
-#include <array>
 #include <cstdio>
 
 #include "bench_common.h"
-#include "common/parallel.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  const int sizes[] = {2, 4, 8, 16};
-  const auto names = workloads::all_workload_names();
+  const std::vector<int> sizes = {2, 4, 8, 16};
+
+  // Every (workload, size, NIC) run is independent: enumerate the full
+  // grid and let the sweep runner fan it out across host cores.
+  sweep::Grid grid;
+  grid.workloads = workloads::list();
+  grid.nodes = sizes;
+  grid.nics = {net::NicKind::kGigabit, net::NicKind::kTenGigabit};
+  const auto requests = grid.requests();
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "fig1_2_network_choice"));
+  const auto results = runner.run(requests);
 
   TextTable speedup({"workload", "2 nodes", "4 nodes", "8 nodes", "16 nodes"});
   TextTable energy({"workload", "2 nodes", "4 nodes", "8 nodes", "16 nodes"});
-
-  // Every (workload, size, NIC) run is independent: fan out across host
-  // cores and assemble the tables afterwards.
-  std::vector<std::array<double, 4>> speedups(names.size());
-  std::vector<std::array<double, 4>> energies(names.size());
-  parallel_for(names.size() * 4, [&](std::size_t job) {
-    const std::size_t w = job / 4;
-    const std::size_t i = job % 4;
-    const auto workload = workloads::make_workload(names[w]);
-    const int nodes = sizes[i];
-    const int ranks = bench::natural_ranks(*workload, nodes);
-    const auto slow = bench::tx1_cluster(net::NicKind::kGigabit, nodes, ranks)
-                          .run(*workload);
-    const auto fast =
-        bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, ranks)
-            .run(*workload);
-    speedups[w][i] = slow.seconds / fast.seconds;
-    energies[w][i] = fast.joules / slow.joules;
-  });
-
   std::vector<double> speedup_sum(4, 0.0);
   std::vector<double> energy_sum(4, 0.0);
-  int workload_count = 0;
-  for (std::size_t w = 0; w < names.size(); ++w) {
-    std::vector<std::string> srow{names[w]};
-    std::vector<std::string> erow{names[w]};
-    for (std::size_t i = 0; i < 4; ++i) {
-      srow.push_back(TextTable::num(speedups[w][i], 2));
-      erow.push_back(TextTable::num(energies[w][i], 2));
-      speedup_sum[i] += speedups[w][i];
-      energy_sum[i] += energies[w][i];
+  const std::size_t workload_count = grid.workloads.size();
+  for (std::size_t w = 0; w < workload_count; ++w) {
+    std::vector<std::string> srow{grid.workloads[w]};
+    std::vector<std::string> erow{grid.workloads[w]};
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& slow = results[grid.index(w, i, /*inic=*/0)];
+      const auto& fast = results[grid.index(w, i, /*inic=*/1)];
+      const double s = slow.seconds / fast.seconds;
+      const double e = fast.joules / slow.joules;
+      srow.push_back(TextTable::num(s, 2));
+      erow.push_back(TextTable::num(e, 2));
+      speedup_sum[i] += s;
+      energy_sum[i] += e;
     }
     speedup.add_row(std::move(srow));
     energy.add_row(std::move(erow));
-    ++workload_count;
   }
 
   std::vector<std::string> savg{"average"};
   std::vector<std::string> eavg{"average"};
-  for (int i = 0; i < 4; ++i) {
-    savg.push_back(TextTable::num(
-        speedup_sum[static_cast<std::size_t>(i)] / workload_count, 2));
-    eavg.push_back(TextTable::num(
-        energy_sum[static_cast<std::size_t>(i)] / workload_count, 2));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    savg.push_back(
+        TextTable::num(speedup_sum[i] / static_cast<double>(workload_count), 2));
+    eavg.push_back(
+        TextTable::num(energy_sum[i] / static_cast<double>(workload_count), 2));
   }
   speedup.add_row(std::move(savg));
   energy.add_row(std::move(eavg));
@@ -76,5 +68,7 @@ int main() {
       energy.str().c_str());
   soc::bench::write_artifact("fig1_2_network_choice", speedup, "speedup");
   soc::bench::write_artifact("fig1_2_network_choice", energy, "energy");
+  soc::bench::write_sweep_artifact("fig1_2_network_choice", requests, results,
+                                   runner.summary());
   return 0;
 }

@@ -9,25 +9,26 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  const int nodes = 16;
-  const char* gpu_workloads[] = {"hpl",       "jacobi",  "cloverleaf",
-                                 "tealeaf2d", "tealeaf3d", "alexnet",
-                                 "googlenet"};
+  sweep::Grid grid;
+  grid.workloads = {"hpl",       "jacobi",    "cloverleaf", "tealeaf2d",
+                    "tealeaf3d", "alexnet",   "googlenet"};
+  grid.nodes = {16};
+  grid.nics = {net::NicKind::kGigabit, net::NicKind::kTenGigabit};
+  const auto requests = grid.requests();
+
+  sweep::SweepRunner runner(bench::sweep_options(argc, argv, "fig3_traffic"));
+  const auto results = runner.run(requests);
 
   TextTable table({"point", "DRAM traffic (GB/s)", "network traffic (GB/s)",
                    "DRAM/network ratio"});
-  for (const char* name : gpu_workloads) {
-    const auto workload = workloads::make_workload(name);
-    const int ranks = bench::natural_ranks(*workload, nodes);
-    for (net::NicKind nic :
-         {net::NicKind::kGigabit, net::NicKind::kTenGigabit}) {
-      const auto result =
-          bench::tx1_cluster(nic, nodes, ranks).run(*workload);
+  for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+    for (std::size_t n = 0; n < grid.nics.size(); ++n) {
+      const auto& result = results[grid.index(w, 0, n)];
       const double dram = result.stats.dram_bytes_per_second() / 1e9;
       const double net = result.stats.net_bytes_per_second() / 1e9;
-      table.add_row({std::string(name) + "-" + bench::nic_name(nic),
+      table.add_row({grid.workloads[w] + "-" + bench::nic_name(grid.nics[n]),
                      TextTable::num(dram, 2), TextTable::num(net, 4),
                      net > 0 ? TextTable::num(dram / net, 0) : "inf"});
     }
@@ -36,5 +37,7 @@ int main() {
       "Figure 3: average DRAM and network traffic, 16-node TX1 cluster\n\n%s",
       table.str().c_str());
   bench::write_artifact("fig3_traffic", table);
+  bench::write_sweep_artifact("fig3_traffic", requests, results,
+                              runner.summary());
   return 0;
 }

@@ -15,12 +15,32 @@
 #include "core/efficiency.h"
 #include "core/scaling.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  const char* gpu_workloads[] = {"hpl", "jacobi", "cloverleaf", "tealeaf2d",
-                                 "tealeaf3d"};
   const std::vector<int> measured_sizes = {2, 4, 8, 16};
   const std::vector<int> extrapolated = {16, 32, 64, 128, 256};
+
+  // Measured runs: workloads × sizes × NICs; scenario replays (one per
+  // workload × size, 10GbE) supply the ideal-network and ideal-LB series
+  // and, at 16 nodes, the efficiency decomposition.
+  sweep::Grid grid;
+  grid.workloads = {"hpl", "jacobi", "cloverleaf", "tealeaf2d", "tealeaf3d"};
+  grid.nodes = measured_sizes;
+  grid.nics = {net::NicKind::kGigabit, net::NicKind::kTenGigabit};
+  const auto requests = grid.requests();
+
+  std::vector<cluster::RunRequest> replays;
+  for (const std::string& name : grid.workloads) {
+    for (int nodes : measured_sizes) {
+      replays.push_back(bench::tx1_request(name, net::NicKind::kTenGigabit,
+                                           nodes, nodes));
+    }
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "fig5_scalability_gpu"));
+  const auto results = runner.run(requests);
+  const auto scenario_runs = runner.replay_scenarios(replays);
 
   TextTable fits({"workload", "model", "S(16)", "S(32)", "S(64)", "S(128)",
                   "S(256)", "r2"});
@@ -29,33 +49,31 @@ int main() {
 
   double ideal_net_sum = 0.0;
   double ideal_lb_sum = 0.0;
-  for (const char* name : gpu_workloads) {
-    const auto workload = workloads::make_workload(name);
-
+  for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+    const std::string& name = grid.workloads[w];
     struct Series {
       const char* label;
-      net::NicKind nic;
-      int scenario;  // 0 measured, 1 ideal network, 2 ideal LB
+      std::size_t inic;  // grid NIC index for measured series
+      int scenario;      // 0 measured, 1 ideal network, 2 ideal LB
     };
     const Series series[] = {
-        {"1G model", net::NicKind::kGigabit, 0},
-        {"10G model", net::NicKind::kTenGigabit, 0},
-        {"ideal network", net::NicKind::kTenGigabit, 1},
-        {"ideal load balance", net::NicKind::kTenGigabit, 2},
+        {"1G model", 0, 0},
+        {"10G model", 1, 0},
+        {"ideal network", 1, 1},
+        {"ideal load balance", 1, 2},
     };
     for (const Series& s : series) {
       std::vector<core::ScalingSample> samples;
-      for (int nodes : measured_sizes) {
-        const auto cluster = bench::tx1_cluster(s.nic, nodes, nodes);
+      for (std::size_t i = 0; i < measured_sizes.size(); ++i) {
         double seconds = 0.0;
         if (s.scenario == 0) {
-          seconds = cluster.run(*workload).seconds;
+          seconds = results[grid.index(w, i, s.inic)].seconds;
         } else {
-          const auto runs = cluster.replay_scenarios(*workload);
+          const auto& runs = scenario_runs[w * measured_sizes.size() + i];
           seconds = s.scenario == 1 ? runs.ideal_network.seconds()
                                     : runs.ideal_balance.seconds();
         }
-        samples.push_back(core::ScalingSample{nodes, seconds});
+        samples.push_back(core::ScalingSample{measured_sizes[i], seconds});
       }
       const core::ScalingModel model = core::fit_scaling(samples);
       std::vector<std::string> row{name, s.label};
@@ -66,9 +84,10 @@ int main() {
       fits.add_row(std::move(row));
     }
 
-    // Efficiency decomposition at 16 nodes (10GbE).
-    const auto runs = bench::tx1_cluster(net::NicKind::kTenGigabit, 16, 16)
-                          .replay_scenarios(*workload);
+    // Efficiency decomposition at 16 nodes (10GbE) — the same replay that
+    // fed the ideal-* series above.
+    const auto& runs =
+        scenario_runs[w * measured_sizes.size() + measured_sizes.size() - 1];
     const core::EfficiencyDecomposition d = core::decompose(runs);
     const double inet = runs.measured.seconds() / runs.ideal_network.seconds();
     const double ilb = runs.measured.seconds() / runs.ideal_balance.seconds();
@@ -89,5 +108,7 @@ int main() {
   std::printf("average ideal-load-balance speedup: %.2fx\n", ideal_lb_sum / 5.0);
   soc::bench::write_artifact("fig5_scalability_gpu", fits, "speedup");
   soc::bench::write_artifact("fig5_scalability_gpu", decomp, "decomposition");
+  soc::bench::write_sweep_artifact("fig5_scalability_gpu", requests, results,
+                                   runner.summary());
   return 0;
 }

@@ -9,27 +9,28 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  const auto hpl = workloads::make_workload("hpl");
-  const double fractions[] = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
+  sweep::Grid grid;
+  grid.workloads = {"hpl"};
+  grid.nodes = {2, 4, 8, 16};
+  grid.gpu_fractions = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
+  const auto requests = grid.requests();
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "fig7_cpu_gpu_ratio"));
+  const auto results = runner.run(requests);
 
   TextTable table({"GPU work fraction", "2 nodes", "4 nodes", "8 nodes",
                    "16 nodes"});
-  // Baselines: all-GPU efficiency per cluster size.
-  double base[4] = {0, 0, 0, 0};
-  const int sizes[] = {2, 4, 8, 16};
-
-  for (double f : fractions) {
-    std::vector<std::string> row{TextTable::num(f, 1)};
-    for (int i = 0; i < 4; ++i) {
-      cluster::RunOptions options;
-      options.gpu_work_fraction = f;
-      const auto result =
-          bench::tx1_cluster(net::NicKind::kTenGigabit, sizes[i], sizes[i])
-              .run(*hpl, options);
-      if (f == 1.0) base[i] = result.mflops_per_watt;
-      row.push_back(TextTable::num(result.mflops_per_watt / base[i], 2));
+  for (std::size_t f = 0; f < grid.gpu_fractions.size(); ++f) {
+    std::vector<std::string> row{TextTable::num(grid.gpu_fractions[f], 1)};
+    for (std::size_t i = 0; i < grid.nodes.size(); ++i) {
+      // Baseline: the all-GPU run (fraction index 0) at this cluster size.
+      const double base =
+          results[grid.index(0, i, 0, 0, 0, 0)].mflops_per_watt;
+      const auto& result = results[grid.index(0, i, 0, 0, 0, f)];
+      row.push_back(TextTable::num(result.mflops_per_watt / base, 2));
     }
     table.add_row(std::move(row));
   }
@@ -38,5 +39,7 @@ int main() {
       "all-GPU\n(one CPU core per node assists the GPU)\n\n%s",
       table.str().c_str());
   soc::bench::write_artifact("fig7_cpu_gpu_ratio", table);
+  soc::bench::write_sweep_artifact("fig7_cpu_gpu_ratio", requests, results,
+                                   runner.summary());
   return 0;
 }

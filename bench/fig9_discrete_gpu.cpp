@@ -13,29 +13,42 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
   const char* gpu_workloads[] = {"hpl",       "jacobi",  "cloverleaf",
                                  "tealeaf2d", "tealeaf3d", "alexnet",
                                  "googlenet"};
+  const int sizes[] = {2, 4, 8, 16};
 
-  const cluster::Cluster gtx(cluster::ClusterConfig{
-      systems::xeon_gtx980(), /*nodes=*/2, /*ranks=*/2});
-  const cluster::Cluster gtx_dnn(cluster::ClusterConfig{
-      systems::xeon_gtx980(), /*nodes=*/2, /*ranks=*/16});
-
-  TextTable table({"workload", "TX nodes", "norm. runtime", "norm. energy"});
+  // Per workload: the GTX 980 baseline first, then the TX cluster sizes.
+  std::vector<cluster::RunRequest> requests;
   for (const char* name : gpu_workloads) {
-    const auto workload = workloads::make_workload(name);
     const bool dnn =
         std::string(name) == "alexnet" || std::string(name) == "googlenet";
-    const auto baseline = (dnn ? gtx_dnn : gtx).run(*workload);
-    for (int nodes : {2, 4, 8, 16}) {
-      const int ranks = bench::natural_ranks(*workload, nodes);
-      const auto result =
-          bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, ranks)
-              .run(*workload);
-      table.add_row({name, std::to_string(nodes),
+    cluster::RunRequest baseline;
+    baseline.workload = name;
+    baseline.config = {systems::xeon_gtx980(), /*nodes=*/2,
+                       /*ranks=*/dnn ? 16 : 2};
+    requests.push_back(std::move(baseline));
+    const auto workload = workloads::make_workload(name);
+    for (int nodes : sizes) {
+      requests.push_back(bench::tx1_request(
+          name, net::NicKind::kTenGigabit, nodes,
+          bench::natural_ranks(*workload, nodes)));
+    }
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "fig9_discrete_gpu"));
+  const auto results = runner.run(requests);
+
+  const std::size_t stride = 1 + std::size(sizes);
+  TextTable table({"workload", "TX nodes", "norm. runtime", "norm. energy"});
+  for (std::size_t w = 0; w < std::size(gpu_workloads); ++w) {
+    const auto& baseline = results[w * stride];
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+      const auto& result = results[w * stride + 1 + i];
+      table.add_row({gpu_workloads[w], std::to_string(sizes[i]),
                      TextTable::num(result.seconds / baseline.seconds, 2),
                      TextTable::num(result.joules / baseline.joules, 2)});
     }
@@ -45,5 +58,7 @@ int main() {
       "(values < 1 favor the TX cluster)\n\n%s",
       table.str().c_str());
   soc::bench::write_artifact("fig9_discrete_gpu", table);
+  soc::bench::write_sweep_artifact("fig9_discrete_gpu", requests, results,
+                                   runner.summary());
   return 0;
 }

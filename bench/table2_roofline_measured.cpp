@@ -11,24 +11,28 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
   const int nodes = 16;
-  const char* gpu_workloads[] = {"hpl",       "jacobi",  "cloverleaf",
-                                 "tealeaf2d", "tealeaf3d", "alexnet",
-                                 "googlenet"};
+  sweep::Grid grid;
+  grid.workloads = {"hpl",       "jacobi",    "cloverleaf", "tealeaf2d",
+                    "tealeaf3d", "alexnet",   "googlenet"};
+  grid.nodes = {nodes};
+  grid.nics = {net::NicKind::kGigabit, net::NicKind::kTenGigabit};
+  const auto requests = grid.requests();
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "table2_roofline_measured"));
+  const auto results = runner.run(requests);
 
   TextTable table({"benchmark", "OI (FLOP/B)", "NI (FLOP/B)", "NIC",
                    "throughput (GFLOPS/node)", "% of ceiling", "limit"});
-  for (const char* name : gpu_workloads) {
-    const auto workload = workloads::make_workload(name);
-    const int ranks = bench::natural_ranks(*workload, nodes);
-    const bool dp = std::string(name) != "alexnet" &&
-                    std::string(name) != "googlenet";
-    for (net::NicKind nic :
-         {net::NicKind::kGigabit, net::NicKind::kTenGigabit}) {
-      const auto result =
-          bench::tx1_cluster(nic, nodes, ranks).run(*workload);
+  for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+    const std::string& name = grid.workloads[w];
+    const bool dp = name != "alexnet" && name != "googlenet";
+    for (std::size_t n = 0; n < grid.nics.size(); ++n) {
+      const net::NicKind nic = grid.nics[n];
+      const auto& result = results[grid.index(w, 0, n)];
       const core::ExtendedRoofline model = bench::tx1_roofline(nic, dp);
       const core::RooflineMeasurement m =
           core::measure_roofline(model, result.stats, nodes, name);
@@ -46,5 +50,7 @@ int main() {
       "Table II: extended Roofline, measured parameters (16 nodes)\n\n%s",
       table.str().c_str());
   soc::bench::write_artifact("table2_roofline_measured", table);
+  soc::bench::write_sweep_artifact("table2_roofline_measured", requests,
+                                   results, runner.summary());
   return 0;
 }

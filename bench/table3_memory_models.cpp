@@ -11,19 +11,20 @@
 #include "bench_common.h"
 #include "gpu/device.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  const auto jacobi = workloads::make_workload("jacobi");
+  const char* labels[] = {"host+device", "zero-copy", "unified"};
 
-  struct ModelCase {
-    const char* label;
-    sim::MemModel model;
-  };
-  const ModelCase cases[] = {
-      {"host+device", sim::MemModel::kHostDevice},
-      {"zero-copy", sim::MemModel::kZeroCopy},
-      {"unified", sim::MemModel::kUnified},
-  };
+  sweep::Grid grid;
+  grid.workloads = {"jacobi"};
+  grid.nodes = {1, 16};
+  grid.mem_models = {sim::MemModel::kHostDevice, sim::MemModel::kZeroCopy,
+                     sim::MemModel::kUnified};
+  const auto requests = grid.requests();
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "table3_memory_models"));
+  const auto results = runner.run(requests);
 
   TextTable table({"nodes", "model", "runtime", "L2 usage",
                    "L2 read throughput", "memory stalls"});
@@ -33,26 +34,23 @@ int main() {
   const double kernel_flops = 6.0 * 16384.0 * 16384.0 / 16.0;
   const Bytes kernel_bytes = static_cast<Bytes>(kernel_flops / 0.25);
 
-  for (int nodes : {1, 16}) {
-    // Baseline runtime for normalization.
-    double base_runtime = 0.0;
-    gpu::KernelMetrics base_metrics;
-    for (const ModelCase& c : cases) {
-      cluster::RunOptions options;
-      options.mem_model = c.model;
-      const auto result =
-          bench::tx1_cluster(net::NicKind::kTenGigabit, nodes, nodes)
-              .run(*jacobi, options);
-      const gpu::KernelMetrics metrics = gpu::characterize_kernel(
-          device, kernel_flops, kernel_bytes, 512 * kMiB / nodes, c.model);
-      if (c.model == sim::MemModel::kHostDevice) {
-        base_runtime = result.seconds;
-        base_metrics = metrics;
-      }
+  for (std::size_t inode = 0; inode < grid.nodes.size(); ++inode) {
+    const int nodes = grid.nodes[inode];
+    // Baseline (host+device) runtime and kernel metrics for normalization.
+    const double base_runtime =
+        results[grid.index(0, inode, 0, /*imem=*/0)].seconds;
+    const gpu::KernelMetrics base_metrics = gpu::characterize_kernel(
+        device, kernel_flops, kernel_bytes, 512 * kMiB / nodes,
+        sim::MemModel::kHostDevice);
+    for (std::size_t imem = 0; imem < grid.mem_models.size(); ++imem) {
+      const auto& result = results[grid.index(0, inode, 0, imem)];
+      const gpu::KernelMetrics metrics =
+          gpu::characterize_kernel(device, kernel_flops, kernel_bytes,
+                                   512 * kMiB / nodes, grid.mem_models[imem]);
       auto rel = [](double v, double base) {
         return base > 0.0 ? TextTable::num(v / base, 2) : std::string("n/a");
       };
-      table.add_row({std::to_string(nodes), c.label,
+      table.add_row({std::to_string(nodes), labels[imem],
                      rel(result.seconds, base_runtime),
                      rel(metrics.l2_hit_ratio, base_metrics.l2_hit_ratio),
                      rel(metrics.l2_read_throughput,
@@ -66,5 +64,7 @@ int main() {
       "host+device\n\n%s",
       table.str().c_str());
   soc::bench::write_artifact("table3_memory_models", table);
+  soc::bench::write_sweep_artifact("table3_memory_models", requests, results,
+                                   runner.summary());
   return 0;
 }

@@ -11,10 +11,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
-  const auto hpl = workloads::make_workload("hpl");
   const int sizes[] = {2, 4, 8, 16};
+  const net::NicKind nics[] = {net::NicKind::kGigabit,
+                               net::NicKind::kTenGigabit};
 
   struct Config {
     const char* label;
@@ -27,6 +28,23 @@ int main() {
       {"CPU+GPU", 4, 1.0},
   };
 
+  // configs × NICs × sizes, flattened in row-major order.
+  std::vector<cluster::RunRequest> requests;
+  for (const Config& c : configs) {
+    for (const net::NicKind nic : nics) {
+      for (const int nodes : sizes) {
+        cluster::RunOptions options;
+        options.gpu_work_fraction = c.gpu_fraction;
+        requests.push_back(bench::tx1_request(
+            "hpl", nic, nodes, c.ranks_per_node * nodes, options));
+      }
+    }
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "table4_colocation"));
+  const auto results = runner.run(requests);
+
   TextTable tput({"configuration", "2 nodes", "4 nodes", "8 nodes",
                   "16 nodes"});
   TextTable eff({"configuration", "2 nodes", "4 nodes", "8 nodes",
@@ -34,18 +52,14 @@ int main() {
   double best_alone_eff[4] = {0, 0, 0, 0};
   double colocated_eff[4] = {0, 0, 0, 0};
 
+  std::size_t job = 0;
   for (const Config& c : configs) {
-    for (net::NicKind nic :
-         {net::NicKind::kGigabit, net::NicKind::kTenGigabit}) {
+    for (const net::NicKind nic : nics) {
       std::vector<std::string> trow{std::string(c.label) + "+" +
                                     bench::nic_name(nic)};
       std::vector<std::string> erow = trow;
       for (int i = 0; i < 4; ++i) {
-        cluster::RunOptions options;
-        options.gpu_work_fraction = c.gpu_fraction;
-        const auto result = bench::tx1_cluster(nic, sizes[i],
-                                               c.ranks_per_node * sizes[i])
-                                .run(*hpl, options);
+        const auto& result = results[job++];
         trow.push_back(TextTable::num(result.gflops, 1));
         erow.push_back(TextTable::num(result.mflops_per_watt, 0));
         if (nic == net::NicKind::kTenGigabit) {
@@ -72,5 +86,7 @@ int main() {
   }
   soc::bench::write_artifact("table4_colocation", tput, "throughput");
   soc::bench::write_artifact("table4_colocation", eff, "efficiency");
+  soc::bench::write_sweep_artifact("table4_colocation", requests, results,
+                                   runner.summary());
   return 0;
 }

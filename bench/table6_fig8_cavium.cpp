@@ -15,22 +15,32 @@
 #include "bench_common.h"
 #include "core/counters_analysis.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace soc;
   const char* npb[] = {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"};
 
-  const cluster::Cluster cavium(cluster::ClusterConfig{
-      systems::thunderx_server(), /*nodes=*/1, /*ranks=*/32});
-  const cluster::Cluster tx =
-      bench::tx1_cluster(net::NicKind::kTenGigabit, 16, 32);
+  // Per workload: one run on the ThunderX server, one on the TX cluster.
+  std::vector<cluster::RunRequest> requests;
+  for (const char* name : npb) {
+    cluster::RunRequest cavium;
+    cavium.workload = name;
+    cavium.config = {systems::thunderx_server(), /*nodes=*/1, /*ranks=*/32};
+    requests.push_back(std::move(cavium));
+    requests.push_back(
+        bench::tx1_request(name, net::NicKind::kTenGigabit, 16, 32));
+  }
+
+  sweep::SweepRunner runner(
+      bench::sweep_options(argc, argv, "table6_fig8_cavium"));
+  const auto results = runner.run(requests);
 
   TextTable table({"benchmark", "norm. runtime", "norm. power",
                    "norm. energy"});
   std::vector<core::BenchmarkObservation> observations;
-  for (const char* name : npb) {
-    const auto workload = workloads::make_workload(name);
-    const auto on_cavium = cavium.run(*workload);
-    const auto on_tx = tx.run(*workload);
+  for (std::size_t i = 0; i < std::size(npb); ++i) {
+    const char* name = npb[i];
+    const auto& on_cavium = results[2 * i];
+    const auto& on_tx = results[2 * i + 1];
     table.add_row({name,
                    TextTable::num(on_cavium.seconds / on_tx.seconds, 2),
                    TextTable::num(on_cavium.average_watts / on_tx.average_watts,
@@ -82,5 +92,7 @@ int main() {
   std::printf("\n%s", fig8.str().c_str());
   soc::bench::write_artifact("table6_fig8_cavium", table, "table6");
   soc::bench::write_artifact("table6_fig8_cavium", fig8, "fig8");
+  soc::bench::write_sweep_artifact("table6_fig8_cavium", requests, results,
+                                   runner.summary());
   return 0;
 }

@@ -23,6 +23,8 @@ struct CacheConfig {
 
   /// Number of sets implied by the configuration.
   int sets() const;
+
+  bool operator==(const CacheConfig&) const = default;
 };
 
 struct CacheStats {

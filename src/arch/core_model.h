@@ -43,6 +43,8 @@ struct CoreConfig {
   TlbConfig dtlb{512, 4, 4 * kKiB};  ///< Unified second-level data TLB.
   double tlb_walk_penalty = 28.0;    ///< Cycles per page walk (overlapped
                                      ///< with the MLP divisor like misses).
+
+  bool operator==(const CoreConfig&) const = default;
 };
 
 /// Outcome of running a profile's streams through a core's structures.

@@ -43,6 +43,8 @@ struct WorkloadProfile {
 
   /// Deterministic seed derived from the profile name (FNV-1a).
   std::uint64_t seed() const;
+
+  bool operator==(const WorkloadProfile&) const = default;
 };
 
 }  // namespace soc::arch

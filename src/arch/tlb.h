@@ -16,6 +16,8 @@ struct TlbConfig {
   int entries = 48;          ///< Total translation entries.
   int associativity = 48;    ///< Fully associative by default.
   Bytes page_size = 4 * kKiB;
+
+  bool operator==(const TlbConfig&) const = default;
 };
 
 struct TlbStats {

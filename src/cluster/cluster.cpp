@@ -1,23 +1,18 @@
 #include "cluster/cluster.h"
 
+#include "cluster/report.h"
 #include "common/error.h"
+#include "obs/observers.h"
 
 namespace soc::cluster {
 
-Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
-  SOC_CHECK(config_.nodes >= 1, "need at least one node");
-  SOC_CHECK(config_.ranks >= config_.nodes &&
-                config_.ranks % config_.nodes == 0,
-            "ranks must be a positive multiple of nodes");
-  SOC_CHECK(config_.ranks / config_.nodes <= config_.node.cpu_cores,
-            "more ranks per node than CPU cores");
-}
+namespace {
 
-workloads::BuildContext Cluster::build_context(
-    const RunOptions& options) const {
+workloads::BuildContext build_context(const ClusterConfig& config,
+                                      const RunOptions& options) {
   workloads::BuildContext ctx;
-  ctx.ranks = config_.ranks;
-  ctx.nodes = config_.nodes;
+  ctx.ranks = config.ranks;
+  ctx.nodes = config.nodes;
   ctx.mem_model = options.mem_model;
   ctx.gpu_work_fraction = options.gpu_work_fraction;
   ctx.size_scale = options.size_scale;
@@ -25,12 +20,21 @@ workloads::BuildContext Cluster::build_context(
   return ctx;
 }
 
-RunResult Cluster::meter(const sim::RunStats& stats,
-                         const ClusterCostModel& cost) const {
+sim::EngineConfig engine_config(const ClusterConfig& config,
+                                const RunOptions& options) {
+  sim::EngineConfig engine = options.engine;
+  if (engine.bisection_bandwidth == 0.0) {
+    engine.bisection_bandwidth = config.node.switch_config.bisection_bandwidth;
+  }
+  return engine;
+}
+
+RunResult meter(const sim::RunStats& stats, const ClusterConfig& config,
+                const ClusterCostModel& cost) {
   RunResult result;
   result.stats = stats;
-  result.energy = power::measure_energy(stats, config_.node.power,
-                                        config_.node.cpu_cores);
+  result.energy = power::measure_energy(stats, config.node.power,
+                                        config.node.cpu_cores);
   result.counters = cost.synthesize_counters(stats);
   result.seconds = stats.seconds();
   result.gflops = stats.flops_per_second() / 1e9;
@@ -40,34 +44,113 @@ RunResult Cluster::meter(const sim::RunStats& stats,
   return result;
 }
 
-sim::EngineConfig Cluster::engine_config(const RunOptions& options) const {
-  sim::EngineConfig config = options.engine;
-  if (config.bisection_bandwidth == 0.0) {
-    config.bisection_bandwidth =
-        config_.node.switch_config.bisection_bandwidth;
+}  // namespace
+
+void validate(const ClusterConfig& config) {
+  SOC_CHECK(config.nodes >= 1, "need at least one node");
+  SOC_CHECK(config.ranks >= config.nodes && config.ranks % config.nodes == 0,
+            "ranks must be a positive multiple of nodes");
+  SOC_CHECK(config.ranks / config.nodes <= config.node.cpu_cores,
+            "more ranks per node than CPU cores");
+}
+
+const workloads::Workload& resolve_workload(
+    const RunRequest& request, std::unique_ptr<workloads::Workload>& owned) {
+  if (request.workload_ref != nullptr) return *request.workload_ref;
+  SOC_CHECK(!request.workload.empty(),
+            "RunRequest names no workload (set workload or workload_ref)");
+  owned = workloads::make_workload(request.workload);
+  return *owned;
+}
+
+RunResult run(const RunRequest& request, const workloads::Workload& workload,
+              const ClusterCostModel& cost) {
+  validate(request.config);
+  const auto programs =
+      workload.build(build_context(request.config, request.options));
+  sim::Engine engine(
+      sim::Placement::block(request.config.ranks, request.config.nodes), cost,
+      engine_config(request.config, request.options));
+
+  // Per-run observability: the request's own metrics sink composes with
+  // any caller-attached observer, so sweep runs never share state.
+  obs::MetricsObserver metrics_observer;
+  obs::ObserverList observers;
+  sim::EngineObserver* observer = request.options.observer;
+  const bool want_metrics =
+      request.metrics != nullptr || !request.report_path.empty();
+  if (want_metrics) {
+    if (observer != nullptr) {
+      observers.add(observer);
+      observers.add(&metrics_observer);
+      observer = &observers;
+    } else {
+      observer = &metrics_observer;
+    }
   }
-  return config;
+  engine.set_observer(observer);
+
+  RunResult result = meter(engine.run(programs), request.config, cost);
+  if (request.metrics != nullptr) *request.metrics = metrics_observer.registry();
+  if (!request.report_path.empty()) {
+    write_report(request.report_path, request.config, request.options,
+                 workload.name(), result,
+                 want_metrics ? &metrics_observer.registry() : nullptr);
+  }
+  return result;
+}
+
+RunResult run(const RunRequest& request) {
+  std::unique_ptr<workloads::Workload> owned;
+  const workloads::Workload& workload = resolve_workload(request, owned);
+  validate(request.config);
+  const ClusterCostModel cost(request.config.node, request.config.nodes,
+                              request.config.ranks, workload.cpu_profile());
+  return run(request, workload, cost);
+}
+
+trace::ScenarioRuns replay_scenarios(const RunRequest& request,
+                                     const workloads::Workload& workload,
+                                     const ClusterCostModel& cost) {
+  validate(request.config);
+  const auto programs =
+      workload.build(build_context(request.config, request.options));
+  return trace::replay_scenarios(
+      sim::Placement::block(request.config.ranks, request.config.nodes), cost,
+      programs, engine_config(request.config, request.options));
+}
+
+trace::ScenarioRuns replay_scenarios(const RunRequest& request) {
+  std::unique_ptr<workloads::Workload> owned;
+  const workloads::Workload& workload = resolve_workload(request, owned);
+  validate(request.config);
+  const ClusterCostModel cost(request.config.node, request.config.nodes,
+                              request.config.ranks, workload.cpu_profile());
+  return replay_scenarios(request, workload, cost);
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  validate(config_);
 }
 
 RunResult Cluster::run(const workloads::Workload& workload,
                        const RunOptions& options) const {
-  const auto programs = workload.build(build_context(options));
-  ClusterCostModel cost(config_.node, config_.nodes, config_.ranks,
-                        workload.cpu_profile());
-  sim::Engine engine(sim::Placement::block(config_.ranks, config_.nodes),
-                     cost, engine_config(options));
-  engine.set_observer(options.observer);
-  return meter(engine.run(programs), cost);
+  RunRequest request;
+  request.workload = workload.name();
+  request.workload_ref = &workload;
+  request.config = config_;
+  request.options = options;
+  return cluster::run(request);
 }
 
 trace::ScenarioRuns Cluster::replay_scenarios(
     const workloads::Workload& workload, const RunOptions& options) const {
-  const auto programs = workload.build(build_context(options));
-  ClusterCostModel cost(config_.node, config_.nodes, config_.ranks,
-                        workload.cpu_profile());
-  return trace::replay_scenarios(
-      sim::Placement::block(config_.ranks, config_.nodes), cost, programs,
-      engine_config(options));
+  RunRequest request;
+  request.workload = workload.name();
+  request.workload_ref = &workload;
+  request.config = config_;
+  request.options = options;
+  return cluster::replay_scenarios(request);
 }
 
 }  // namespace soc::cluster

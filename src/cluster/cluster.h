@@ -1,13 +1,23 @@
-// Top-level public API: build a cluster from a node configuration and run
-// workloads on it.  This is what the examples and the benchmark harness
-// program against.
+// Top-level public API: describe a run as a RunRequest and execute it.
 //
-//   soc::cluster::Cluster tx(soc::cluster::ClusterConfig{
-//       systems::jetson_tx1(net::NicKind::kTenGigabit), /*nodes=*/16,
-//       /*ranks=*/16});
-//   auto result = tx.run(*workloads::make_workload("jacobi"));
+// A RunRequest bundles everything one metered simulation needs — the
+// workload (by registry tag or non-owning reference), the cluster shape,
+// and the per-run options — so runs are first-class values that can be
+// enumerated into grids and sharded across host threads by the sweep
+// subsystem (src/sweep/).  cluster::run(request) is the single entry
+// point; the Cluster class survives as a thin convenience wrapper over
+// it, so existing examples and tests keep compiling:
+//
+//   soc::cluster::RunRequest request;
+//   request.workload = "jacobi";
+//   request.config = {systems::jetson_tx1(net::NicKind::kTenGigabit),
+//                     /*nodes=*/16, /*ranks=*/16};
+//   auto result = soc::cluster::run(request);
 //   std::cout << result.seconds << "s, " << result.gflops << " GFLOP/s\n";
 #pragma once
+
+#include <memory>
+#include <string>
 
 #include "arch/pmu.h"
 #include "cluster/cost_model.h"
@@ -17,12 +27,18 @@
 #include "trace/replay.h"
 #include "workloads/workload.h"
 
+namespace soc::obs {
+class MetricsRegistry;
+}  // namespace soc::obs
+
 namespace soc::cluster {
 
 struct ClusterConfig {
   systems::NodeConfig node;
   int nodes = 1;
   int ranks = 1;  ///< Total MPI ranks (must be a multiple of nodes).
+
+  bool operator==(const ClusterConfig&) const = default;
 };
 
 /// Per-run knobs (defaults match the paper's standard setup).
@@ -50,27 +66,76 @@ struct RunResult {
   double average_watts = 0.0;
 };
 
+/// One fully-specified simulation: the unit of work the sweep subsystem
+/// shards across host threads.  The workload is named either by registry
+/// tag (`workload`, resolved through workloads::make_workload) or by a
+/// non-owning reference (`workload_ref`, which wins when both are set and
+/// must outlive the run).  Requests are plain values: enumerating a grid
+/// of them is how every bench binary expresses its experiment.
+struct RunRequest {
+  std::string workload;
+  const workloads::Workload* workload_ref = nullptr;
+  ClusterConfig config;
+  RunOptions options;
+
+  /// Per-run observability sinks, both optional.  When either is set the
+  /// run attaches its own obs::MetricsObserver (composed with
+  /// options.observer when that is also set), copies the resulting
+  /// registry into `metrics`, and/or writes a soccluster-run-report/v1
+  /// document to `report_path`.  Each request owns its sinks, so
+  /// concurrent sweep runs never share observer state.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string report_path;
+};
+
+/// Validates a cluster shape; throws soc::Error on a bad one.  Shared by
+/// run() and the Cluster constructor.
+void validate(const ClusterConfig& config);
+
+/// Resolves a request's workload: `workload_ref` when set, otherwise a
+/// fresh instance of the named workload, parked in `owned`.
+const workloads::Workload& resolve_workload(
+    const RunRequest& request, std::unique_ptr<workloads::Workload>& owned);
+
+/// Runs one request to completion and meters it.  This is the single
+/// entry point every metered simulation in the repo lowers to.
+RunResult run(const RunRequest& request);
+
+/// Same run against a caller-resolved workload and a prebuilt cost model
+/// (the sweep runner memoizes ClusterCostModel construction across
+/// requests; the model must match the request's node config, shape, and
+/// the workload's cpu_profile()).
+RunResult run(const RunRequest& request, const workloads::Workload& workload,
+              const ClusterCostModel& cost);
+
+/// Runs the three DIMEMAS-style scenarios (measured / ideal network /
+/// ideal load balance) over the same generated programs.  The request's
+/// observability sinks are ignored — scenario replays feed the
+/// efficiency decomposition, not per-run artifacts.
+trace::ScenarioRuns replay_scenarios(const RunRequest& request);
+trace::ScenarioRuns replay_scenarios(const RunRequest& request,
+                                     const workloads::Workload& workload,
+                                     const ClusterCostModel& cost);
+
+/// Convenience wrapper retained for existing callers; new code should
+/// build RunRequests (the request form is what the sweep runner shards).
+/// Both methods are thin shims that lower onto cluster::run /
+/// cluster::replay_scenarios.
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
 
   const ClusterConfig& config() const { return config_; }
 
-  /// Runs a workload to completion and meters it.
+  /// Runs a workload to completion and meters it (wraps cluster::run).
   RunResult run(const workloads::Workload& workload,
                 const RunOptions& options = {}) const;
 
-  /// Runs the three DIMEMAS-style scenarios (measured / ideal network /
-  /// ideal load balance) over the same generated programs.
+  /// Wraps cluster::replay_scenarios.
   trace::ScenarioRuns replay_scenarios(const workloads::Workload& workload,
                                        const RunOptions& options = {}) const;
 
  private:
-  workloads::BuildContext build_context(const RunOptions& options) const;
-  sim::EngineConfig engine_config(const RunOptions& options) const;
-  RunResult meter(const sim::RunStats& stats,
-                  const ClusterCostModel& cost) const;
-
   ClusterConfig config_;
 };
 

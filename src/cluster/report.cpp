@@ -8,8 +8,6 @@
 
 namespace soc::cluster {
 
-namespace {
-
 const char* mem_model_name(sim::MemModel mm) {
   switch (mm) {
     case sim::MemModel::kHostDevice: return "host-device";
@@ -19,8 +17,6 @@ const char* mem_model_name(sim::MemModel mm) {
   return "?";
 }
 
-/// Zero-padded 16-digit hex rendering ("0x0123456789abcdef") — JSON
-/// numbers lose precision above 2^53, so the digest travels as a string.
 std::string checksum_hex(std::uint64_t v) {
   char buf[17] = "0000000000000000";
   char tmp[17];
@@ -29,6 +25,8 @@ std::string checksum_hex(std::uint64_t v) {
   for (std::size_t i = 0; i < len; ++i) buf[16 - len + i] = tmp[i];
   return std::string("0x") + buf;
 }
+
+namespace {
 
 void write_energy(obs::JsonWriter& w, const power::EnergyReport& e) {
   w.begin_object();

@@ -8,12 +8,22 @@
 // shortest-round-trip std::to_chars.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "cluster/cluster.h"
 #include "obs/metrics.h"
 
 namespace soc::cluster {
+
+/// Canonical spelling of a memory model in report documents; shared with
+/// the sweep-report emitter so the two schemas can never disagree.
+const char* mem_model_name(sim::MemModel mm);
+
+/// Zero-padded 16-digit hex rendering ("0x0123456789abcdef") — JSON
+/// numbers lose precision above 2^53, so the event-checksum digest
+/// travels as a string.
+std::string checksum_hex(std::uint64_t v);
 
 /// Renders the report document (ends with a newline).  `metrics` may be
 /// nullptr when no MetricsObserver was attached.

@@ -10,15 +10,19 @@
 
 namespace soc {
 
+unsigned effective_threads(unsigned threads, std::size_t count) {
+  if (count == 0) return 0;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  return static_cast<unsigned>(std::min<std::size_t>(threads, count));
+}
+
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn,
                   unsigned threads) {
   SOC_CHECK(fn != nullptr, "parallel_for needs a body");
   if (count == 0) return;
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, count));
+  threads = effective_threads(threads, count);
 
   if (threads == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);

@@ -12,6 +12,12 @@
 
 namespace soc {
 
+/// Threads parallel_for(count, fn, threads) will actually use: resolves
+/// 0 to the hardware concurrency (at least 1) and never exceeds `count`.
+/// Exposed so callers (the sweep runner's summary, tests) can report the
+/// effective fan-out without duplicating the policy.
+unsigned effective_threads(unsigned threads, std::size_t count);
+
 /// Runs fn(i) for i in [0, count) across up to `threads` host threads
 /// (0 = hardware concurrency).  Blocks until every task finished.  If any
 /// task throws, one of the exceptions is rethrown after the join.

@@ -53,6 +53,8 @@ struct DeviceConfig {
   double peak_sp_flops() const;
   /// Peak double-precision FLOP/s.
   double peak_dp_flops() const;
+
+  bool operator==(const DeviceConfig&) const = default;
 };
 
 /// The TX1's integrated Maxwell GPU.

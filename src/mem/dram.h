@@ -25,6 +25,8 @@ struct DramConfig {
   SimTime copy_call_overhead = 10 * kMicrosecond;
 
   Bytes capacity = 4 * kGiB;
+
+  bool operator==(const DramConfig&) const = default;
 };
 
 /// Duration of an explicit host<->device copy of `bytes`.

@@ -26,6 +26,8 @@ struct NicConfig {
   double idle_power_w = 0.5;
   /// Additional power while actively transferring.
   double active_power_w = 1.0;
+
+  bool operator==(const NicConfig&) const = default;
 };
 
 /// The Jetson's on-board 1GbE controller.
@@ -53,6 +55,8 @@ struct SwitchConfig {
   double bisection_bandwidth = gbit_per_s(160.0);
   /// Store-and-forward latency added per switch hop.
   SimTime latency = 5 * kMicrosecond;
+
+  bool operator==(const SwitchConfig&) const = default;
 };
 
 /// Node-to-node path model: latency and serialization time for a message.

@@ -25,6 +25,8 @@ struct NodePowerConfig {
   double nic_active_w = 0.7;     ///< Additional while transferring.
   /// Host "power tax": chassis/PSU/fans (significant for Xeon hosts).
   double host_overhead_w = 0.0;
+
+  bool operator==(const NodePowerConfig&) const = default;
 };
 
 /// Energy split by component (sums to `joules`).

@@ -1,0 +1,97 @@
+#include "sweep/grid.h"
+
+#include "common/error.h"
+
+namespace soc::sweep {
+
+int natural_ranks(const workloads::Workload& workload, int nodes) {
+  const std::string n = workload.name();
+  if (n == "alexnet" || n == "googlenet") return 4 * nodes;
+  if (!workload.gpu_accelerated()) return 2 * nodes;
+  return nodes;
+}
+
+namespace {
+
+/// Columns an axis contributes: empty option axes still produce one
+/// column (the inherited base value).
+std::size_t width(std::size_t axis_size) {
+  return axis_size == 0 ? 1 : axis_size;
+}
+
+}  // namespace
+
+std::size_t Grid::size() const {
+  return workloads.size() * width(nodes.size()) * width(nics.size()) *
+         width(mem_models.size()) * width(size_scales.size()) *
+         width(gpu_fractions.size());
+}
+
+std::size_t Grid::index(std::size_t iworkload, std::size_t inode,
+                        std::size_t inic, std::size_t imem,
+                        std::size_t iscale, std::size_t ifraction) const {
+  SOC_CHECK(iworkload < workloads.size() && inode < width(nodes.size()) &&
+                inic < width(nics.size()) && imem < width(mem_models.size()) &&
+                iscale < width(size_scales.size()) &&
+                ifraction < width(gpu_fractions.size()),
+            "grid index out of range");
+  std::size_t i = iworkload;
+  i = i * width(nodes.size()) + inode;
+  i = i * width(nics.size()) + inic;
+  i = i * width(mem_models.size()) + imem;
+  i = i * width(size_scales.size()) + iscale;
+  i = i * width(gpu_fractions.size()) + ifraction;
+  return i;
+}
+
+std::vector<cluster::RunRequest> Grid::requests() const {
+  SOC_CHECK(!nodes.empty(), "grid needs at least one node count");
+  SOC_CHECK(!nics.empty(), "grid needs at least one NIC kind");
+
+  const auto make_node = node ? node : [](net::NicKind nic) {
+    return systems::jetson_tx1(nic);
+  };
+  const auto make_ranks =
+      ranks ? ranks : std::function<int(const workloads::Workload&, int)>(
+                          &natural_ranks);
+
+  std::vector<cluster::RunRequest> out;
+  out.reserve(size());
+  for (const std::string& tag : workloads) {
+    // One instance per workload tag, just to derive rank counts; the
+    // requests name workloads by tag so each run resolves its own.
+    const std::unique_ptr<workloads::Workload> w =
+        workloads::make_workload(tag);
+    for (const int n : nodes) {
+      const int r = make_ranks(*w, n);
+      for (const net::NicKind nic : nics) {
+        const systems::NodeConfig node_config = make_node(nic);
+        for (std::size_t imem = 0; imem < width(mem_models.size()); ++imem) {
+          for (std::size_t iscale = 0; iscale < width(size_scales.size());
+               ++iscale) {
+            for (std::size_t ifrac = 0; ifrac < width(gpu_fractions.size());
+                 ++ifrac) {
+              cluster::RunRequest request;
+              request.workload = tag;
+              request.config = {node_config, n, r};
+              request.options = base;
+              if (!mem_models.empty()) {
+                request.options.mem_model = mem_models[imem];
+              }
+              if (!size_scales.empty()) {
+                request.options.size_scale = size_scales[iscale];
+              }
+              if (!gpu_fractions.empty()) {
+                request.options.gpu_work_fraction = gpu_fractions[ifrac];
+              }
+              out.push_back(std::move(request));
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace soc::sweep

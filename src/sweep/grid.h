@@ -1,0 +1,61 @@
+// Grid enumeration: the shared way bench binaries and socbench turn an
+// experiment's axes (workloads × nodes × NIC × mem-model × size-scale ×
+// GPU work fraction) into the flat RunRequest list a SweepRunner shards.
+//
+// Enumeration order is row-major with workloads outermost, matching the
+// nested loops the bench binaries used to write by hand; index() maps
+// axis indices back to the flat result slot so a bench can lay out its
+// table from the sweep's result vector.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "net/network.h"
+#include "systems/machines.h"
+
+namespace soc::sweep {
+
+/// The workload's natural rank count on `nodes` TX1-class nodes: 1
+/// rank/node for GPU codes, 4 for the DNN decode workers, 2 for NPB.
+int natural_ranks(const workloads::Workload& workload, int nodes);
+
+struct Grid {
+  /// Registry tags (workloads::list() subset); the outermost axis.
+  std::vector<std::string> workloads;
+  std::vector<int> nodes = {16};
+  std::vector<net::NicKind> nics = {net::NicKind::kTenGigabit};
+
+  /// Option axes.  An EMPTY axis means "inherit that field from `base`"
+  /// (one column, no override) — so a bench that sets base.size_scale
+  /// keeps it unless it explicitly sweeps size_scales.
+  std::vector<sim::MemModel> mem_models;
+  std::vector<double> size_scales;
+  std::vector<double> gpu_fractions;
+
+  /// Options every request starts from before axis overrides apply.
+  cluster::RunOptions base;
+
+  /// Node config per NIC; defaults to systems::jetson_tx1 when unset.
+  std::function<systems::NodeConfig(net::NicKind)> node;
+
+  /// Rank count per (workload, nodes); defaults to natural_ranks.
+  std::function<int(const workloads::Workload&, int)> ranks;
+
+  /// Total requests the grid enumerates (0 when `workloads` is empty).
+  std::size_t size() const;
+
+  /// Flat result index for one combination of axis positions; empty
+  /// option axes contribute one column, so their index must be 0.
+  std::size_t index(std::size_t iworkload, std::size_t inode,
+                    std::size_t inic = 0, std::size_t imem = 0,
+                    std::size_t iscale = 0, std::size_t ifraction = 0) const;
+
+  /// Enumerates the grid as RunRequests, in index() order.
+  std::vector<cluster::RunRequest> requests() const;
+};
+
+}  // namespace soc::sweep

@@ -1,0 +1,60 @@
+#include "sweep/progress.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace soc::sweep {
+
+namespace {
+
+// The narrator's one sanctioned host-clock read (see progress.h): the
+// value only ever reaches stderr, never simulation state or artifacts.
+long long wall_now_ns() {
+  const auto now =
+      std::chrono::steady_clock::now();  // soclint: allow(banned-nondeterminism)
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::string label, std::size_t total,
+                             bool enabled)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled && total > 0),
+      start_ns_(wall_now_ns()) {}
+
+double ProgressMeter::elapsed_seconds() const {
+  return static_cast<double>(wall_now_ns() - start_ns_) / 1e9;
+}
+
+void ProgressMeter::tick(double simulated_seconds) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++finished_;
+  simulated_seconds_ += simulated_seconds;
+  const double elapsed = elapsed_seconds();
+  const double eta =
+      finished_ > 0
+          ? elapsed / static_cast<double>(finished_) *
+                static_cast<double>(total_ - finished_)
+          : 0.0;
+  std::fprintf(stderr, "\r[%s] %zu/%zu runs, %.1fs elapsed, ETA %.1fs   ",
+               label_.c_str(), finished_, total_, elapsed, eta);
+  line_open_ = true;
+}
+
+void ProgressMeter::done() {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!line_open_) return;
+  std::fprintf(stderr,
+               "\r[%s] %zu runs in %.1fs wall (%.1f simulated seconds)   \n",
+               label_.c_str(), finished_, elapsed_seconds(),
+               simulated_seconds_);
+  line_open_ = false;
+}
+
+}  // namespace soc::sweep

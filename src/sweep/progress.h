@@ -1,0 +1,44 @@
+// Progress narrator for long sweeps.
+//
+// Repaints one stderr status line ("\r[label] k/N runs, 12.3s elapsed,
+// ETA 4.5s") as runs complete.  This is the single place the tree reads a
+// host clock: the narrator is operator feedback that never feeds
+// simulation state or JSON artifacts — sweep outputs stay byte-identical
+// whether or not the narrator runs — so progress.cpp carries an explicit
+// soclint waiver for the wall-clock read.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace soc::sweep {
+
+class ProgressMeter {
+ public:
+  /// `total` runs expected; a disabled or zero-total meter never prints.
+  ProgressMeter(std::string label, std::size_t total, bool enabled);
+
+  /// Marks one run finished (thread-safe) and repaints the status line.
+  /// `simulated_seconds` is the run's simulated makespan, echoed so the
+  /// operator can see sim-time accumulate against wall time.
+  void tick(double simulated_seconds);
+
+  /// Terminates the status line with a final total (idempotent).
+  void done();
+
+ private:
+  double elapsed_seconds() const;
+
+  std::string label_;
+  std::size_t total_;
+  bool enabled_;
+  std::mutex mutex_;
+  std::size_t finished_ = 0;
+  double simulated_seconds_ = 0.0;
+  bool line_open_ = false;
+  /// Wall-clock start in nanoseconds (host clock, see header comment).
+  long long start_ns_ = 0;
+};
+
+}  // namespace soc::sweep

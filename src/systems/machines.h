@@ -38,6 +38,8 @@ struct NodeConfig {
   /// Extra L2 pressure multiplier applied on top of per-rank capacity
   /// sharing (thread thrash on very wide SoCs).
   double l2_thrash_factor = 1.0;
+
+  bool operator==(const NodeConfig&) const = default;
 };
 
 /// Jetson TX1 node with the chosen NIC.

@@ -1,3 +1,7 @@
+// The workload registry: a static table of (tag, suite, factory) entries.
+// Everything else — the suite builders, list(), make_workload() — derives
+// from this one table, so adding a workload is a one-line change and the
+// name list can never drift from what make_workload accepts.
 #include <algorithm>
 
 #include "common/error.h"
@@ -8,47 +12,128 @@
 
 namespace soc::workloads {
 
-std::vector<std::unique_ptr<Workload>> cluster_soc_bench() {
+namespace {
+
+enum class Suite { kClusterSoCBench, kNpb };
+
+struct Registration {
+  const char* name;
+  Suite suite;
+  std::unique_ptr<Workload> (*make)();
+};
+
+const std::vector<Registration>& registrations() {
+  static const std::vector<Registration> kRegistry = {
+      {"hpl", Suite::kClusterSoCBench,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<HplWorkload>();
+       }},
+      {"jacobi", Suite::kClusterSoCBench,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<JacobiWorkload>();
+       }},
+      {"cloverleaf", Suite::kClusterSoCBench,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<CloverLeafWorkload>();
+       }},
+      {"tealeaf2d", Suite::kClusterSoCBench,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<TeaLeafWorkload>(tealeaf2d_default());
+       }},
+      {"tealeaf3d", Suite::kClusterSoCBench,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<TeaLeafWorkload>(tealeaf3d_default());
+       }},
+      {"alexnet", Suite::kClusterSoCBench,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<DnnWorkload>(DnnWorkload::Network::kAlexNet);
+       }},
+      {"googlenet", Suite::kClusterSoCBench,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<DnnWorkload>(DnnWorkload::Network::kGoogLeNet);
+       }},
+      {"bt", Suite::kNpb,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<NpbWorkload>(npb_bt_spec());
+       }},
+      {"cg", Suite::kNpb,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<NpbWorkload>(npb_cg_spec());
+       }},
+      {"ep", Suite::kNpb,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<NpbWorkload>(npb_ep_spec());
+       }},
+      {"ft", Suite::kNpb,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<NpbWorkload>(npb_ft_spec());
+       }},
+      {"is", Suite::kNpb,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<NpbWorkload>(npb_is_spec());
+       }},
+      {"lu", Suite::kNpb,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<NpbWorkload>(npb_lu_spec());
+       }},
+      {"mg", Suite::kNpb,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<NpbWorkload>(npb_mg_spec());
+       }},
+      {"sp", Suite::kNpb,
+       +[]() -> std::unique_ptr<Workload> {
+         return std::make_unique<NpbWorkload>(npb_sp_spec());
+       }},
+  };
+  return kRegistry;
+}
+
+std::vector<std::unique_ptr<Workload>> make_suite(Suite suite) {
   std::vector<std::unique_ptr<Workload>> out;
-  out.push_back(std::make_unique<HplWorkload>());
-  out.push_back(std::make_unique<JacobiWorkload>());
-  out.push_back(std::make_unique<CloverLeafWorkload>());
-  out.push_back(std::make_unique<TeaLeafWorkload>(tealeaf2d_default()));
-  out.push_back(std::make_unique<TeaLeafWorkload>(tealeaf3d_default()));
-  out.push_back(std::make_unique<DnnWorkload>(DnnWorkload::Network::kAlexNet));
-  out.push_back(
-      std::make_unique<DnnWorkload>(DnnWorkload::Network::kGoogLeNet));
+  for (const Registration& r : registrations()) {
+    if (r.suite == suite) out.push_back(r.make());
+  }
   return out;
+}
+
+std::string joined_names() {
+  std::string out;
+  for (const std::string& name : list()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<Workload>> cluster_soc_bench() {
+  return make_suite(Suite::kClusterSoCBench);
 }
 
 std::vector<std::unique_ptr<Workload>> npb_suite() {
-  std::vector<std::unique_ptr<Workload>> out;
-  out.push_back(std::make_unique<NpbWorkload>(npb_bt_spec()));
-  out.push_back(std::make_unique<NpbWorkload>(npb_cg_spec()));
-  out.push_back(std::make_unique<NpbWorkload>(npb_ep_spec()));
-  out.push_back(std::make_unique<NpbWorkload>(npb_ft_spec()));
-  out.push_back(std::make_unique<NpbWorkload>(npb_is_spec()));
-  out.push_back(std::make_unique<NpbWorkload>(npb_lu_spec()));
-  out.push_back(std::make_unique<NpbWorkload>(npb_mg_spec()));
-  out.push_back(std::make_unique<NpbWorkload>(npb_sp_spec()));
-  return out;
+  return make_suite(Suite::kNpb);
+}
+
+const std::vector<std::string>& list() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    names.reserve(registrations().size());
+    for (const Registration& r : registrations()) names.emplace_back(r.name);
+    return names;
+  }();
+  return kNames;
 }
 
 std::unique_ptr<Workload> make_workload(const std::string& name) {
-  for (auto& w : cluster_soc_bench()) {
-    if (w->name() == name) return std::move(w);
+  for (const Registration& r : registrations()) {
+    if (name == r.name) return r.make();
   }
-  for (auto& w : npb_suite()) {
-    if (w->name() == name) return std::move(w);
-  }
-  throw Error("unknown workload: " + name);
+  SOC_CHECK(false,
+            "unknown workload '" + name + "' (valid: " + joined_names() + ")");
+  return nullptr;
 }
 
-std::vector<std::string> all_workload_names() {
-  std::vector<std::string> names;
-  for (const auto& w : cluster_soc_bench()) names.push_back(w->name());
-  for (const auto& w : npb_suite()) names.push_back(w->name());
-  return names;
-}
+std::vector<std::string> all_workload_names() { return list(); }
 
 }  // namespace soc::workloads

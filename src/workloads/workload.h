@@ -57,10 +57,16 @@ std::vector<std::unique_ptr<Workload>> cluster_soc_bench();
 /// The NPB subset of §III-A: bt, cg, ep, ft, is, lu, mg, sp (class C).
 std::vector<std::unique_ptr<Workload>> npb_suite();
 
-/// Creates one workload by its Table I / NPB tag; throws on unknown name.
+/// Registered workload tags, in Table I + NPB order.  This is the
+/// registry's authoritative name list: socbench usage, grid enumeration,
+/// and make_workload's error message all derive from it.
+const std::vector<std::string>& list();
+
+/// Creates one workload by its Table I / NPB tag.  An unknown tag fails a
+/// SOC_CHECK whose message names every valid tag.
 std::unique_ptr<Workload> make_workload(const std::string& name);
 
-/// Every benchmark tag this library knows.
+/// Every benchmark tag this library knows (compat alias for list()).
 std::vector<std::string> all_workload_names();
 
 }  // namespace soc::workloads

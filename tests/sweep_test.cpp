@@ -1,0 +1,318 @@
+// Tests for sweep/: grid enumeration, the parallel sweep runner's
+// determinism contract (thread count changes wall-clock, never results),
+// cost-model memoization, the sweep report document, and the workload
+// registry the grids enumerate from.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "net/network.h"
+#include "sweep/grid.h"
+#include "sweep/sweep.h"
+#include "systems/machines.h"
+#include "workloads/workload.h"
+
+namespace soc {
+namespace {
+
+cluster::RunRequest quick_request(const std::string& workload, int nodes,
+                                  int ranks, double scale = 0.05) {
+  cluster::RunRequest request;
+  request.workload = workload;
+  request.config = {systems::jetson_tx1(net::NicKind::kTenGigabit), nodes,
+                    ranks};
+  request.options.size_scale = scale;
+  return request;
+}
+
+/// A small but heterogeneous batch: two workloads, two shapes, and two
+/// requests sharing one (node, shape, profile) cost-model key.
+std::vector<cluster::RunRequest> mixed_batch() {
+  std::vector<cluster::RunRequest> requests;
+  requests.push_back(quick_request("jacobi", 2, 2));
+  requests.push_back(quick_request("hpl", 2, 2));
+  requests.push_back(quick_request("jacobi", 4, 4));
+  cluster::RunRequest again = quick_request("jacobi", 2, 2);
+  again.options.size_scale = 0.1;  // same cost key, different problem size
+  requests.push_back(std::move(again));
+  return requests;
+}
+
+void expect_identical(const std::vector<cluster::RunResult>& a,
+                      const std::vector<cluster::RunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stats.event_checksum, b[i].stats.event_checksum) << i;
+    EXPECT_DOUBLE_EQ(a[i].seconds, b[i].seconds) << i;
+    EXPECT_DOUBLE_EQ(a[i].gflops, b[i].gflops) << i;
+    EXPECT_DOUBLE_EQ(a[i].joules, b[i].joules) << i;
+    EXPECT_DOUBLE_EQ(a[i].mflops_per_watt, b[i].mflops_per_watt) << i;
+  }
+}
+
+// --- effective_threads policy --------------------------------------------
+
+TEST(Parallel, EffectiveThreadsPolicy) {
+  EXPECT_EQ(effective_threads(4, 100), 4u);
+  EXPECT_EQ(effective_threads(8, 3), 3u);   // capped at the work count
+  EXPECT_EQ(effective_threads(0, 0), 0u);   // no work, no threads
+  EXPECT_EQ(effective_threads(5, 0), 0u);
+  EXPECT_GE(effective_threads(0, 100), 1u);  // 0 resolves to hardware
+  EXPECT_EQ(effective_threads(1, 100), 1u);
+}
+
+// --- SweepRunner determinism ---------------------------------------------
+
+TEST(SweepRunner, ThreadCountNeverChangesResults) {
+  const auto requests = mixed_batch();
+
+  sweep::SweepRunner serial(sweep::SweepOptions{.threads = 1});
+  sweep::SweepRunner threaded(sweep::SweepOptions{.threads = 4});
+  const auto a = serial.run(requests);
+  const auto b = threaded.run(requests);
+  expect_identical(a, b);
+
+  // The whole report document — not just the numbers — is byte-identical.
+  EXPECT_EQ(
+      sweep::sweep_report_json("t", requests, a, serial.summary()),
+      sweep::sweep_report_json("t", requests, b, threaded.summary()));
+}
+
+TEST(SweepRunner, MatchesDirectClusterRun) {
+  const auto requests = mixed_batch();
+  sweep::SweepRunner runner(sweep::SweepOptions{.threads = 4});
+  const auto swept = runner.run(requests);
+
+  std::vector<cluster::RunResult> direct;
+  for (const auto& request : requests) direct.push_back(cluster::run(request));
+  expect_identical(swept, direct);
+}
+
+TEST(SweepRunner, EmptyBatch) {
+  sweep::SweepRunner runner;
+  EXPECT_TRUE(runner.run({}).empty());
+  EXPECT_TRUE(runner.replay_scenarios({}).empty());
+  EXPECT_EQ(runner.summary().runs, 0u);
+  EXPECT_EQ(runner.summary().cost_models_built, 0u);
+}
+
+TEST(SweepRunner, SingleRequest) {
+  sweep::SweepRunner runner(sweep::SweepOptions{.threads = 4});
+  const auto results = runner.run({quick_request("jacobi", 2, 2)});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].seconds, 0.0);
+  EXPECT_EQ(runner.summary().runs, 1u);
+  EXPECT_EQ(runner.summary().threads, 1u);  // fan-out capped at one request
+}
+
+TEST(SweepRunner, MoreThreadsThanRequests) {
+  const std::vector<cluster::RunRequest> requests = {
+      quick_request("jacobi", 2, 2), quick_request("hpl", 2, 2)};
+  sweep::SweepRunner wide(sweep::SweepOptions{.threads = 16});
+  sweep::SweepRunner serial(sweep::SweepOptions{.threads = 1});
+  expect_identical(wide.run(requests), serial.run(requests));
+  EXPECT_EQ(wide.summary().threads, 2u);
+}
+
+TEST(SweepRunner, ReplayScenariosDeterministic) {
+  const std::vector<cluster::RunRequest> requests = {
+      quick_request("ft", 2, 4), quick_request("cg", 2, 4)};
+  sweep::SweepRunner serial(sweep::SweepOptions{.threads = 1});
+  sweep::SweepRunner threaded(sweep::SweepOptions{.threads = 4});
+  const auto a = serial.replay_scenarios(requests);
+  const auto b = threaded.replay_scenarios(requests);
+  ASSERT_EQ(a.size(), requests.size());
+  ASSERT_EQ(b.size(), requests.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].measured.seconds(), b[i].measured.seconds()) << i;
+    EXPECT_DOUBLE_EQ(a[i].ideal_network.seconds(),
+                     b[i].ideal_network.seconds())
+        << i;
+    EXPECT_DOUBLE_EQ(a[i].ideal_balance.seconds(),
+                     b[i].ideal_balance.seconds())
+        << i;
+  }
+  EXPECT_EQ(serial.summary().replays, requests.size());
+}
+
+TEST(SweepRunner, ThrowsOnBadRequestAfterJoin) {
+  std::vector<cluster::RunRequest> requests = {quick_request("jacobi", 2, 2)};
+  requests.push_back(quick_request("jacobi", 4, 2));  // ranks % nodes != 0
+  sweep::SweepRunner runner(sweep::SweepOptions{.threads = 2});
+  EXPECT_THROW(runner.run(requests), Error);
+}
+
+// --- Cost-model memoization ----------------------------------------------
+
+TEST(SweepRunner, MemoizesCostModelsByValue) {
+  const auto requests = mixed_batch();  // 4 runs, 3 distinct cost keys
+  sweep::SweepRunner runner(sweep::SweepOptions{.threads = 4});
+  runner.run(requests);
+  EXPECT_EQ(runner.summary().cost_models_built, 3u);
+  EXPECT_EQ(runner.summary().cost_model_hits, 1u);
+}
+
+TEST(SweepRunner, MutatedNodeConfigMissesCache) {
+  // DVFS-style sweeps mutate the node config; value equality must keep
+  // the mutated request out of the unmutated request's cache slot.
+  std::vector<cluster::RunRequest> requests = {quick_request("jacobi", 2, 2)};
+  cluster::RunRequest turbo = quick_request("jacobi", 2, 2);
+  turbo.config.node.core.frequency_hz *= 1.2;
+  requests.push_back(std::move(turbo));
+  sweep::SweepRunner runner;
+  const auto results = runner.run(requests);
+  EXPECT_EQ(runner.summary().cost_models_built, 2u);
+  EXPECT_EQ(runner.summary().cost_model_hits, 0u);
+  EXPECT_LT(results[1].seconds, results[0].seconds);  // faster clock
+}
+
+// --- Grid enumeration ----------------------------------------------------
+
+TEST(Grid, SizeAndIndexRowMajor) {
+  sweep::Grid grid;
+  grid.workloads = {"jacobi", "hpl"};
+  grid.nodes = {2, 4};
+  grid.nics = {net::NicKind::kGigabit, net::NicKind::kTenGigabit};
+  EXPECT_EQ(grid.size(), 8u);
+  // Workloads outermost, then nodes, then NICs.
+  EXPECT_EQ(grid.index(0, 0, 0), 0u);
+  EXPECT_EQ(grid.index(0, 0, 1), 1u);
+  EXPECT_EQ(grid.index(0, 1, 0), 2u);
+  EXPECT_EQ(grid.index(1, 0, 0), 4u);
+  EXPECT_EQ(grid.index(1, 1, 1), 7u);
+
+  const auto requests = grid.requests();
+  ASSERT_EQ(requests.size(), grid.size());
+  EXPECT_EQ(requests[0].workload, "jacobi");
+  EXPECT_EQ(requests[4].workload, "hpl");
+  EXPECT_EQ(requests[2].config.nodes, 4);
+  // NIC axis flips the node config's NIC bandwidth.
+  EXPECT_LT(requests[0].config.node.nic.effective_bandwidth,
+            requests[1].config.node.nic.effective_bandwidth);
+}
+
+TEST(Grid, EmptyOptionAxesInheritFromBase) {
+  sweep::Grid grid;
+  grid.workloads = {"jacobi"};
+  grid.nodes = {2};
+  grid.base.size_scale = 0.25;
+  grid.base.mem_model = sim::MemModel::kZeroCopy;
+  const auto requests = grid.requests();
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_DOUBLE_EQ(requests[0].options.size_scale, 0.25);
+  EXPECT_EQ(requests[0].options.mem_model, sim::MemModel::kZeroCopy);
+}
+
+TEST(Grid, OptionAxesOverrideBase) {
+  sweep::Grid grid;
+  grid.workloads = {"jacobi"};
+  grid.nodes = {2};
+  grid.base.size_scale = 0.25;
+  grid.size_scales = {0.1, 0.5};
+  grid.gpu_fractions = {1.0, 0.5};
+  EXPECT_EQ(grid.size(), 4u);
+  const auto requests = grid.requests();
+  EXPECT_DOUBLE_EQ(requests[grid.index(0, 0, 0, 0, 1, 0)].options.size_scale,
+                   0.5);
+  EXPECT_DOUBLE_EQ(
+      requests[grid.index(0, 0, 0, 0, 1, 1)].options.gpu_work_fraction, 0.5);
+}
+
+TEST(Grid, EmptyWorkloadsEnumeratesNothing) {
+  sweep::Grid grid;
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.requests().empty());
+}
+
+TEST(Grid, IndexRangeChecked) {
+  sweep::Grid grid;
+  grid.workloads = {"jacobi"};
+  EXPECT_THROW(grid.index(1, 0), Error);
+  EXPECT_THROW(grid.index(0, 1), Error);
+  EXPECT_THROW(grid.index(0, 0, 0, 1), Error);  // empty mem axis: must be 0
+}
+
+TEST(Grid, NaturalRanksPerWorkloadClass) {
+  const auto gpu = workloads::make_workload("jacobi");
+  const auto npb = workloads::make_workload("cg");
+  const auto dnn = workloads::make_workload("alexnet");
+  EXPECT_EQ(sweep::natural_ranks(*gpu, 8), 8);
+  EXPECT_EQ(sweep::natural_ranks(*npb, 8), 16);
+  EXPECT_EQ(sweep::natural_ranks(*dnn, 8), 32);
+}
+
+// --- Workload registry ---------------------------------------------------
+
+TEST(Registry, ListIsStableAndComplete) {
+  const auto& tags = workloads::list();
+  EXPECT_EQ(tags.size(), 15u);
+  EXPECT_TRUE(std::is_sorted(tags.begin(), tags.end()) ||
+              std::find(tags.begin(), tags.end(), "hpl") != tags.end());
+  for (const std::string& tag : tags) {
+    const auto w = workloads::make_workload(tag);
+    ASSERT_NE(w, nullptr) << tag;
+    EXPECT_EQ(w->name(), tag);
+  }
+}
+
+TEST(Registry, UnknownTagErrorNamesTheValidTags) {
+  try {
+    workloads::make_workload("bogus");
+    FAIL() << "expected soc::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    // The message teaches the valid spellings.
+    for (const char* tag : {"hpl", "jacobi", "alexnet", "cg"}) {
+      EXPECT_NE(what.find(tag), std::string::npos) << tag;
+    }
+  }
+}
+
+// --- RunRequest API ------------------------------------------------------
+
+TEST(RunRequest, ClusterWrapperMatchesRunRequest) {
+  const auto request = quick_request("jacobi", 2, 2);
+  const auto direct = cluster::run(request);
+
+  cluster::Cluster wrapper(request.config);
+  const auto owned = workloads::make_workload("jacobi");
+  const auto via_wrapper = wrapper.run(*owned, request.options);
+  EXPECT_EQ(direct.stats.event_checksum, via_wrapper.stats.event_checksum);
+  EXPECT_DOUBLE_EQ(direct.seconds, via_wrapper.seconds);
+  EXPECT_DOUBLE_EQ(direct.joules, via_wrapper.joules);
+}
+
+TEST(RunRequest, WorkloadRefWinsOverTag) {
+  auto request = quick_request("hpl", 2, 2);
+  const auto jacobi = workloads::make_workload("jacobi");
+  request.workload_ref = jacobi.get();
+
+  std::unique_ptr<workloads::Workload> owned;
+  const workloads::Workload& resolved =
+      cluster::resolve_workload(request, owned);
+  EXPECT_EQ(resolved.name(), "jacobi");
+  EXPECT_EQ(owned, nullptr);  // nothing instantiated: the ref was used
+
+  const auto by_ref = cluster::run(request);
+  request.workload_ref = nullptr;
+  request.workload = "jacobi";
+  const auto by_tag = cluster::run(request);
+  EXPECT_EQ(by_ref.stats.event_checksum, by_tag.stats.event_checksum);
+}
+
+TEST(RunRequest, ValidateRejectsBadShapes) {
+  auto request = quick_request("jacobi", 0, 1);
+  EXPECT_THROW(cluster::run(request), Error);
+  request = quick_request("jacobi", 4, 6);  // ranks not a multiple of nodes
+  EXPECT_THROW(cluster::run(request), Error);
+}
+
+}  // namespace
+}  // namespace soc

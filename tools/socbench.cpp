@@ -11,7 +11,13 @@
 //       metrics registry, --chrome-trace writes a Perfetto-loadable
 //       trace, --report-json a canonical machine-readable run report.
 //   socbench sweep --workload hpl --nodes 2,4,8,16 --nic both
-//       Cluster-size sweep, one row per (size, NIC).
+//                  [--sweep-threads N] [--progress] [--report-json s.json]
+//       Cluster-size sweep, one row per (size, NIC).  `--workload all`
+//       sweeps every registered workload.  Runs shard across host
+//       threads (--sweep-threads or SOC_SWEEP_THREADS; 0 = all cores) —
+//       thread count never changes results, only wall-clock.
+//       --report-json writes a soccluster-sweep-report/v1 document with
+//       a per-run block and the sweep summary.
 //   socbench decompose --workload ft --nodes 16
 //       The paper's LB/Ser/Trf efficiency decomposition (Eq. 4).
 //   socbench trace --workload tealeaf3d --nodes 8 --out run.soctrace
@@ -24,6 +30,8 @@
 //       `--workload all` audits every registered workload.
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +46,8 @@
 #include "net/network.h"
 #include "obs/chrome_trace.h"
 #include "obs/observers.h"
+#include "sweep/grid.h"
+#include "sweep/sweep.h"
 #include "systems/machines.h"
 #include "trace/export.h"
 #include "trace/timeline.h"
@@ -62,9 +72,7 @@ sim::MemModel parse_mem_model(const std::string& s) {
 }
 
 int natural_ranks(const workloads::Workload& w, int nodes) {
-  if (w.name() == "alexnet" || w.name() == "googlenet") return 4 * nodes;
-  if (!w.gpu_accelerated()) return 2 * nodes;
-  return nodes;
+  return sweep::natural_ranks(w, nodes);
 }
 
 void print_result(const cluster::RunResult& r, const systems::NodeConfig& node,
@@ -239,34 +247,75 @@ int cmd_run(const ArgParser& args) {
   return 0;
 }
 
+/// Sweep fan-out: the --sweep-threads flag wins over SOC_SWEEP_THREADS;
+/// 0 (the default) means all host cores.
+unsigned sweep_threads(const ArgParser& args) {
+  if (args.given("--sweep-threads")) {
+    const int v = args.get_int("--sweep-threads");
+    SOC_CHECK(v >= 0, "--sweep-threads must be >= 0");
+    return static_cast<unsigned>(v);
+  }
+  if (const char* env = std::getenv("SOC_SWEEP_THREADS");
+      env != nullptr && *env != '\0') {
+    const int v = std::atoi(env);
+    SOC_CHECK(v >= 0, "SOC_SWEEP_THREADS must be >= 0");
+    return static_cast<unsigned>(v);
+  }
+  return 0;
+}
+
 int cmd_sweep(const ArgParser& args) {
-  const auto workload = workloads::make_workload(args.get("--workload"));
-  const auto sizes = parse_int_list(args.get("--nodes"));
+  const std::string tag = args.get("--workload");
+  sweep::Grid grid;
+  grid.workloads = tag == "all" ? workloads::list()
+                                : std::vector<std::string>{tag};
+  grid.nodes = parse_int_list(args.get("--nodes"));
   const std::string nic_arg = args.get("--nic");
-  std::vector<net::NicKind> nics;
   if (nic_arg == "both") {
-    nics = {net::NicKind::kGigabit, net::NicKind::kTenGigabit};
+    grid.nics = {net::NicKind::kGigabit, net::NicKind::kTenGigabit};
   } else {
-    nics = {parse_nic(nic_arg)};
+    grid.nics = {parse_nic(nic_arg)};
   }
-  TextTable table({"nodes", "NIC", "runtime (s)", "GFLOP/s", "MFLOPS/W",
-                   "net GB"});
-  for (int nodes : sizes) {
-    for (net::NicKind nic : nics) {
-      const auto node = systems::jetson_tx1(nic);
-      const cluster::Cluster cl(cluster::ClusterConfig{
-          node, nodes, natural_ranks(*workload, nodes)});
-      const auto r = cl.run(*workload, options_from(args));
-      table.add_row({std::to_string(nodes), node.nic.name,
-                     TextTable::num(r.seconds, 2),
-                     TextTable::num(r.gflops, 1),
-                     TextTable::num(r.mflops_per_watt, 0),
-                     TextTable::num(
-                         static_cast<double>(r.stats.total_net_bytes) / 1e9,
-                         2)});
+  grid.base = options_from(args);
+  const auto requests = grid.requests();
+
+  sweep::SweepOptions sweep_options;
+  sweep_options.label = "socbench sweep";
+  sweep_options.threads = sweep_threads(args);
+  sweep_options.progress = args.get_bool("--progress");
+  sweep::SweepRunner runner(sweep_options);
+  const auto results = runner.run(requests);
+
+  for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+    TextTable table({"nodes", "NIC", "runtime (s)", "GFLOP/s", "MFLOPS/W",
+                     "net GB"});
+    for (std::size_t i = 0; i < grid.nodes.size(); ++i) {
+      for (std::size_t n = 0; n < grid.nics.size(); ++n) {
+        const auto& r = results[grid.index(w, i, n)];
+        table.add_row({std::to_string(grid.nodes[i]),
+                       systems::jetson_tx1(grid.nics[n]).nic.name,
+                       TextTable::num(r.seconds, 2),
+                       TextTable::num(r.gflops, 1),
+                       TextTable::num(r.mflops_per_watt, 0),
+                       TextTable::num(
+                           static_cast<double>(r.stats.total_net_bytes) / 1e9,
+                           2)});
+      }
     }
+    std::printf("%s%s\n%s", w > 0 ? "\n" : "", grid.workloads[w].c_str(),
+                table.str().c_str());
   }
-  std::printf("%s\n%s", workload->name().c_str(), table.str().c_str());
+
+  if (args.given("--report-json")) {
+    const std::string path = args.get("--report-json");
+    std::ofstream f(path, std::ios::binary);
+    SOC_CHECK(f.good(), "cannot open sweep report for writing: " + path);
+    const std::string doc = sweep::sweep_report_json("socbench sweep", requests,
+                                                     results, runner.summary());
+    f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    SOC_CHECK(f.good(), "failed writing sweep report: " + path);
+    std::printf("\nwrote sweep report to %s\n", path.c_str());
+  }
   return 0;
 }
 
@@ -333,6 +382,13 @@ int cmd_replay(const ArgParser& args) {
 }
 
 int usage(const ArgParser& args) {
+  // The workload line derives from the registry, so usage can never
+  // drift from what make_workload accepts.
+  std::string tags;
+  for (const std::string& name : workloads::list()) {
+    if (!tags.empty()) tags += ", ";
+    tags += name;
+  }
   std::printf(
       "usage: socbench <command> [flags]\n\n"
       "commands:\n"
@@ -340,11 +396,13 @@ int usage(const ArgParser& args) {
       "  run        one metered run (add --metrics, --chrome-trace,\n"
       "             --report-json for observability artifacts;\n"
       "             --audit-determinism for a replay audit)\n"
-      "  sweep      cluster-size sweep, one row per (size, NIC)\n"
+      "  sweep      cluster-size sweep, one row per (size, NIC); shards\n"
+      "             across host threads (--sweep-threads)\n"
       "  decompose  LB/Ser/Trf efficiency decomposition (paper Eq. 4)\n"
       "  trace      record generated per-rank programs to a .soctrace file\n"
       "  replay     replay a recorded trace (what-if scenarios supported)\n"
-      "\nflags:\n%s", args.usage().c_str());
+      "\nworkloads: %s\n"
+      "\nflags:\n%s", tags.c_str(), args.usage().c_str());
   return 2;
 }
 
@@ -367,6 +425,10 @@ int main(int argc, char** argv) {
                 "run: verify replays are bit-identical instead of reporting");
   args.add_flag("--repeats", "replays per audit mode (audit-determinism)",
                 "4");
+  args.add_flag("--sweep-threads",
+                "sweep: host threads to shard runs across (0 = all cores; "
+                "overrides SOC_SWEEP_THREADS)");
+  args.add_bool("--progress", "sweep: repaint a stderr progress/ETA line");
   args.add_bool("--metrics", "run: print the metrics registry");
   args.add_flag("--chrome-trace",
                 "run: write a Chrome trace-event JSON (Perfetto) here");

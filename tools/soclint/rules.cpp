@@ -212,8 +212,8 @@ void rule_getenv(const SourceFile& file, std::vector<Diagnostic>& out) {
 // ---------------------------------------------------------------------------
 
 const std::set<std::string>& sim_state_modules() {
-  static const std::set<std::string> kModules = {"sim", "msg", "cluster",
-                                                 "trace", "obs"};
+  static const std::set<std::string> kModules = {"sim",   "msg", "cluster",
+                                                 "trace", "obs", "sweep"};
   return kModules;
 }
 
@@ -263,6 +263,11 @@ const std::map<std::string, std::set<std::string>>& allowed_includes() {
       {"cluster",
        {"common", "stats", "sim", "obs", "arch", "mem", "net", "gpu", "msg",
         "power", "trace", "core", "systems", "workloads"}},
+      // sweep sits above cluster; only bench/ and tools/ sit above sweep,
+      // so no src/ module lists it as an allowed include.
+      {"sweep",
+       {"common", "stats", "sim", "obs", "arch", "net", "trace", "systems",
+        "workloads", "cluster"}},
   };
   return kAllowed;
 }
@@ -439,7 +444,7 @@ const std::vector<Rule>& all_rules() {
       {"getenv-in-library",
        "src/ code may not read the process environment", rule_getenv},
       {"unordered-in-sim-state",
-       "no std::unordered_{map,set} in src/{sim,obs,msg,cluster,trace}",
+       "no std::unordered_{map,set} in src/{sim,obs,msg,cluster,trace,sweep}",
        rule_unordered},
       {"layering", "#include edges must follow the src/ module DAG",
        rule_layering},
@@ -536,6 +541,9 @@ int self_test() {
   t.lint_case("unordered_map in obs flagged", "src/obs/metrics.cpp",
               "std::unordered_map<int, int> m;\n", "unordered-in-sim-state",
               1);
+  t.lint_case("unordered_map in sweep flagged", "src/sweep/sweep.cpp",
+              "std::unordered_map<int, int> m;\n", "unordered-in-sim-state",
+              1);
 
   // layering.
   t.lint_case("common including sim flagged", "src/common/units.h",
@@ -554,6 +562,14 @@ int self_test() {
               "#include \"obs/json.h\"\n", "layering", 0);
   t.lint_case("system header ignored", "src/common/units.cpp",
               "#include <vector>\n", "layering", 0);
+  t.lint_case("sweep including cluster ok", "src/sweep/sweep.cpp",
+              "#include \"cluster/cluster.h\"\n", "layering", 0);
+  t.lint_case("sweep including obs ok", "src/sweep/sweep.cpp",
+              "#include \"obs/json.h\"\n", "layering", 0);
+  t.lint_case("cluster including sweep flagged", "src/cluster/cluster.cpp",
+              "#include \"sweep/sweep.h\"\n", "layering", 1);
+  t.lint_case("obs including sweep flagged", "src/obs/metrics.cpp",
+              "#include \"sweep/sweep.h\"\n", "layering", 1);
 
   // pragma-once.
   t.lint_case("header without pragma once flagged", "src/mem/dram.h",
