@@ -1,0 +1,55 @@
+// Engine-only replay throughput over the fig5/fig6 shapes.
+//
+// Prints one row per replay case — events, events/sec, allocations per
+// event, cost-model cache hit rate, and the run's event checksum — plus
+// the aggregate.  When SOC_BENCH_JSON_DIR is set, also writes
+// BENCH_engine.json (schema soccluster-perf-report/v1), the baseline
+// every future engine change regresses against.  Pass --quick for the
+// two-case CI smoke subset.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/perf.h"
+#include "cluster/report.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const auto cases = soc::cluster::default_perf_cases(quick);
+  soc::cluster::PerfConfig config;
+  if (quick) config.reps = 2;
+  const auto report = soc::cluster::measure_engine(cases, config);
+
+  soc::TextTable table({"config", "events", "events/sec", "allocs/event",
+                        "memo hit%", "checksum"});
+  for (const auto& s : report.samples) {
+    const double evals = static_cast<double>(s.memo_hits + s.memo_misses);
+    table.add_row(
+        {s.name, soc::TextTable::num(static_cast<double>(s.events), 0),
+         soc::TextTable::eng(s.events_per_second),
+         soc::TextTable::num(s.allocs_per_event, 4),
+         soc::TextTable::num(
+             evals > 0.0 ? 100.0 * static_cast<double>(s.memo_hits) / evals
+                         : 0.0,
+             1),
+         soc::cluster::checksum_hex(s.checksum)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nTOTAL events/sec = %.4e (events=%.0f wall=%.3fs)%s\n",
+              report.events_per_second, report.total_events,
+              report.total_wall_seconds,
+              report.alloc_counter_live ? "" : " [alloc counter not linked]");
+
+  if (const char* dir = std::getenv("SOC_BENCH_JSON_DIR");
+      dir != nullptr && *dir != '\0') {
+    soc::cluster::write_perf_report(std::string(dir) + "/BENCH_engine.json",
+                                    report);
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include "cluster/report.h"
 #include "common/error.h"
 #include "obs/observers.h"
+#include "sim/memo_cost.h"
 
 namespace soc::cluster {
 
@@ -68,9 +69,16 @@ RunResult run(const RunRequest& request, const workloads::Workload& workload,
   validate(request.config);
   const auto programs =
       workload.build(build_context(request.config, request.options));
+  // The cluster model is memoizable (pure tables after construction), so
+  // repeated op shapes hit a cache instead of re-deriving durations.
+  // Subclasses that override costs rank-dependently opt out via
+  // memoizable() and are used directly.
+  const sim::MemoCostModel memo(cost);
+  const sim::CostModel& effective =
+      cost.memoizable() ? static_cast<const sim::CostModel&>(memo) : cost;
   sim::Engine engine(
-      sim::Placement::block(request.config.ranks, request.config.nodes), cost,
-      engine_config(request.config, request.options));
+      sim::Placement::block(request.config.ranks, request.config.nodes),
+      effective, engine_config(request.config, request.options));
 
   // Per-run observability: the request's own metrics sink composes with
   // any caller-attached observer, so sweep runs never share state.

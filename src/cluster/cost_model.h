@@ -27,6 +27,9 @@ class ClusterCostModel : public sim::CostModel {
                                      Bytes bytes) const override;
   SimTime send_overhead(int rank) const override;
   SimTime recv_overhead(int rank) const override;
+  /// All durations derive from the immutable characterization and device
+  /// tables built at construction; no method depends on rank identity.
+  bool memoizable() const override { return true; }
 
   /// The characterization backing CPU op timing (used for counter
   /// synthesis and exposed to the analysis benches).

@@ -1,0 +1,144 @@
+#include "cluster/perf.h"
+
+#include <chrono>  // soclint: allow(banned-nondeterminism)
+#include <fstream>
+
+#include "cluster/cost_model.h"
+#include "cluster/report.h"
+#include "common/alloc_stats.h"
+#include "common/error.h"
+#include "obs/json.h"
+#include "sim/engine.h"
+#include "sim/memo_cost.h"
+#include "systems/machines.h"
+#include "workloads/workload.h"
+
+namespace soc::cluster {
+
+std::vector<PerfCase> default_perf_cases(bool quick) {
+  std::vector<PerfCase> cases;
+  if (quick) {
+    // Two small shapes CI can replay in seconds; one per figure family.
+    cases.push_back({"fig5/jacobi", "jacobi", 4, 4, false});
+    cases.push_back({"fig6/cg", "cg", 4, 8, false});
+    return cases;
+  }
+  for (const char* w :
+       {"hpl", "jacobi", "cloverleaf", "tealeaf2d", "tealeaf3d"}) {
+    cases.push_back({std::string("fig5/") + w, w, 16, 16, false});
+    cases.push_back({std::string("fig5/") + w + "/ideal-net", w, 16, 16,
+                     true});
+  }
+  for (const char* w : {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"}) {
+    cases.push_back({std::string("fig6/") + w, w, 16, 32, false});
+    cases.push_back({std::string("fig6/") + w + "/ideal-net", w, 16, 32,
+                     true});
+  }
+  return cases;
+}
+
+PerfReport measure_engine(const std::vector<PerfCase>& cases,
+                          const PerfConfig& config) {
+  SOC_CHECK(config.reps > 0, "perf harness needs at least one repetition");
+  // Wall-clock timing is the one legitimately nondeterministic quantity
+  // here; it never feeds back into simulated state.
+  using Clock = std::chrono::steady_clock;  // soclint: allow(banned-nondeterminism)
+  PerfReport report;
+  const std::uint64_t allocs_at_start = allocation_count();
+
+  for (const PerfCase& c : cases) {
+    const auto workload = workloads::make_workload(c.workload);
+    workloads::BuildContext ctx;
+    ctx.nodes = c.nodes;
+    ctx.ranks = c.ranks;
+    const auto programs = workload->build(ctx);
+    const auto node = systems::jetson_tx1(net::NicKind::kTenGigabit);
+    const ClusterCostModel cost(node, c.nodes, c.ranks,
+                                workload->cpu_profile());
+    const sim::MemoCostModel memo(cost);
+    sim::EngineConfig engine_config;
+    engine_config.bisection_bandwidth = node.switch_config.bisection_bandwidth;
+    sim::Scenario scenario;
+    scenario.ideal_network = c.ideal_network;
+    const auto placement = sim::Placement::block(c.ranks, c.nodes);
+
+    PerfSample sample;
+    sample.name = c.name;
+    sample.reps = config.reps;
+    {
+      // Warm-up: fills the memo cache and the engine pools, and records
+      // the case's event count and checksum (identical every rep).
+      sim::Engine engine(placement, memo, engine_config, scenario);
+      const auto stats = engine.run(programs);
+      sample.events = stats.events_committed;
+      sample.checksum = stats.event_checksum;
+    }
+    const std::uint64_t allocs_before = allocation_count();
+    const auto t0 = Clock::now();
+    for (int r = 0; r < config.reps; ++r) {
+      sim::Engine engine(placement, memo, engine_config, scenario);
+      (void)engine.run(programs);
+    }
+    const auto t1 = Clock::now();
+    sample.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double rep_events =
+        static_cast<double>(sample.events) * config.reps;
+    sample.events_per_second =
+        sample.wall_seconds > 0.0 ? rep_events / sample.wall_seconds : 0.0;
+    sample.allocs_per_event =
+        rep_events > 0.0
+            ? static_cast<double>(allocation_count() - allocs_before) /
+                  rep_events
+            : 0.0;
+    sample.memo_hits = memo.hits();
+    sample.memo_misses = memo.misses();
+
+    report.total_events += rep_events;
+    report.total_wall_seconds += sample.wall_seconds;
+    report.samples.push_back(std::move(sample));
+  }
+  report.events_per_second =
+      report.total_wall_seconds > 0.0
+          ? report.total_events / report.total_wall_seconds
+          : 0.0;
+  report.alloc_counter_live = allocation_count() != allocs_at_start;
+  return report;
+}
+
+std::string perf_report_json(const PerfReport& report) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "soccluster-perf-report/v1");
+  w.field("alloc_counter_live", report.alloc_counter_live);
+  w.field("total_events", report.total_events);
+  w.field("total_wall_seconds", report.total_wall_seconds);
+  w.field("events_per_second", report.events_per_second);
+  w.key("samples");
+  w.begin_array();
+  for (const PerfSample& s : report.samples) {
+    w.newline();
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("events", static_cast<std::uint64_t>(s.events));
+    w.field("checksum", checksum_hex(s.checksum));
+    w.field("reps", s.reps);
+    w.field("wall_seconds", s.wall_seconds);
+    w.field("events_per_second", s.events_per_second);
+    w.field("allocs_per_event", s.allocs_per_event);
+    w.field("memo_hits", static_cast<std::uint64_t>(s.memo_hits));
+    w.field("memo_misses", static_cast<std::uint64_t>(s.memo_misses));
+    w.end_object();
+  }
+  w.newline();
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_perf_report(const std::string& path, const PerfReport& report) {
+  std::ofstream out(path);
+  SOC_CHECK(out.good(), "cannot open perf report path: " + path);
+  out << perf_report_json(report) << "\n";
+}
+
+}  // namespace soc::cluster

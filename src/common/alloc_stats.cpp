@@ -1,0 +1,21 @@
+#include "common/alloc_stats.h"
+
+#include <atomic>
+
+namespace soc {
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void count_allocation() {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+}  // namespace soc

@@ -48,6 +48,13 @@ class CostModel {
 
   /// CPU-side overhead charged to the receiver per message.
   virtual SimTime recv_overhead(int rank) const = 0;
+
+  /// True when every duration is a pure function of the documented
+  /// per-kind op fields (and node ids for messaging): independent of rank
+  /// identity, call order, and any mutable state.  MemoCostModel relies
+  /// on this to cache evaluations inside a run; models whose costs vary
+  /// per rank or per call must keep the default.
+  virtual bool memoizable() const { return false; }
 };
 
 }  // namespace soc::sim

@@ -122,7 +122,18 @@ RunStats Engine::run(const std::vector<Program>& programs) {
   pending_recvs_.clear();
   pending_irecvs_.clear();
   arrivals_.clear();
-  queue_ = EventQueue{};
+  queue_.clear();
+  // Reservations only: committed events are identical for any hint value
+  // (determinism_test pins this with a checksum-equality case).
+  const std::size_t reserve =
+      config_.queue_reserve > 0
+          ? static_cast<std::size_t>(config_.queue_reserve)
+          : 2 * n + 16;
+  queue_.reserve(reserve);
+  pending_sends_.reserve(reserve);
+  pending_recvs_.reserve(reserve);
+  pending_irecvs_.reserve(reserve);
+  arrivals_.reserve(reserve);
   audit_ = Fnv1a{};
   pending_send_depth_ = 0;
   pending_recv_depth_ = 0;
@@ -350,11 +361,11 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
     const SimTime overhead = cost_.send_overhead(rank);
     rs.msg_overhead += overhead;
 
-    auto pending = pending_recvs_.find(key);
-    auto posted = pending_irecvs_.find(key);
-    if (pending != pending_recvs_.end() && !pending->second.empty()) {
-      const PendingRecv pr = pending->second.front();
-      pending->second.pop_front();
+    auto* pending = pending_recvs_.find(key);
+    auto* posted = pending_irecvs_.find(key);
+    if (pending != nullptr && !pending->empty()) {
+      const PendingRecv pr = pending->front();
+      pending->pop_front();
       --pending_recv_depth_;
       auto& recv_rs = stats_.ranks[static_cast<std::size_t>(pr.rank)];
       const SimTime complete =
@@ -362,9 +373,9 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
       recv_rs.recv_blocked += complete - pr.ready;
       ++states_[static_cast<std::size_t>(pr.rank)].pc;
       queue_.push(complete, pr.rank);
-    } else if (posted != pending_irecvs_.end() && !posted->second.empty()) {
-      const int recv_rank = posted->second.front();
-      posted->second.pop_front();
+    } else if (posted != nullptr && !posted->empty()) {
+      const int recv_rank = posted->front();
+      posted->pop_front();
       --pending_recv_depth_;
       resolve_request(recv_rank, arrival + cost_.recv_overhead(recv_rank));
     } else {
@@ -377,18 +388,18 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
   }
 
   // Rendezvous: need a posted receive (blocking or non-blocking).
-  auto pending = pending_recvs_.find(key);
-  if (pending != pending_recvs_.end() && !pending->second.empty()) {
-    const PendingRecv pr = pending->second.front();
-    pending->second.pop_front();
+  auto* pending = pending_recvs_.find(key);
+  if (pending != nullptr && !pending->empty()) {
+    const PendingRecv pr = pending->front();
+    pending->pop_front();
     --pending_recv_depth_;
     complete_rendezvous(rank, now, pr.rank, pr.ready, op.bytes);
     return;
   }
-  auto posted = pending_irecvs_.find(key);
-  if (posted != pending_irecvs_.end() && !posted->second.empty()) {
-    const int recv_rank = posted->second.front();
-    posted->second.pop_front();
+  auto* posted = pending_irecvs_.find(key);
+  if (posted != nullptr && !posted->empty()) {
+    const int recv_rank = posted->front();
+    posted->pop_front();
     --pending_recv_depth_;
     const SimTime end = timed_transfer(rank, recv_rank, now, op.bytes);
     stats_.ranks[static_cast<std::size_t>(rank)].send_blocked += end - now;
@@ -411,10 +422,10 @@ void Engine::start_recv(int rank, SimTime now, const Op& op) {
   const MsgKey key = msg_key(op.peer, rank, op.tag);
 
   // Eager message already in flight or delivered?
-  auto arrived = arrivals_.find(key);
-  if (arrived != arrivals_.end() && !arrived->second.empty()) {
-    const Arrival a = arrived->second.front();
-    arrived->second.pop_front();
+  auto* arrived = arrivals_.find(key);
+  if (arrived != nullptr && !arrived->empty()) {
+    const Arrival a = arrived->front();
+    arrived->pop_front();
     const SimTime complete = std::max(now, a.time) + cost_.recv_overhead(rank);
     rs.recv_blocked += complete - now;
     ++st.pc;
@@ -423,10 +434,10 @@ void Engine::start_recv(int rank, SimTime now, const Op& op) {
   }
 
   // Rendezvous partner already waiting?
-  auto pending = pending_sends_.find(key);
-  if (pending != pending_sends_.end() && !pending->second.empty()) {
-    const PendingSend ps = pending->second.front();
-    pending->second.pop_front();
+  auto* pending = pending_sends_.find(key);
+  if (pending != nullptr && !pending->empty()) {
+    const PendingSend ps = pending->front();
+    pending->pop_front();
     --pending_send_depth_;
     complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes);
     return;
@@ -451,11 +462,11 @@ void Engine::start_isend(int rank, SimTime now, const Op& op) {
   rs.msg_overhead += overhead;
   st.requests_complete = std::max(st.requests_complete, now + overhead);
 
-  auto pending = pending_recvs_.find(key);
-  auto posted = pending_irecvs_.find(key);
-  if (pending != pending_recvs_.end() && !pending->second.empty()) {
-    const PendingRecv pr = pending->second.front();
-    pending->second.pop_front();
+  auto* pending = pending_recvs_.find(key);
+  auto* posted = pending_irecvs_.find(key);
+  if (pending != nullptr && !pending->empty()) {
+    const PendingRecv pr = pending->front();
+    pending->pop_front();
     --pending_recv_depth_;
     auto& recv_rs = stats_.ranks[static_cast<std::size_t>(pr.rank)];
     const SimTime complete =
@@ -463,9 +474,9 @@ void Engine::start_isend(int rank, SimTime now, const Op& op) {
     recv_rs.recv_blocked += complete - pr.ready;
     ++states_[static_cast<std::size_t>(pr.rank)].pc;
     queue_.push(complete, pr.rank);
-  } else if (posted != pending_irecvs_.end() && !posted->second.empty()) {
-    const int recv_rank = posted->second.front();
-    posted->second.pop_front();
+  } else if (posted != nullptr && !posted->empty()) {
+    const int recv_rank = posted->front();
+    posted->pop_front();
     --pending_recv_depth_;
     resolve_request(recv_rank, arrival + cost_.recv_overhead(recv_rank));
   } else {
@@ -483,19 +494,19 @@ void Engine::start_irecv(int rank, SimTime now, const Op& op) {
   const MsgKey key = msg_key(op.peer, rank, op.tag);
 
   // Already-arrived (eager/isend) message?
-  auto arrived = arrivals_.find(key);
-  if (arrived != arrivals_.end() && !arrived->second.empty()) {
-    const Arrival a = arrived->second.front();
-    arrived->second.pop_front();
+  auto* arrived = arrivals_.find(key);
+  if (arrived != nullptr && !arrived->empty()) {
+    const Arrival a = arrived->front();
+    arrived->pop_front();
     st.requests_complete =
         std::max(st.requests_complete,
                  std::max(now, a.time) + cost_.recv_overhead(rank));
   } else {
     // A blocking sender already parked in rendezvous?
-    auto pending = pending_sends_.find(key);
-    if (pending != pending_sends_.end() && !pending->second.empty()) {
-      const PendingSend ps = pending->second.front();
-      pending->second.pop_front();
+    auto* pending = pending_sends_.find(key);
+    if (pending != nullptr && !pending->empty()) {
+      const PendingSend ps = pending->front();
+      pending->pop_front();
       --pending_send_depth_;
       const SimTime end =
           timed_transfer(ps.rank, rank, std::max(ps.ready, now), ps.bytes);

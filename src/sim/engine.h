@@ -13,12 +13,12 @@
 // balance sets these so every rank does the average amount of work).
 #pragma once
 
-#include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/hash.h"
+#include "common/ring_queue.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
 #include "sim/op.h"
@@ -130,6 +130,10 @@ struct EngineConfig {
   double bisection_bandwidth = 0.0;
   /// Safety valve: abort if simulated time exceeds this many seconds.
   double max_sim_seconds = 3.0e6;
+  /// Allocation hint for the event queue and pending-message tables
+  /// (0 = derive from the rank count).  Purely a reservation: committed
+  /// events and all derived artifacts are identical for any value.
+  int queue_reserve = 0;
 };
 
 class Engine {
@@ -242,10 +246,14 @@ class Engine {
   std::vector<SimTime> nic_tx_free_;  ///< Per node (full-duplex NIC: tx).
   std::vector<SimTime> nic_rx_free_;  ///< Per node (full-duplex NIC: rx).
   SimTime fabric_free_ = 0;           ///< Switch bisection pipe.
-  std::map<MsgKey, std::deque<PendingSend>> pending_sends_;
-  std::map<MsgKey, std::deque<PendingRecv>> pending_recvs_;
-  std::map<MsgKey, std::deque<int>> pending_irecvs_;  ///< Posted ranks.
-  std::map<MsgKey, std::deque<Arrival>> arrivals_;
+  // Pending-message tables: flat maps keep O(1) expected matching with
+  // deterministic behavior (see common/flat_map.h), and the ring-queue
+  // values retain their buffers across matches, so the steady-state
+  // matching path performs no allocation at all.
+  flat_map<MsgKey, RingQueue<PendingSend>> pending_sends_;
+  flat_map<MsgKey, RingQueue<PendingRecv>> pending_recvs_;
+  flat_map<MsgKey, RingQueue<int>> pending_irecvs_;  ///< Posted ranks.
+  flat_map<MsgKey, RingQueue<Arrival>> arrivals_;
   RunStats stats_;
   Fnv1a audit_;  ///< Running digest of the committed event stream.
 

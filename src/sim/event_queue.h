@@ -3,12 +3,25 @@
 // Min-heap keyed by (time, sequence).  The monotonically increasing
 // sequence number gives a total order even among simultaneous events, so
 // replay is bit-reproducible regardless of heap implementation details.
+//
+// Two hot-path refinements over a plain std::priority_queue, neither of
+// which changes the pop order for any push sequence:
+//
+//  - reserve() pre-sizes the heap storage so steady-state push never
+//    reallocates (the engine sizes it off the rank count up front).
+//  - Events pushed at exactly the current time (the time of the last
+//    pop) bypass the heap into a FIFO ring.  Zero-duration wake-ups —
+//    phase markers, ideal-network completions, already-satisfied waits —
+//    are common enough that this skips a sift-up/sift-down pair per
+//    event.  The ring only ever holds events of one time value, so pop
+//    compares its front against the heap top by the same (time, seq) key
+//    and the merged order is identical to the pure-heap order.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
+#include "common/ring_queue.h"
 #include "common/units.h"
 
 namespace soc::sim {
@@ -26,8 +39,21 @@ class EventQueue {
   /// insertion order.
   void push(SimTime time, int payload);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty() && now_.empty(); }
+  std::size_t size() const { return heap_.size() + now_.size(); }
+
+  /// Pre-sizes internal storage for about `n` concurrently scheduled
+  /// events.  Purely an allocation hint: pop order is unaffected.
+  void reserve(std::size_t n);
+
+  /// Resets to the just-constructed state but keeps the storage, so a
+  /// re-run over the same queue never reallocates.
+  void clear() {
+    heap_.clear();
+    now_.clear();
+    next_seq_ = 0;
+    last_pop_time_ = 0;
+  }
 
   /// Returns and removes the earliest event.  Queue must be non-empty.
   Event pop();
@@ -36,14 +62,19 @@ class EventQueue {
   SimTime next_time() const;
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Strict (time, seq) ordering — the determinism contract.
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Event> heap_;    ///< Binary min-heap by (time, seq).
+  RingQueue<Event> now_;       ///< FIFO of events at exactly last_pop_time_.
   std::uint64_t next_seq_ = 0;
+  SimTime last_pop_time_ = 0;
 };
 
 }  // namespace soc::sim

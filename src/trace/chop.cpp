@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
+#include <vector>
 
 #include "common/error.h"
 
@@ -10,10 +10,16 @@ namespace soc::trace {
 
 std::vector<PhaseSummary> chop_phases(const sim::RunStats& stats) {
   SOC_CHECK(!stats.ranks.empty(), "no ranks in run");
-  std::set<int> phase_ids;
+  // Collect-then-sort beats a node-based set: phase ids arrive nearly
+  // sorted and number in the tens, so one contiguous sort/unique pass
+  // avoids a heap allocation per distinct phase.
+  std::vector<int> phase_ids;
   for (const sim::RankStats& rs : stats.ranks) {
-    for (const auto& [phase, t] : rs.phase_compute) phase_ids.insert(phase);
+    for (const auto& [phase, t] : rs.phase_compute) phase_ids.push_back(phase);
   }
+  std::sort(phase_ids.begin(), phase_ids.end());
+  phase_ids.erase(std::unique(phase_ids.begin(), phase_ids.end()),
+                  phase_ids.end());
 
   std::vector<PhaseSummary> out;
   out.reserve(phase_ids.size());

@@ -1,6 +1,7 @@
 #include "trace/replay.h"
 
 #include "common/error.h"
+#include "sim/memo_cost.h"
 
 namespace soc::trace {
 
@@ -27,21 +28,29 @@ ScenarioRuns replay_scenarios(const sim::Placement& placement,
                               const sim::CostModel& cost,
                               const std::vector<sim::Program>& programs,
                               const sim::EngineConfig& config) {
+  // One memo shared across all three scenarios: op durations depend only
+  // on the cost model, so the measured replay warms the cache for the
+  // what-if replays.  (Ideal network bypasses the cost model inside the
+  // engine and ideal balance rescales durations after evaluation, so the
+  // cached values are identical across scenarios.)
+  const sim::MemoCostModel memo(cost);
+  const sim::CostModel& effective =
+      cost.memoizable() ? static_cast<const sim::CostModel&>(memo) : cost;
   ScenarioRuns runs;
   {
-    sim::Engine engine(placement, cost, config);
+    sim::Engine engine(placement, effective, config);
     runs.measured = engine.run(programs);
   }
   {
     sim::Scenario scenario;
     scenario.ideal_network = true;
-    sim::Engine engine(placement, cost, config, scenario);
+    sim::Engine engine(placement, effective, config, scenario);
     runs.ideal_network = engine.run(programs);
   }
   {
     sim::Scenario scenario;
     scenario.compute_scale = ideal_balance_scales(runs.measured);
-    sim::Engine engine(placement, cost, config, scenario);
+    sim::Engine engine(placement, effective, config, scenario);
     runs.ideal_balance = engine.run(programs);
   }
   return runs;

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/error.h"
+#include "common/flat_map.h"
+#include "common/ring_queue.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -141,6 +143,87 @@ TEST(Table, RejectsRaggedRow) {
 TEST(Table, NumberFormatting) {
   EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
   EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+TEST(FlatMap, InsertFindAndAbsent) {
+  flat_map<int, int> m;
+  EXPECT_TRUE(m.empty());
+  m[3] = 30;
+  m[1] = 10;
+  m[3] = 33;  // overwrite through the same slot
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_EQ(*m.find(3), 33);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 10);
+  EXPECT_EQ(m.find(7), nullptr);
+}
+
+TEST(FlatMap, IterationFollowsInsertionOrderAcrossRehash) {
+  flat_map<int, int> m;
+  constexpr int kCount = 1000;  // forces several rehashes from kMinSlots
+  for (int i = 0; i < kCount; ++i) m[i * 37] = i;
+  int expected = 0;
+  for (const auto& [key, value] : m) {
+    EXPECT_EQ(key, expected * 37);
+    EXPECT_EQ(value, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, kCount);
+}
+
+TEST(FlatMap, ClearKeepsNothingButStaysUsable) {
+  flat_map<int, int> m;
+  for (int i = 0; i < 100; ++i) m[i] = i;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), nullptr);
+  m[5] = 50;
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 50);
+}
+
+TEST(RingQueue, FifoThroughInlineAndSpill) {
+  RingQueue<int> q;
+  // Stay within the inline buffer, then force a spill, then wrap.
+  for (int round = 0; round < 3; ++round) {
+    const int depth = 1 << (round + 1);  // 2, 4, 8
+    for (int i = 0; i < depth; ++i) q.push_back(round * 100 + i);
+    for (int i = 0; i < depth; ++i) {
+      EXPECT_EQ(q.front(), round * 100 + i);
+      q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(RingQueue, GrowthPreservesOrderMidStream) {
+  RingQueue<int> q;
+  int next_push = 0;
+  int next_pop = 0;
+  // Interleave so growth happens while head is offset into the ring.
+  for (int i = 0; i < 200; ++i) {
+    q.push_back(next_push++);
+    q.push_back(next_push++);
+    EXPECT_EQ(q.front(), next_pop);
+    q.pop_front();
+    ++next_pop;
+  }
+  while (!q.empty()) {
+    EXPECT_EQ(q.front(), next_pop++);
+    q.pop_front();
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(RingQueue, EmptyAccessThrows) {
+  RingQueue<int> q;
+  EXPECT_THROW(q.front(), Error);
+  EXPECT_THROW(q.pop_front(), Error);
+  q.push_back(1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.front(), Error);
 }
 
 }  // namespace

@@ -65,6 +65,73 @@ TEST(EventQueue, NegativeTimeRejected) {
   EXPECT_THROW(q.push(-1, 0), Error);
 }
 
+// Pushes at the time just popped take the same-time fast path (the ring
+// buffer that bypasses the heap); FIFO order must hold across the
+// boundary between heap-resident and ring-resident events.
+TEST(EventQueue, EqualTimeFifoSurvivesPopThenPush) {
+  EventQueue q;
+  q.push(5, 1);
+  q.push(5, 2);
+  q.push(9, 99);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.push(5, 3);  // same time as the pop just served
+  q.push(5, 4);
+  q.push(5, 5);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_EQ(q.pop().payload, 4);
+  EXPECT_EQ(q.pop().payload, 5);
+  EXPECT_EQ(q.pop().payload, 99);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsGlobalOrder) {
+  EventQueue q;
+  q.push(10, 1);
+  q.push(30, 3);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.push(20, 2);  // earlier than the heap top pushed before the pop
+  q.push(10, 9);  // equal to the last popped time: ring path
+  EXPECT_EQ(q.pop().payload, 9);
+  EXPECT_EQ(q.pop().payload, 2);
+  q.push(25, 4);
+  EXPECT_EQ(q.pop().payload, 4);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeTracksPartialDrain) {
+  EventQueue q;
+  q.push(7, 1);
+  q.push(7, 2);
+  q.push(12, 3);
+  EXPECT_EQ(q.next_time(), 7);
+  q.pop();
+  EXPECT_EQ(q.next_time(), 7);  // second equal-time event still queued
+  q.pop();
+  EXPECT_EQ(q.next_time(), 12);
+  q.pop();
+  EXPECT_THROW(q.next_time(), Error);
+}
+
+TEST(EventQueue, ReserveDoesNotChangeOrder) {
+  EventQueue small;
+  EventQueue big;
+  big.reserve(1024);
+  for (int i = 0; i < 64; ++i) {
+    const SimTime t = (i * 7) % 13;
+    small.push(t, i);
+    big.push(t, i);
+  }
+  while (!small.empty()) {
+    const Event a = small.pop();
+    const Event b = big.pop();
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.payload, b.payload);
+  }
+  EXPECT_TRUE(big.empty());
+}
+
 TEST(Placement, BlockAssignsContiguously) {
   const Placement p = Placement::block(8, 4);
   EXPECT_EQ(p.node_of[0], 0);

@@ -28,6 +28,11 @@
 //       Determinism audit: replay the workload --repeats times serially
 //       and under parallel_for; all event checksums must be bit-identical.
 //       `--workload all` audits every registered workload.
+//   socbench perf [--quick] [--reps 5] [--report-json BENCH_engine.json]
+//       Engine-only replay throughput over the fig5/fig6 shapes:
+//       events/sec, allocations per event, cost-model cache hit rate, and
+//       one stable `checksum config=... events=... value=...` line per
+//       case (CI diffs these between -O2 and sanitizer builds).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/perf.h"
 #include "cluster/report.h"
 #include "common/args.h"
 #include "common/error.h"
@@ -46,6 +52,7 @@
 #include "net/network.h"
 #include "obs/chrome_trace.h"
 #include "obs/observers.h"
+#include "sim/memo_cost.h"
 #include "sweep/grid.h"
 #include "sweep/sweep.h"
 #include "systems/machines.h"
@@ -370,7 +377,8 @@ int cmd_replay(const ArgParser& args) {
                                      ->cpu_profile());
   sim::Scenario scenario;
   scenario.ideal_network = args.get_bool("--ideal-network");
-  sim::Engine engine(sim::Placement::block(ranks, nodes), cost,
+  const sim::MemoCostModel memo(cost);
+  sim::Engine engine(sim::Placement::block(ranks, nodes), memo,
                      sim::EngineConfig{}, scenario);
   const sim::RunStats stats = engine.run(programs);
   std::printf("replayed %d ranks on %d nodes%s: %.3f s, %.2f GFLOP/s, "
@@ -378,6 +386,47 @@ int cmd_replay(const ArgParser& args) {
               ranks, nodes, scenario.ideal_network ? " (ideal network)" : "",
               stats.seconds(), stats.flops_per_second() / 1e9,
               static_cast<double>(stats.total_net_bytes) / 1e9);
+  return 0;
+}
+
+int cmd_perf(const ArgParser& args) {
+  const bool quick = args.get_bool("--quick");
+  cluster::PerfConfig config;
+  config.reps = args.given("--reps") ? args.get_int("--reps")
+                                     : (quick ? 2 : 5);
+  const auto cases = cluster::default_perf_cases(quick);
+  const auto report = cluster::measure_engine(cases, config);
+
+  TextTable table({"config", "events", "events/sec", "allocs/event",
+                   "memo hit%", "wall s"});
+  for (const auto& s : report.samples) {
+    const double evals = static_cast<double>(s.memo_hits + s.memo_misses);
+    table.add_row(
+        {s.name, TextTable::num(static_cast<double>(s.events), 0),
+         TextTable::eng(s.events_per_second),
+         TextTable::num(s.allocs_per_event, 4),
+         TextTable::num(
+             evals > 0.0 ? 100.0 * static_cast<double>(s.memo_hits) / evals
+                         : 0.0,
+             1),
+         TextTable::num(s.wall_seconds, 3)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  // Build-invariant lines (no timing): CI asserts these are identical
+  // between an -O2 build and a sanitizer build.
+  for (const auto& s : report.samples) {
+    std::printf("checksum config=%s events=%llu value=%s\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.events),
+                cluster::checksum_hex(s.checksum).c_str());
+  }
+  std::printf("\nTOTAL events/sec = %.4e (events=%.0f wall=%.3fs)%s\n",
+              report.events_per_second, report.total_events,
+              report.total_wall_seconds,
+              report.alloc_counter_live ? "" : " [alloc counter not linked]");
+  if (args.given("--report-json")) {
+    cluster::write_perf_report(args.get("--report-json"), report);
+    std::printf("wrote %s\n", args.get("--report-json").c_str());
+  }
   return 0;
 }
 
@@ -401,6 +450,8 @@ int usage(const ArgParser& args) {
       "  decompose  LB/Ser/Trf efficiency decomposition (paper Eq. 4)\n"
       "  trace      record generated per-rank programs to a .soctrace file\n"
       "  replay     replay a recorded trace (what-if scenarios supported)\n"
+      "  perf       engine-only replay throughput + BENCH_engine.json\n"
+      "             (--quick for the CI smoke subset)\n"
       "\nworkloads: %s\n"
       "\nflags:\n%s", tags.c_str(), args.usage().c_str());
   return 2;
@@ -433,6 +484,8 @@ int main(int argc, char** argv) {
   args.add_flag("--chrome-trace",
                 "run: write a Chrome trace-event JSON (Perfetto) here");
   args.add_flag("--report-json", "run: write a canonical run report here");
+  args.add_bool("--quick", "perf: two-case smoke subset");
+  args.add_flag("--reps", "perf: timed repetitions per case");
 
   try {
     args.parse(argc, argv);
@@ -444,6 +497,7 @@ int main(int argc, char** argv) {
     if (command == "decompose") return cmd_decompose(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "perf") return cmd_perf(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage(args);
   } catch (const soc::Error& e) {

@@ -231,7 +231,8 @@ void rule_unordered(const SourceFile& file, std::vector<Diagnostic>& out) {
              std::string(token) +
                  " in simulation-state code: hash iteration order is "
                  "unspecified, so any walk over it can reorder replays; use "
-                 "std::map or a sorted vector"});
+                 "soc::flat_map (insertion-order iteration), std::map, or a "
+                 "sorted vector"});
       }
     }
   }
@@ -544,6 +545,14 @@ int self_test() {
   t.lint_case("unordered_map in sweep flagged", "src/sweep/sweep.cpp",
               "std::unordered_map<int, int> m;\n", "unordered-in-sim-state",
               1);
+  t.lint_case("flat_map in sim state ok", "src/sim/engine.h",
+              "#pragma once\n#include \"common/flat_map.h\"\n"
+              "soc::flat_map<int, int> pending;\n",
+              "unordered-in-sim-state", 0);
+  t.lint_case("flat_map next to unordered still flags the unordered",
+              "src/sim/engine.h",
+              "soc::flat_map<int, int> ok;\nstd::unordered_map<int, int> m;\n",
+              "unordered-in-sim-state", 1);
 
   // layering.
   t.lint_case("common including sim flagged", "src/common/units.h",
