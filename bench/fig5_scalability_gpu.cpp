@@ -9,7 +9,13 @@
 // Paper shapes: hpl and jacobi scale well; cloverleaf and both tealeaf
 // variants scale poorly (Ser-limited by host/device synchronization);
 // the ideal network helps hpl and tealeaf3d the most.
+//
+// When SOC_BENCH_JSON_DIR is set, the 16-node 10GbE run of each workload
+// additionally emits its soccluster-critical-path/v1 profile (single-pass
+// bottleneck attribution, src/prof/) — serviced by the same sweep runs,
+// so stdout and every existing artifact are unchanged.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.h"
 #include "core/efficiency.h"
@@ -27,7 +33,17 @@ int main(int argc, char** argv) {
   grid.workloads = {"hpl", "jacobi", "cloverleaf", "tealeaf2d", "tealeaf3d"};
   grid.nodes = measured_sizes;
   grid.nics = {net::NicKind::kGigabit, net::NicKind::kTenGigabit};
-  const auto requests = grid.requests();
+  auto requests = grid.requests();
+
+  // Critical-path artifacts ride along on the 16-node 10GbE runs.
+  if (const char* dir = std::getenv("SOC_BENCH_JSON_DIR");
+      dir != nullptr && *dir != '\0') {
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+      requests[grid.index(w, measured_sizes.size() - 1, 1)].profile_json_path =
+          std::string(dir) + "/fig5_scalability_gpu-critical-path-" +
+          grid.workloads[w] + ".json";
+    }
+  }
 
   std::vector<cluster::RunRequest> replays;
   for (const std::string& name : grid.workloads) {

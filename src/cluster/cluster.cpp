@@ -3,6 +3,8 @@
 #include "cluster/report.h"
 #include "common/error.h"
 #include "obs/observers.h"
+#include "prof/profile.h"
+#include "prof/profiler.h"
 #include "sim/memo_cost.h"
 
 namespace soc::cluster {
@@ -80,20 +82,34 @@ RunResult run(const RunRequest& request, const workloads::Workload& workload,
       sim::Placement::block(request.config.ranks, request.config.nodes),
       effective, engine_config(request.config, request.options));
 
-  // Per-run observability: the request's own metrics sink composes with
-  // any caller-attached observer, so sweep runs never share state.
+  // Per-run observability: the request's own metrics/profile sinks
+  // compose with any caller-attached observer, so sweep runs never share
+  // state.  With no sinks set, no observer is attached and the engine's
+  // hot path is untouched.
   obs::MetricsObserver metrics_observer;
+  prof::Profiler profiler;
   obs::ObserverList observers;
-  sim::EngineObserver* observer = request.options.observer;
   const bool want_metrics =
       request.metrics != nullptr || !request.report_path.empty();
-  if (want_metrics) {
-    if (observer != nullptr) {
-      observers.add(observer);
-      observers.add(&metrics_observer);
+  const bool want_profile = request.profile != nullptr ||
+                            !request.profile_json_path.empty() ||
+                            !request.profile_folded_path.empty();
+  sim::EngineObserver* observer = request.options.observer;
+  {
+    int attached = observer != nullptr ? 1 : 0;
+    if (want_metrics) ++attached;
+    if (want_profile) ++attached;
+    if (attached > 1) {
+      if (request.options.observer != nullptr) {
+        observers.add(request.options.observer);
+      }
+      if (want_metrics) observers.add(&metrics_observer);
+      if (want_profile) observers.add(&profiler);
       observer = &observers;
-    } else {
+    } else if (want_metrics) {
       observer = &metrics_observer;
+    } else if (want_profile) {
+      observer = &profiler;
     }
   }
   engine.set_observer(observer);
@@ -104,6 +120,17 @@ RunResult run(const RunRequest& request, const workloads::Workload& workload,
     write_report(request.report_path, request.config, request.options,
                  workload.name(), result,
                  want_metrics ? &metrics_observer.registry() : nullptr);
+  }
+  if (want_profile) {
+    prof::Profile profile = prof::analyze(profiler.trace());
+    if (!request.profile_json_path.empty()) {
+      prof::write_text(request.profile_json_path, prof::profile_json(profile));
+    }
+    if (!request.profile_folded_path.empty()) {
+      prof::write_text(request.profile_folded_path,
+                       prof::folded_stacks(profile));
+    }
+    if (request.profile != nullptr) *request.profile = std::move(profile);
   }
   return result;
 }

@@ -31,6 +31,10 @@ namespace soc::obs {
 class MetricsRegistry;
 }  // namespace soc::obs
 
+namespace soc::prof {
+struct Profile;
+}  // namespace soc::prof
+
 namespace soc::cluster {
 
 struct ClusterConfig {
@@ -86,6 +90,18 @@ struct RunRequest {
   /// concurrent sweep runs never share observer state.
   obs::MetricsRegistry* metrics = nullptr;
   std::string report_path;
+
+  /// Critical-path profiling sinks, all optional.  When any is set the
+  /// run attaches a prof::Profiler (composed with the other observers),
+  /// reconstructs the dependency DAG, and runs the single-pass
+  /// attribution + what-if analysis (src/prof/): `profile` receives the
+  /// analyzed prof::Profile, `profile_json_path` the deterministic
+  /// soccluster-critical-path/v1 document, and `profile_folded_path` the
+  /// flamegraph-compatible folded stacks.  When none is set no profiler
+  /// is attached and the run's cost is unchanged.
+  prof::Profile* profile = nullptr;
+  std::string profile_json_path;
+  std::string profile_folded_path;
 };
 
 /// Validates a cluster shape; throws soc::Error on a bad one.  Shared by

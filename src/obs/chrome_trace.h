@@ -11,7 +11,11 @@
 //          nanoseconds so output is byte-identical across replays
 //
 // Metadata (`M`) events name every process and thread before the first
-// duration event.
+// duration event.  Matched inter-node messages additionally emit flow
+// `s`/`f` pairs (one arrow per committed transfer, from the sender's
+// rank row at the transfer start to the receiver's rank row at the
+// transfer end), with ids assigned in commit order so the document stays
+// byte-identical across replays.
 #pragma once
 
 #include <string>
@@ -31,8 +35,10 @@ class ChromeTraceRecorder : public sim::EngineObserver {
   void on_run_begin(const sim::Placement& placement,
                     const sim::EngineConfig& config) override;
   void on_span(const sim::SpanRecord& span) override;
+  void on_message(const sim::MessageRecord& message) override;
 
   std::size_t span_count() const { return spans_.size(); }
+  std::size_t message_count() const { return messages_.size(); }
 
   /// Renders the complete trace document (ends with a newline).
   std::string json() const;
@@ -43,6 +49,7 @@ class ChromeTraceRecorder : public sim::EngineObserver {
  private:
   sim::Placement placement_;
   std::vector<sim::SpanRecord> spans_;
+  std::vector<sim::MessageRecord> messages_;
 };
 
 }  // namespace soc::obs

@@ -1,5 +1,6 @@
 #include "obs/observers.h"
 
+#include <algorithm>
 #include <string>
 
 namespace soc::obs {
@@ -18,9 +19,38 @@ const char* wait_metric_for(sim::Lane lane) {
 
 }  // namespace
 
+void LaneUsage::clear() {
+  busy.fill(0);
+  blocked.fill(0);
+}
+
+void LaneUsage::add(const sim::SpanRecord& span) {
+  const std::size_t lane = static_cast<std::size_t>(span.lane);
+  busy[lane] += span.end - span.start;
+  blocked[lane] += span.queue_wait;
+}
+
+SimTime LaneUsage::idle(sim::Lane lane, int ranks, int nodes,
+                        SimTime makespan) const {
+  const int rows = lane == sim::Lane::kCpu ? ranks : nodes;
+  const SimTime capacity = static_cast<SimTime>(rows) * makespan;
+  return std::max<SimTime>(capacity - lane_busy(lane), 0);
+}
+
+const char* lane_metric_name(sim::Lane lane) {
+  switch (lane) {
+    case sim::Lane::kNicTx: return "nic_tx";
+    case sim::Lane::kNicRx: return "nic_rx";
+    default: return sim::lane_name(lane);
+  }
+}
+
 void MetricsObserver::on_run_begin(const sim::Placement& placement,
                                    const sim::EngineConfig& config) {
   registry_.clear();
+  usage_.clear();
+  ranks_ = placement.ranks;
+  nodes_ = placement.nodes;
   registry_.set("run.ranks", placement.ranks);
   registry_.set("run.nodes", placement.nodes);
   registry_.set("run.eager_threshold_bytes",
@@ -39,6 +69,7 @@ void MetricsObserver::on_dispatch(const sim::DispatchRecord& record) {
 }
 
 void MetricsObserver::on_span(const sim::SpanRecord& span) {
+  usage_.add(span);
   if (const char* metric = wait_metric_for(span.lane)) {
     registry_.histogram(metric, wait_bounds_ns()).observe(span.queue_wait);
   }
@@ -78,6 +109,14 @@ void MetricsObserver::on_run_end(const sim::RunStats& stats) {
                 static_cast<std::int64_t>(stats.total_net_bytes));
   registry_.set("run.dram_bytes",
                 static_cast<std::int64_t>(stats.total_dram_bytes));
+  for (std::size_t i = 0; i < sim::kLaneCount; ++i) {
+    const sim::Lane lane = static_cast<sim::Lane>(i);
+    const std::string prefix = std::string("util.") + lane_metric_name(lane);
+    registry_.set(prefix + ".busy_ns", usage_.lane_busy(lane));
+    registry_.set(prefix + ".blocked_ns", usage_.lane_blocked(lane));
+    registry_.set(prefix + ".idle_ns",
+                  usage_.idle(lane, ranks_, nodes_, stats.makespan));
+  }
 }
 
 void ObserverList::add(sim::EngineObserver* observer) {

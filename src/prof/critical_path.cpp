@@ -1,0 +1,235 @@
+#include "prof/critical_path.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace soc::prof {
+
+const char* category_name(Category category) {
+  switch (category) {
+    case Category::kCompute: return "compute";
+    case Category::kGpuWait: return "gpu-wait";
+    case Category::kGpuBusy: return "gpu-busy";
+    case Category::kCopyWait: return "copy-wait";
+    case Category::kCopyBusy: return "copy-busy";
+    case Category::kSendOverhead: return "send-overhead";
+    case Category::kRecvOverhead: return "recv-overhead";
+    case Category::kNicWait: return "nic-wait";
+    case Category::kTransfer: return "transfer";
+    case Category::kBlockedSend: return "blocked-send";
+    case Category::kBlockedRecv: return "blocked-recv";
+    case Category::kBlockedWait: return "blocked-wait";
+    case Category::kIdle: return "idle";
+    case Category::kCount: break;
+  }
+  return "?";
+}
+
+const char* category_lane(Category category) {
+  switch (category) {
+    case Category::kCompute:
+    case Category::kSendOverhead:
+    case Category::kRecvOverhead:
+      return "cpu";
+    case Category::kGpuWait:
+    case Category::kGpuBusy:
+      return "gpu";
+    case Category::kCopyWait:
+    case Category::kCopyBusy:
+      return "copy";
+    case Category::kNicWait:
+    case Category::kTransfer:
+      return "nic";
+    case Category::kBlockedSend:
+    case Category::kBlockedRecv:
+    case Category::kBlockedWait:
+      return "blocked";
+    case Category::kIdle:
+      return "idle";
+    case Category::kCount:
+      break;
+  }
+  return "?";
+}
+
+namespace {
+
+struct Segment {
+  SimTime begin = 0;
+  SimTime end = 0;
+  Category category = Category::kCompute;
+  int phase = 0;
+  int jump = -1;  ///< Blocked segments: rank whose dispatch ended the wait.
+};
+
+void emit(std::vector<Segment>& segments, SimTime begin, SimTime end,
+          Category category, int phase, int jump = -1) {
+  if (end > begin) segments.push_back(Segment{begin, end, category, phase, jump});
+}
+
+// Decomposes a message-completed window [b0, c): parked until the partner
+// arrived at p, the committed transfer queued until q, was on the wire
+// until e, and the tail is receive-side overhead.  Out-of-window
+// boundaries (e.g. a transfer that completed before a late receiver even
+// posted) clip away to empty segments.
+void message_chain(const OpExec& op, SimTime b0, SimTime c, SimTime p,
+                   SimTime q, SimTime e, Category blocked, int jump,
+                   std::vector<Segment>& segments) {
+  const auto clip = [&](SimTime t) { return std::min(std::max(t, b0), c); };
+  emit(segments, b0, clip(p), blocked, op.phase, jump);
+  emit(segments, clip(p), clip(q), Category::kNicWait, op.phase);
+  emit(segments, clip(q), clip(e), Category::kTransfer, op.phase);
+  emit(segments, clip(e), c, Category::kRecvOverhead, op.phase);
+}
+
+void op_segments(const RunTrace& trace, const OpExec& op,
+                 std::vector<Segment>& segments) {
+  const SimTime b0 = op.dispatch;
+  const SimTime c = op.complete;
+  switch (op.kind) {
+    case sim::OpKind::kCpuCompute:
+      emit(segments, b0, c, Category::kCompute, op.phase);
+      return;
+    case sim::OpKind::kGpuKernel:
+      emit(segments, b0, op.busy_start, Category::kGpuWait, op.phase);
+      emit(segments, op.busy_start, c, Category::kGpuBusy, op.phase);
+      return;
+    case sim::OpKind::kCopyH2D:
+    case sim::OpKind::kCopyD2H:
+      emit(segments, b0, op.busy_start, Category::kCopyWait, op.phase);
+      emit(segments, op.busy_start, c, Category::kCopyBusy, op.phase);
+      return;
+    case sim::OpKind::kSend: {
+      const sim::MessageRecord& m = trace.messages[static_cast<std::size_t>(op.msg)];
+      if (m.eager) {
+        emit(segments, b0, c, Category::kSendOverhead, op.phase);
+        return;
+      }
+      message_chain(op, b0, c, op.partner_ready, m.start, m.end,
+                    Category::kBlockedSend,
+                    trace.ops[static_cast<std::size_t>(op.partner)].rank,
+                    segments);
+      return;
+    }
+    case sim::OpKind::kRecv: {
+      const sim::MessageRecord& m = trace.messages[static_cast<std::size_t>(op.msg)];
+      message_chain(op, b0, c, op.partner_ready, m.start, m.end,
+                    Category::kBlockedRecv,
+                    trace.ops[static_cast<std::size_t>(op.partner)].rank,
+                    segments);
+      return;
+    }
+    case sim::OpKind::kIsend:
+      emit(segments, b0, c, Category::kSendOverhead, op.phase);
+      return;
+    case sim::OpKind::kIrecv:
+      emit(segments, b0, c, Category::kRecvOverhead, op.phase);
+      return;
+    case sim::OpKind::kWaitAll: {
+      if (c <= b0) return;  // nothing outstanding: zero-width window
+      SOC_CHECK(op.determinant >= 0, "attribute: waitall without determinant");
+      const OpExec& det = trace.ops[static_cast<std::size_t>(op.determinant)];
+      SOC_CHECK(det.kind == sim::OpKind::kIrecv && det.msg >= 0,
+                "attribute: blocking waitall not bound by an irecv");
+      const sim::MessageRecord& m =
+          trace.messages[static_cast<std::size_t>(det.msg)];
+      message_chain(op, b0, c, det.partner_ready, m.start, m.end,
+                    Category::kBlockedWait,
+                    trace.ops[static_cast<std::size_t>(det.partner)].rank,
+                    segments);
+      return;
+    }
+    default:
+      SOC_CHECK(false, "attribute: unexpected op kind in trace");
+  }
+}
+
+// The segment of `segments` (sorted, tiling the rank's timeline) that
+// ends exactly at boundary `t`.
+const Segment& segment_ending_at(const std::vector<Segment>& segments,
+                                 SimTime t) {
+  // Binary search for the segment containing t - 1.
+  const auto it = std::upper_bound(
+      segments.begin(), segments.end(), t - 1,
+      [](SimTime v, const Segment& s) { return v < s.begin; });
+  SOC_CHECK(it != segments.begin(), "attribute: walk fell off the timeline");
+  const Segment& s = *(it - 1);
+  SOC_CHECK(s.end == t, "attribute: walk cursor not on a segment boundary");
+  return s;
+}
+
+}  // namespace
+
+Attribution attribute(const RunTrace& trace) {
+  const std::size_t n = static_cast<std::size_t>(trace.placement.ranks);
+  const SimTime makespan = trace.stats.makespan;
+
+  // Per-rank segment timelines (windows are contiguous, chains tile each
+  // window, so the concatenation tiles [0, finish] and kIdle tops it up).
+  std::vector<std::vector<Segment>> timelines(n);
+  std::size_t total_segments = 0;
+  Attribution out;
+  out.rank_profiles.assign(n, RankProfile{});
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<Segment>& segments = timelines[r];
+    for (const int oi : trace.rank_ops[r]) {
+      op_segments(trace, trace.ops[static_cast<std::size_t>(oi)], segments);
+    }
+    int last_phase = 0;
+    if (!segments.empty()) last_phase = segments.back().phase;
+    emit(segments, trace.finish[r], makespan, Category::kIdle, last_phase);
+    // Zero-residual invariant: every nanosecond of [0, makespan] is
+    // attributed exactly once per rank.
+    SimTime covered = 0;
+    for (const Segment& s : segments) {
+      SOC_CHECK(s.begin == covered, "attribute: gap in rank timeline");
+      covered = s.end;
+      out.rank_profiles[r]
+          .by_category[static_cast<std::size_t>(s.category)] += s.end - s.begin;
+    }
+    SOC_CHECK(covered == makespan, "attribute: rank timeline short of makespan");
+    total_segments += segments.size();
+  }
+
+  // Backward walk from the run's final event: the smallest rank that
+  // finishes at the makespan.
+  CriticalPath& path = out.path;
+  path.by_rank.assign(n, 0);
+  std::size_t rank = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (trace.finish[r] == makespan) {
+      rank = r;
+      break;
+    }
+  }
+  SimTime cursor = makespan;
+  // Each iteration either consumes a segment or jumps rank at a fixed
+  // cursor; jumps are bounded by the blocked-segment count, so this bound
+  // only trips on a genuine cycle (which would be an engine bug).
+  std::size_t guard = 2 * total_segments + n + 16;
+  while (cursor > 0) {
+    SOC_CHECK(guard-- > 0, "attribute: critical-path walk did not terminate");
+    const Segment& s = segment_ending_at(timelines[rank], cursor);
+    if (s.jump >= 0) {
+      // Parked: the partner's dispatch at `cursor` ended the wait, so the
+      // cause of this time lives on the partner's timeline.
+      rank = static_cast<std::size_t>(s.jump);
+      continue;
+    }
+    path.steps.push_back(PathStep{s.category, static_cast<int>(rank), s.phase,
+                                  s.begin, s.end});
+    const SimTime width = s.end - s.begin;
+    path.by_category[static_cast<std::size_t>(s.category)] += width;
+    path.by_phase[s.phase] += width;
+    path.by_rank[rank] += width;
+    path.total += width;
+    cursor = s.begin;
+  }
+  std::reverse(path.steps.begin(), path.steps.end());
+  SOC_CHECK(path.total == makespan,
+            "attribute: critical path does not sum to the makespan");
+  return out;
+}
+
+}  // namespace soc::prof

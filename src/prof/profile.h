@@ -1,0 +1,79 @@
+// Critical-path profiler, stage 4: the profile artifact.
+//
+// analyze() rolls one reconstructed RunTrace into a Profile: the
+// critical-path attribution, per-rank/ per-lane rollups, what-if
+// projections (ideal network, ideal balance, uncontended lanes), and the
+// single-pass LB/Ser/Trf efficiency decomposition (paper Eq. 4) — all
+// from one instrumented run, no engine replays.
+//
+// profile_json() renders the deterministic `soccluster-critical-path/v1`
+// document.  Every value in the artifact is an integer (nanoseconds, or
+// parts-per-million fixed point computed in 128-bit integer arithmetic),
+// so the bytes are identical across optimization levels, sanitizer
+// builds, and host architectures; doubles appear only in the
+// human-readable Factors mirror used for stdout tables.
+// folded_stacks() renders the critical path as flamegraph-compatible
+// folded lines ("rank;phase;category <ns>").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/critical_path.h"
+#include "prof/profiler.h"
+#include "prof/whatif.h"
+
+namespace soc::prof {
+
+/// Double-precision LB/Ser/Trf mirror of core::decompose, for human
+/// output.  The artifact carries only the ppm fixed-point versions.
+struct Factors {
+  double load_balance = 1.0;
+  double serialization = 1.0;
+  double transfer = 1.0;
+  double efficiency = 1.0;
+};
+
+/// Everything the exporters and callers need from one profiled run.
+struct Profile {
+  Attribution attribution;
+  obs::LaneUsage usage;  ///< Per-lane busy/blocked totals.
+
+  int ranks = 0;
+  int nodes = 0;
+  SimTime makespan = 0;
+  std::uint64_t event_checksum = 0;
+  std::uint64_t events_committed = 0;
+
+  /// What-if projections (makespans under re-timed scenarios).
+  SimTime measured_eval = 0;  ///< evaluate() on the unmodified scenario.
+  bool evaluator_exact = false;  ///< measured_eval == makespan (asserted).
+  SimTime ideal_network = 0;
+  SimTime ideal_balance = 0;
+  SimTime uncontended = 0;
+
+  /// Per-rank useful compute, integer ns (Σ phase_compute).
+  SimTime compute_total = 0;
+  SimTime compute_max = 0;
+
+  Factors factors;
+};
+
+/// Rolls a reconstructed trace into a Profile (attribution + three what-if
+/// evaluations + efficiency factors).  Throws soc::Error if the measured
+/// re-evaluation fails to reproduce the recorded makespan exactly.
+Profile analyze(const RunTrace& trace);
+
+/// The deterministic `soccluster-critical-path/v1` JSON document.
+std::string profile_json(const Profile& profile);
+
+/// Flamegraph-compatible folded stacks of the critical path: one line per
+/// (rank, phase, category) in numeric order, weight in nanoseconds.
+std::string folded_stacks(const Profile& profile);
+
+/// Writes `text` to `path` (trailing newline already included by the
+/// renderers); throws soc::Error on I/O failure.
+void write_text(const std::string& path, const std::string& text);
+
+}  // namespace soc::prof

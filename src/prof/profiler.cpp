@@ -1,0 +1,352 @@
+#include "prof/profiler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/flat_map.h"
+#include "common/ring_queue.h"
+
+namespace soc::prof {
+
+namespace {
+
+// Same packing as the engine's private Engine::msg_key.
+std::uint64_t msg_key(int src, int dst, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 21) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag) & 0x1FFFFF);
+}
+
+bool is_lane_op(sim::OpKind kind) {
+  switch (kind) {
+    case sim::OpKind::kCpuCompute:
+    case sim::OpKind::kGpuKernel:
+    case sim::OpKind::kCopyH2D:
+    case sim::OpKind::kCopyD2H:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sim::Lane lane_for(sim::OpKind kind) {
+  switch (kind) {
+    case sim::OpKind::kCpuCompute: return sim::Lane::kCpu;
+    case sim::OpKind::kGpuKernel: return sim::Lane::kGpu;
+    default: return sim::Lane::kCopy;
+  }
+}
+
+// An eager message parked at the receiver: the sender's op plus the
+// already-committed transfer.
+struct ArrivalRef {
+  int op = -1;
+  int msg = -1;
+};
+
+}  // namespace
+
+void Profiler::on_run_begin(const sim::Placement& placement,
+                            const sim::EngineConfig& config) {
+  trace_ = RunTrace{};
+  trace_.placement = placement;
+  trace_.config = config;
+  dispatches_.clear();
+  spans_.clear();
+  message_dispatch_.clear();
+  built_ = false;
+}
+
+void Profiler::on_dispatch(const sim::DispatchRecord& record) {
+  dispatches_.push_back(record);
+}
+
+void Profiler::on_span(const sim::SpanRecord& span) {
+  spans_.push_back(span);
+  trace_.usage.add(span);
+}
+
+void Profiler::on_message(const sim::MessageRecord& message) {
+  // The engine commits a transfer only while processing a dispatch, so
+  // the causing dispatch is always the last one recorded.
+  SOC_CHECK(!dispatches_.empty(), "message committed before any dispatch");
+  trace_.messages.push_back(message);
+  message_dispatch_.push_back(dispatches_.size() - 1);
+}
+
+void Profiler::on_run_end(const sim::RunStats& stats) {
+  trace_.stats = stats;
+  build();
+  built_ = true;
+}
+
+const RunTrace& Profiler::trace() const {
+  SOC_CHECK(built_, "Profiler::trace() before a run completed");
+  return trace_;
+}
+
+void Profiler::build() {
+  const std::size_t n = static_cast<std::size_t>(trace_.placement.ranks);
+  trace_.rank_ops.assign(n, {});
+  trace_.finish.assign(n, 0);
+  trace_.send_overhead.assign(n, -1);
+  trace_.recv_overhead.assign(n, -1);
+  trace_.ops.reserve(dispatches_.size());
+
+  // -- Pass 1: fold the dispatch stream into per-rank op instances. -----
+  // Op windows: each op runs from its first dispatch to the rank's next
+  // dispatch (a parked kWaitAll is re-dispatched on wake with the same
+  // pc, which folds into the open instance; no other op dispatches
+  // twice).  The 0xFF drain record closes the rank's last window.
+  std::vector<int> last_op(n, -1);
+  std::vector<int> dispatch_op(dispatches_.size(), -1);
+  std::vector<bool> first_dispatch(dispatches_.size(), false);
+  for (std::size_t di = 0; di < dispatches_.size(); ++di) {
+    const sim::DispatchRecord& rec = dispatches_[di];
+    const std::size_t r = static_cast<std::size_t>(rec.rank);
+    const auto kind = static_cast<sim::OpKind>(rec.kind);
+    if (rec.kind == 0xFF) {  // rank drained
+      if (last_op[r] >= 0) trace_.ops[last_op[r]].complete = rec.time;
+      last_op[r] = -1;
+      trace_.finish[r] = rec.time;
+      continue;
+    }
+    if (kind == sim::OpKind::kPhase) continue;  // zero-width, consumed inline
+    if (last_op[r] >= 0 && trace_.ops[last_op[r]].pc == rec.pc) {
+      // Re-dispatch of the parked op (kWaitAll wake): same instance.
+      dispatch_op[di] = last_op[r];
+      continue;
+    }
+    if (last_op[r] >= 0) trace_.ops[last_op[r]].complete = rec.time;
+    OpExec op;
+    op.kind = kind;
+    op.rank = rec.rank;
+    op.node = rec.node;
+    op.phase = rec.phase;
+    op.peer = rec.peer;
+    op.tag = rec.tag;
+    op.pc = rec.pc;
+    op.bytes = rec.bytes;
+    op.dispatch = rec.time;
+    const int oi = static_cast<int>(trace_.ops.size());
+    trace_.ops.push_back(op);
+    trace_.rank_ops[r].push_back(oi);
+    last_op[r] = oi;
+    dispatch_op[di] = oi;
+    first_dispatch[di] = true;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    SOC_CHECK(last_op[r] < 0, "profiler: rank never drained (deadlock?)");
+  }
+
+  // -- Pass 2: attach cpu/gpu/copy service windows from the span stream.
+  // Lane spans are emitted at dispatch, so per rank they appear in
+  // program order; a cursor per rank pairs them up.
+  std::vector<std::size_t> lane_cursor(n, 0);
+  for (const sim::SpanRecord& span : spans_) {
+    if (span.lane != sim::Lane::kCpu && span.lane != sim::Lane::kGpu &&
+        span.lane != sim::Lane::kCopy) {
+      continue;  // NIC occupancy is reconstructed from messages instead
+    }
+    const std::size_t r = static_cast<std::size_t>(span.rank);
+    std::size_t& cur = lane_cursor[r];
+    while (cur < trace_.rank_ops[r].size() &&
+           !is_lane_op(trace_.ops[trace_.rank_ops[r][cur]].kind)) {
+      ++cur;
+    }
+    SOC_CHECK(cur < trace_.rank_ops[r].size(),
+              "profiler: span with no matching op");
+    OpExec& op = trace_.ops[trace_.rank_ops[r][cur]];
+    SOC_CHECK(lane_for(op.kind) == span.lane,
+              "profiler: span lane does not match program order");
+    op.busy_start = span.start;
+    op.busy_end = span.end;
+    SOC_CHECK(op.busy_end == op.complete,
+              "profiler: lane span does not end at op completion");
+    ++cur;
+  }
+
+  // -- Pass 3: replay the engine's message matching over the recorded
+  // dispatch order, consuming MessageRecords as their commits happen.
+  flat_map<std::uint64_t, RingQueue<int>> pending_sends;
+  flat_map<std::uint64_t, RingQueue<int>> pending_recvs;
+  flat_map<std::uint64_t, RingQueue<int>> pending_irecvs;
+  flat_map<std::uint64_t, RingQueue<ArrivalRef>> arrivals;
+  std::size_t msg_cursor = 0;
+  auto take_message = [&](std::size_t di) {
+    SOC_CHECK(msg_cursor < trace_.messages.size() &&
+                  message_dispatch_[msg_cursor] == di,
+              "profiler: dispatch/message streams out of step");
+    return static_cast<int>(msg_cursor++);
+  };
+  auto pop = [](flat_map<std::uint64_t, RingQueue<int>>& table,
+                std::uint64_t key) {
+    auto* q = table.find(key);
+    if (q == nullptr || q->empty()) return -1;
+    const int v = q->front();
+    q->pop_front();
+    return v;
+  };
+  for (std::size_t di = 0; di < dispatches_.size(); ++di) {
+    if (!first_dispatch[di]) continue;
+    const int oi = dispatch_op[di];
+    OpExec& op = trace_.ops[oi];
+    const SimTime now = op.dispatch;
+    switch (op.kind) {
+      case sim::OpKind::kSend:
+      case sim::OpKind::kIsend: {
+        const std::uint64_t key = msg_key(op.rank, op.peer, op.tag);
+        const bool eager = op.kind == sim::OpKind::kIsend ||
+                           op.bytes <= trace_.config.eager_threshold;
+        if (eager) {
+          // launch_eager commits the transfer at this dispatch, before
+          // any receiver is considered.
+          op.msg = take_message(di);
+          int ri = pop(pending_recvs, key);
+          if (ri < 0) ri = pop(pending_irecvs, key);
+          if (ri >= 0) {
+            OpExec& recv = trace_.ops[ri];
+            recv.msg = op.msg;
+            recv.partner = oi;
+            recv.partner_ready = now;
+            op.partner = ri;
+          } else {
+            arrivals[key].push_back(ArrivalRef{oi, op.msg});
+          }
+          break;
+        }
+        // Rendezvous: the transfer commits only when matched.
+        int ri = pop(pending_recvs, key);
+        if (ri < 0) ri = pop(pending_irecvs, key);
+        if (ri >= 0) {
+          OpExec& recv = trace_.ops[ri];
+          op.msg = recv.msg = take_message(di);
+          op.partner = ri;
+          op.partner_ready = recv.dispatch;
+          recv.partner = oi;
+          recv.partner_ready = now;
+        } else {
+          pending_sends[key].push_back(oi);
+        }
+        break;
+      }
+      case sim::OpKind::kRecv:
+      case sim::OpKind::kIrecv: {
+        const std::uint64_t key = msg_key(op.peer, op.rank, op.tag);
+        auto* arrived = arrivals.find(key);
+        if (arrived != nullptr && !arrived->empty()) {
+          const ArrivalRef a = arrived->front();
+          arrived->pop_front();
+          op.msg = a.msg;
+          op.partner = a.op;
+          op.partner_ready = trace_.ops[a.op].dispatch;
+          trace_.ops[a.op].partner = oi;
+          break;
+        }
+        const int si = pop(pending_sends, key);
+        if (si >= 0) {
+          OpExec& send = trace_.ops[si];
+          op.msg = send.msg = take_message(di);
+          op.partner = si;
+          op.partner_ready = send.dispatch;
+          send.partner = oi;
+          send.partner_ready = now;
+          break;
+        }
+        if (op.kind == sim::OpKind::kRecv) {
+          pending_recvs[key].push_back(oi);
+        } else {
+          pending_irecvs[key].push_back(oi);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  SOC_CHECK(msg_cursor == trace_.messages.size(),
+            "profiler: unconsumed message records");
+
+  // -- Pass 4: per-rank post-passes — overhead constants, rendezvous
+  // window validation, and kWaitAll determinants.
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<int> window;  // isend/irecv since the last kWaitAll
+    for (const int oi : trace_.rank_ops[r]) {
+      OpExec& op = trace_.ops[oi];
+      switch (op.kind) {
+        case sim::OpKind::kSend:
+          SOC_CHECK(op.msg >= 0, "profiler: unmatched send");
+          if (trace_.messages[op.msg].eager) {
+            if (trace_.send_overhead[r] < 0) {
+              trace_.send_overhead[r] = op.complete - op.dispatch;
+            }
+          } else {
+            SOC_CHECK(op.complete == trace_.messages[op.msg].end,
+                      "profiler: rendezvous send window mismatch");
+          }
+          break;
+        case sim::OpKind::kRecv: {
+          SOC_CHECK(op.msg >= 0, "profiler: unmatched recv");
+          const sim::MessageRecord& m = trace_.messages[op.msg];
+          if (m.eager) {
+            if (trace_.recv_overhead[r] < 0) {
+              trace_.recv_overhead[r] =
+                  op.complete - std::max(op.dispatch, m.end);
+            }
+          } else {
+            SOC_CHECK(op.complete == m.end,
+                      "profiler: rendezvous recv window mismatch");
+          }
+          break;
+        }
+        case sim::OpKind::kIsend:
+          if (trace_.send_overhead[r] < 0) {
+            trace_.send_overhead[r] = op.complete - op.dispatch;
+          }
+          window.push_back(oi);
+          break;
+        case sim::OpKind::kIrecv:
+          if (trace_.recv_overhead[r] < 0) {
+            trace_.recv_overhead[r] = op.complete - op.dispatch;
+          }
+          window.push_back(oi);
+          break;
+        case sim::OpKind::kWaitAll: {
+          // Request completions, derived per request without needing any
+          // cost-model constant: an isend completes locally with its
+          // posting; an irecv completes at max(posting done, message
+          // arrival + its own posting overhead).
+          SimTime best = 0;
+          int det = -1;
+          for (const int qi : window) {
+            const OpExec& q = trace_.ops[qi];
+            SimTime done = q.complete;
+            if (q.kind == sim::OpKind::kIrecv) {
+              SOC_CHECK(q.msg >= 0, "profiler: unmatched irecv");
+              done = std::max(done, trace_.messages[q.msg].end +
+                                        (q.complete - q.dispatch));
+            }
+            if (done > best) {
+              best = done;
+              det = qi;
+            }
+          }
+          window.clear();
+          if (op.complete > op.dispatch) {
+            SOC_CHECK(det >= 0 && best == op.complete,
+                      "profiler: waitall completion mismatch");
+            op.determinant = det;
+          } else {
+            SOC_CHECK(best <= op.complete,
+                      "profiler: request outlived its waitall");
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace soc::prof

@@ -1,0 +1,432 @@
+#include "prof/whatif.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "common/flat_map.h"
+#include "common/ring_queue.h"
+#include "sim/event_queue.h"
+
+namespace soc::prof {
+
+namespace {
+
+std::uint64_t msg_key(int src, int dst, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 21) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag) & 0x1FFFFF);
+}
+
+// (src_node, dst_node, bytes) -> one message-cost table slot.
+std::uint64_t cost_key(int src_node, int dst_node, Bytes bytes) {
+  SOC_CHECK(src_node >= 0 && src_node < 1024 && dst_node >= 0 &&
+                dst_node < 1024 && bytes >= 0 && bytes < (Bytes{1} << 44),
+            "what-if: cost key out of range");
+  return (static_cast<std::uint64_t>(src_node) << 54) |
+         (static_cast<std::uint64_t>(dst_node) << 44) |
+         static_cast<std::uint64_t>(bytes);
+}
+
+// Mirror of sim::Engine with the cost model swapped for lookups into the
+// recorded trace.  Scheduling rules, tie-breaking (event insertion
+// order), and every queue-push site match the engine one for one, so the
+// unmodified scenario reproduces the recorded schedule exactly.
+class Evaluator {
+ public:
+  Evaluator(const RunTrace& trace, const WhatIf& scenario)
+      : trace_(trace), scenario_(scenario) {
+    const std::size_t n = static_cast<std::size_t>(trace_.placement.ranks);
+    SOC_CHECK(scenario_.compute_scale.empty() ||
+                  scenario_.compute_scale.size() == n,
+              "what-if: compute_scale size mismatch");
+    // Message costs: latency is recorded per message; the wire share is
+    // the rest of the transfer window.  Identical (nodes, bytes) keys
+    // always carry identical costs (the cost model is deterministic).
+    for (const sim::MessageRecord& m : trace_.messages) {
+      const int src = node_of(m.src_rank);
+      const int dst = node_of(m.dst_rank);
+      const SimTime xfer = (m.end - m.start) - m.latency;
+      costs_[cost_key(src, dst, m.bytes)] = {m.latency, xfer};
+    }
+  }
+
+  SimTime run() {
+    const std::size_t n = static_cast<std::size_t>(trace_.placement.ranks);
+    states_.assign(n, State{});
+    finish_.assign(n, 0);
+    gpu_free_.assign(static_cast<std::size_t>(trace_.placement.nodes), 0);
+    copy_free_.assign(static_cast<std::size_t>(trace_.placement.nodes), 0);
+    nic_tx_free_.assign(static_cast<std::size_t>(trace_.placement.nodes), 0);
+    nic_rx_free_.assign(static_cast<std::size_t>(trace_.placement.nodes), 0);
+    fabric_free_ = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      queue_.push(0, static_cast<int>(r));
+    }
+    while (!queue_.empty()) {
+      const sim::Event e = queue_.pop();
+      execute(e.payload, e.time);
+    }
+    SimTime makespan = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      SOC_CHECK(states_[r].done, "what-if: evaluation deadlocked");
+      makespan = std::max(makespan, finish_[r]);
+    }
+    return makespan;
+  }
+
+ private:
+  struct State {
+    std::size_t pc = 0;  ///< Index into trace.rank_ops[rank].
+    int unresolved = 0;
+    SimTime requests_complete = 0;
+    bool waiting_all = false;
+    bool done = false;
+  };
+  struct PendingSend {
+    int rank = 0;
+    SimTime ready = 0;
+    Bytes bytes = 0;
+    int tag = 0;
+  };
+  struct PendingRecv {
+    int rank = 0;
+    SimTime ready = 0;
+  };
+  struct Arrival {
+    SimTime time = 0;
+  };
+
+  int node_of(int rank) const {
+    return trace_.placement.node_of[static_cast<std::size_t>(rank)];
+  }
+  const OpExec& op_at(int rank, std::size_t pc) const {
+    return trace_.ops[static_cast<std::size_t>(
+        trace_.rank_ops[static_cast<std::size_t>(rank)][pc])];
+  }
+  SimTime send_overhead(int rank) const {
+    const SimTime t = trace_.send_overhead[static_cast<std::size_t>(rank)];
+    SOC_CHECK(t >= 0, "what-if: send overhead unknown for rank");
+    return t;
+  }
+  SimTime recv_overhead(int rank) const {
+    const SimTime t = trace_.recv_overhead[static_cast<std::size_t>(rank)];
+    SOC_CHECK(t >= 0, "what-if: recv overhead unknown for rank");
+    return t;
+  }
+  std::pair<SimTime, SimTime> message_cost(int src_node, int dst_node,
+                                           Bytes bytes) const {
+    const auto it = costs_.find(cost_key(src_node, dst_node, bytes));
+    SOC_CHECK(it != costs_.end(), "what-if: message cost not in trace");
+    return it->second;
+  }
+  double scale_for(int rank) const {
+    if (scenario_.compute_scale.empty()) return 1.0;
+    return scenario_.compute_scale[static_cast<std::size_t>(rank)];
+  }
+  SimTime scaled(SimTime t, int rank) const {
+    const double s = scale_for(rank);
+    if (s == 1.0) return t;
+    return static_cast<SimTime>(std::llround(static_cast<double>(t) * s));
+  }
+
+  void execute(int rank, SimTime now) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    const auto& program = trace_.rank_ops[static_cast<std::size_t>(rank)];
+    if (st.pc >= program.size()) {
+      st.done = true;
+      finish_[static_cast<std::size_t>(rank)] =
+          std::max(finish_[static_cast<std::size_t>(rank)], now);
+      return;
+    }
+    const OpExec& op = op_at(rank, st.pc);
+    switch (op.kind) {
+      case sim::OpKind::kCpuCompute:
+      case sim::OpKind::kGpuKernel:
+      case sim::OpKind::kCopyH2D:
+      case sim::OpKind::kCopyD2H:
+        start_lane(rank, now, op);
+        return;
+      case sim::OpKind::kSend:
+        start_send(rank, now, op);
+        return;
+      case sim::OpKind::kRecv:
+        start_recv(rank, now, op);
+        return;
+      case sim::OpKind::kIsend:
+        start_isend(rank, now, op);
+        return;
+      case sim::OpKind::kIrecv:
+        start_irecv(rank, now, op);
+        return;
+      case sim::OpKind::kWaitAll:
+        start_wait_all(rank, now);
+        return;
+      default:
+        SOC_CHECK(false, "what-if: unexpected op kind");
+    }
+  }
+
+  void start_lane(int rank, SimTime now, const OpExec& op) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    const std::size_t node = static_cast<std::size_t>(op.node);
+    const SimTime dur = scaled(op.busy_end - op.busy_start, rank);
+    SimTime start = now;
+    if (op.kind == sim::OpKind::kGpuKernel) {
+      if (!scenario_.uncontended) {
+        start = std::max(now, gpu_free_[node]);
+        gpu_free_[node] = start + dur;
+      }
+    } else if (op.kind != sim::OpKind::kCpuCompute) {
+      if (!scenario_.uncontended) {
+        start = std::max(now, copy_free_[node]);
+        copy_free_[node] = start + dur;
+      }
+    }
+    ++st.pc;
+    queue_.push(start + dur, rank);
+  }
+
+  void advance(int rank, SimTime wake) {
+    ++states_[static_cast<std::size_t>(rank)].pc;
+    queue_.push(wake, rank);
+  }
+
+  void start_send(int rank, SimTime now, const OpExec& op) {
+    const std::uint64_t key = msg_key(rank, op.peer, op.tag);
+    if (op.bytes <= trace_.config.eager_threshold) {
+      const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes);
+      const SimTime overhead = send_overhead(rank);
+      auto* pending = pending_recvs_.find(key);
+      auto* posted = pending_irecvs_.find(key);
+      if (pending != nullptr && !pending->empty()) {
+        const PendingRecv pr = pending->front();
+        pending->pop_front();
+        advance(pr.rank, std::max(pr.ready, arrival) + recv_overhead(pr.rank));
+      } else if (posted != nullptr && !posted->empty()) {
+        const int recv_rank = posted->front();
+        posted->pop_front();
+        resolve_request(recv_rank, arrival + recv_overhead(recv_rank));
+      } else {
+        arrivals_[key].push_back(Arrival{arrival});
+      }
+      advance(rank, now + overhead);
+      return;
+    }
+    auto* pending = pending_recvs_.find(key);
+    if (pending != nullptr && !pending->empty()) {
+      const PendingRecv pr = pending->front();
+      pending->pop_front();
+      complete_rendezvous(rank, now, pr.rank, pr.ready, op.bytes);
+      return;
+    }
+    auto* posted = pending_irecvs_.find(key);
+    if (posted != nullptr && !posted->empty()) {
+      const int recv_rank = posted->front();
+      posted->pop_front();
+      const SimTime end = timed_transfer(rank, recv_rank, now, op.bytes);
+      advance(rank, end);
+      resolve_request(recv_rank, end + recv_overhead(recv_rank));
+      return;
+    }
+    pending_sends_[key].push_back(PendingSend{rank, now, op.bytes, op.tag});
+  }
+
+  void start_recv(int rank, SimTime now, const OpExec& op) {
+    const std::uint64_t key = msg_key(op.peer, rank, op.tag);
+    auto* arrived = arrivals_.find(key);
+    if (arrived != nullptr && !arrived->empty()) {
+      const Arrival a = arrived->front();
+      arrived->pop_front();
+      advance(rank, std::max(now, a.time) + recv_overhead(rank));
+      return;
+    }
+    auto* pending = pending_sends_.find(key);
+    if (pending != nullptr && !pending->empty()) {
+      const PendingSend ps = pending->front();
+      pending->pop_front();
+      complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes);
+      return;
+    }
+    pending_recvs_[key].push_back(PendingRecv{rank, now});
+  }
+
+  void start_isend(int rank, SimTime now, const OpExec& op) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    const std::uint64_t key = msg_key(rank, op.peer, op.tag);
+    const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes);
+    const SimTime overhead = send_overhead(rank);
+    st.requests_complete = std::max(st.requests_complete, now + overhead);
+    auto* pending = pending_recvs_.find(key);
+    auto* posted = pending_irecvs_.find(key);
+    if (pending != nullptr && !pending->empty()) {
+      const PendingRecv pr = pending->front();
+      pending->pop_front();
+      advance(pr.rank, std::max(pr.ready, arrival) + recv_overhead(pr.rank));
+    } else if (posted != nullptr && !posted->empty()) {
+      const int recv_rank = posted->front();
+      posted->pop_front();
+      resolve_request(recv_rank, arrival + recv_overhead(recv_rank));
+    } else {
+      arrivals_[key].push_back(Arrival{arrival});
+    }
+    advance(rank, now + overhead);
+  }
+
+  void start_irecv(int rank, SimTime now, const OpExec& op) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    const std::uint64_t key = msg_key(op.peer, rank, op.tag);
+    auto* arrived = arrivals_.find(key);
+    if (arrived != nullptr && !arrived->empty()) {
+      const Arrival a = arrived->front();
+      arrived->pop_front();
+      st.requests_complete =
+          std::max(st.requests_complete,
+                   std::max(now, a.time) + recv_overhead(rank));
+    } else {
+      auto* pending = pending_sends_.find(key);
+      if (pending != nullptr && !pending->empty()) {
+        const PendingSend ps = pending->front();
+        pending->pop_front();
+        const SimTime end =
+            timed_transfer(ps.rank, rank, std::max(ps.ready, now), ps.bytes);
+        advance(ps.rank, end);
+        st.requests_complete =
+            std::max(st.requests_complete, end + recv_overhead(rank));
+      } else {
+        ++st.unresolved;
+        pending_irecvs_[key].push_back(rank);
+      }
+    }
+    advance(rank, now + recv_overhead(rank));
+  }
+
+  void start_wait_all(int rank, SimTime now) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    if (st.unresolved > 0) {
+      st.waiting_all = true;
+      return;  // resolve_request wakes us
+    }
+    const SimTime done = std::max(now, st.requests_complete);
+    st.requests_complete = 0;
+    advance(rank, done);
+  }
+
+  void complete_rendezvous(int send_rank, SimTime send_ready, int recv_rank,
+                           SimTime recv_ready, Bytes bytes) {
+    const SimTime end = timed_transfer(
+        send_rank, recv_rank, std::max(send_ready, recv_ready), bytes);
+    advance(send_rank, end);  // engine pushes sender first, then receiver
+    advance(recv_rank, end);
+  }
+
+  void resolve_request(int rank, SimTime completion) {
+    auto& st = states_[static_cast<std::size_t>(rank)];
+    SOC_CHECK(st.unresolved > 0, "what-if: resolve with no pending request");
+    --st.unresolved;
+    st.requests_complete = std::max(st.requests_complete, completion);
+    if (st.waiting_all && st.unresolved == 0) {
+      st.waiting_all = false;
+      queue_.push(st.requests_complete, rank);
+    }
+  }
+
+  SimTime timed_transfer(int send_rank, int recv_rank, SimTime earliest,
+                         Bytes bytes) {
+    const int src_node = node_of(send_rank);
+    const int dst_node = node_of(recv_rank);
+    SimTime start = earliest;
+    SimTime duration = 0;
+    if (!scenario_.ideal_network) {
+      if (src_node != dst_node && !scenario_.uncontended) {
+        start = std::max({start,
+                          nic_tx_free_[static_cast<std::size_t>(src_node)],
+                          nic_rx_free_[static_cast<std::size_t>(dst_node)]});
+        if (trace_.config.bisection_bandwidth > 0.0) {
+          start = std::max(start, fabric_free_);
+        }
+      }
+      const auto [latency, xfer] = message_cost(src_node, dst_node, bytes);
+      duration = latency + xfer;
+      if (src_node != dst_node && !scenario_.uncontended) {
+        nic_tx_free_[static_cast<std::size_t>(src_node)] = start + duration;
+        nic_rx_free_[static_cast<std::size_t>(dst_node)] = start + duration;
+        if (trace_.config.bisection_bandwidth > 0.0) {
+          fabric_free_ =
+              start + transfer_time(bytes, trace_.config.bisection_bandwidth);
+        }
+      }
+    }
+    return start + duration;
+  }
+
+  SimTime launch_eager(int src_rank, int dst_rank, SimTime now, Bytes bytes) {
+    const int src_node = node_of(src_rank);
+    const int dst_node = node_of(dst_rank);
+    if (scenario_.ideal_network) return now;
+    SimTime start = now;
+    if (src_node != dst_node && !scenario_.uncontended) {
+      start = std::max(now, nic_tx_free_[static_cast<std::size_t>(src_node)]);
+      if (trace_.config.bisection_bandwidth > 0.0) {
+        start = std::max(start, fabric_free_);
+        fabric_free_ =
+            start + transfer_time(bytes, trace_.config.bisection_bandwidth);
+      }
+    }
+    const auto [latency, xfer] = message_cost(src_node, dst_node, bytes);
+    const SimTime arrival = start + latency + xfer;
+    if (src_node != dst_node && !scenario_.uncontended) {
+      nic_tx_free_[static_cast<std::size_t>(src_node)] = start + xfer;
+      nic_rx_free_[static_cast<std::size_t>(dst_node)] = std::max(
+          nic_rx_free_[static_cast<std::size_t>(dst_node)], arrival);
+    }
+    return arrival;
+  }
+
+  const RunTrace& trace_;
+  const WhatIf& scenario_;
+  std::map<std::uint64_t, std::pair<SimTime, SimTime>> costs_;
+  sim::EventQueue queue_;
+  std::vector<State> states_;
+  std::vector<SimTime> finish_;
+  std::vector<SimTime> gpu_free_;
+  std::vector<SimTime> copy_free_;
+  std::vector<SimTime> nic_tx_free_;
+  std::vector<SimTime> nic_rx_free_;
+  SimTime fabric_free_ = 0;
+  flat_map<std::uint64_t, RingQueue<PendingSend>> pending_sends_;
+  flat_map<std::uint64_t, RingQueue<PendingRecv>> pending_recvs_;
+  flat_map<std::uint64_t, RingQueue<int>> pending_irecvs_;
+  flat_map<std::uint64_t, RingQueue<Arrival>> arrivals_;
+};
+
+}  // namespace
+
+SimTime evaluate(const RunTrace& trace, const WhatIf& scenario) {
+  Evaluator evaluator(trace, scenario);
+  return evaluator.run();
+}
+
+std::vector<double> balance_scales(const sim::RunStats& stats) {
+  // Mirrors trace::ideal_balance_scales (same arithmetic, same order) so
+  // the single-pass projection matches the replay-based scenario.
+  const std::size_t n = stats.ranks.size();
+  SOC_CHECK(n > 0, "no ranks in run");
+  std::vector<double> compute(n, 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& [phase, t] : stats.ranks[r].phase_compute) {
+      compute[r] += static_cast<double>(t);
+    }
+    total += compute[r];
+  }
+  const double avg = total / static_cast<double>(n);
+  std::vector<double> scales(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (compute[r] > 0.0) scales[r] = avg / compute[r];
+  }
+  return scales;
+}
+
+}  // namespace soc::prof

@@ -177,8 +177,8 @@ RunStats Engine::run(const std::vector<Program>& programs) {
   return stats_;
 }
 
-void Engine::audit_event(SimTime now, int rank, std::uint8_t kind,
-                         Bytes bytes) {
+void Engine::audit_event(SimTime now, int rank, std::uint8_t kind, Bytes bytes,
+                         int peer, int tag) {
   audit_.mix_i64(now)
       .mix_u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)))
       .mix_byte(kind)
@@ -192,6 +192,10 @@ void Engine::audit_event(SimTime now, int rank, std::uint8_t kind,
     record.phase = states_[static_cast<std::size_t>(rank)].phase;
     record.kind = kind;
     record.bytes = bytes;
+    record.pc =
+        static_cast<std::int32_t>(states_[static_cast<std::size_t>(rank)].pc);
+    record.peer = peer;
+    record.tag = tag;
     observer_->on_dispatch(record);
   }
 }
@@ -234,7 +238,8 @@ void Engine::execute_next(int rank, SimTime now,
     // wake-up — is one record of the determinism digest.  The dispatch
     // sequence is exactly the engine's total event order, so equal digests
     // mean equal schedules.
-    audit_event(now, rank, static_cast<std::uint8_t>(op.kind), op.bytes);
+    audit_event(now, rank, static_cast<std::uint8_t>(op.kind), op.bytes,
+                op.peer, op.tag);
     switch (op.kind) {
       case OpKind::kPhase:
         st.phase = op.phase;
@@ -357,7 +362,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
   const MsgKey key = msg_key(rank, op.peer, op.tag);
 
   if (op.bytes <= config_.eager_threshold) {
-    const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes);
+    const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes, op.tag);
     const SimTime overhead = cost_.send_overhead(rank);
     rs.msg_overhead += overhead;
 
@@ -393,7 +398,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
     const PendingRecv pr = pending->front();
     pending->pop_front();
     --pending_recv_depth_;
-    complete_rendezvous(rank, now, pr.rank, pr.ready, op.bytes);
+    complete_rendezvous(rank, now, pr.rank, pr.ready, op.bytes, op.tag);
     return;
   }
   auto* posted = pending_irecvs_.find(key);
@@ -401,7 +406,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
     const int recv_rank = posted->front();
     posted->pop_front();
     --pending_recv_depth_;
-    const SimTime end = timed_transfer(rank, recv_rank, now, op.bytes);
+    const SimTime end = timed_transfer(rank, recv_rank, now, op.bytes, op.tag);
     stats_.ranks[static_cast<std::size_t>(rank)].send_blocked += end - now;
     ++st.pc;
     queue_.push(end, rank);
@@ -439,7 +444,7 @@ void Engine::start_recv(int rank, SimTime now, const Op& op) {
     const PendingSend ps = pending->front();
     pending->pop_front();
     --pending_send_depth_;
-    complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes);
+    complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes, op.tag);
     return;
   }
   pending_recvs_[key].push_back(PendingRecv{rank, now, st.phase});
@@ -457,7 +462,7 @@ void Engine::start_isend(int rank, SimTime now, const Op& op) {
 
   // Buffered semantics: the transfer launches now; the sender only pays
   // the posting overhead and its request completes locally.
-  const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes);
+  const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes, op.tag);
   const SimTime overhead = cost_.send_overhead(rank);
   rs.msg_overhead += overhead;
   st.requests_complete = std::max(st.requests_complete, now + overhead);
@@ -508,8 +513,9 @@ void Engine::start_irecv(int rank, SimTime now, const Op& op) {
       const PendingSend ps = pending->front();
       pending->pop_front();
       --pending_send_depth_;
-      const SimTime end =
-          timed_transfer(ps.rank, rank, std::max(ps.ready, now), ps.bytes);
+      const SimTime end = timed_transfer(ps.rank, rank,
+                                         std::max(ps.ready, now), ps.bytes,
+                                         op.tag);
       auto& send_rs = stats_.ranks[static_cast<std::size_t>(ps.rank)];
       send_rs.send_blocked += end - ps.ready;
       ++states_[static_cast<std::size_t>(ps.rank)].pc;
@@ -556,10 +562,11 @@ void Engine::resolve_request(int rank, SimTime completion) {
 }
 
 SimTime Engine::timed_transfer(int send_rank, int recv_rank, SimTime earliest,
-                               Bytes bytes) {
+                               Bytes bytes, int tag) {
   const int src_node = placement_.node_of[static_cast<std::size_t>(send_rank)];
   const int dst_node = placement_.node_of[static_cast<std::size_t>(recv_rank)];
   SimTime start = earliest;
+  SimTime latency = 0;
   SimTime duration = 0;
   SimTime fabric_wait = 0;
   if (!scenario_.ideal_network) {
@@ -575,8 +582,9 @@ SimTime Engine::timed_transfer(int send_rank, int recv_rank, SimTime earliest,
         fabric_wait = start - nic_ready;
       }
     }
-    duration = cost_.message_latency(src_node, dst_node) +
-               cost_.message_transfer_time(src_node, dst_node, bytes);
+    latency = cost_.message_latency(src_node, dst_node);
+    duration =
+        latency + cost_.message_transfer_time(src_node, dst_node, bytes);
     if (src_node != dst_node) {
       nic_tx_free_[static_cast<std::size_t>(src_node)] = start + duration;
       nic_rx_free_[static_cast<std::size_t>(dst_node)] = start + duration;
@@ -589,15 +597,16 @@ SimTime Engine::timed_transfer(int send_rank, int recv_rank, SimTime earliest,
   }
   const SimTime end = start + duration;
   account_transfer(send_rank, recv_rank, earliest, start, end, bytes,
-                   /*eager=*/false, fabric_wait);
+                   /*eager=*/false, fabric_wait, tag, latency);
   return end;
 }
 
 void Engine::complete_rendezvous(int send_rank, SimTime send_ready,
                                  int recv_rank, SimTime recv_ready,
-                                 Bytes bytes) {
-  const SimTime end = timed_transfer(send_rank, recv_rank,
-                                     std::max(send_ready, recv_ready), bytes);
+                                 Bytes bytes, int tag) {
+  const SimTime end =
+      timed_transfer(send_rank, recv_rank, std::max(send_ready, recv_ready),
+                     bytes, tag);
   auto& send_rs = stats_.ranks[static_cast<std::size_t>(send_rank)];
   auto& recv_rs = stats_.ranks[static_cast<std::size_t>(recv_rank)];
   send_rs.send_blocked += end - send_ready;
@@ -610,12 +619,12 @@ void Engine::complete_rendezvous(int send_rank, SimTime send_ready,
 }
 
 SimTime Engine::launch_eager(int src_rank, int dst_rank, SimTime now,
-                             Bytes bytes) {
+                             Bytes bytes, int tag) {
   const int src_node = placement_.node_of[static_cast<std::size_t>(src_rank)];
   const int dst_node = placement_.node_of[static_cast<std::size_t>(dst_rank)];
   if (scenario_.ideal_network) {
     account_transfer(src_rank, dst_rank, now, now, now, bytes,
-                     /*eager=*/true, 0);
+                     /*eager=*/true, 0, tag, 0);
     return now;
   }
   SimTime start = now;
@@ -630,21 +639,22 @@ SimTime Engine::launch_eager(int src_rank, int dst_rank, SimTime now,
     }
   }
   const SimTime xfer = cost_.message_transfer_time(src_node, dst_node, bytes);
-  const SimTime arrival =
-      start + cost_.message_latency(src_node, dst_node) + xfer;
+  const SimTime latency = cost_.message_latency(src_node, dst_node);
+  const SimTime arrival = start + latency + xfer;
   if (src_node != dst_node) {
     nic_tx_free_[static_cast<std::size_t>(src_node)] = start + xfer;
     nic_rx_free_[static_cast<std::size_t>(dst_node)] =
         std::max(nic_rx_free_[static_cast<std::size_t>(dst_node)], arrival);
   }
   account_transfer(src_rank, dst_rank, now, start, arrival, bytes,
-                   /*eager=*/true, fabric_wait);
+                   /*eager=*/true, fabric_wait, tag, latency);
   return arrival;
 }
 
 void Engine::account_transfer(int src_rank, int dst_rank, SimTime requested,
                               SimTime start, SimTime end, Bytes bytes,
-                              bool eager, SimTime fabric_wait) {
+                              bool eager, SimTime fabric_wait, int tag,
+                              SimTime latency) {
   const int src_node = placement_.node_of[static_cast<std::size_t>(src_rank)];
   const int dst_node = placement_.node_of[static_cast<std::size_t>(dst_rank)];
   auto& send_rs = stats_.ranks[static_cast<std::size_t>(src_rank)];
@@ -659,9 +669,11 @@ void Engine::account_transfer(int src_rank, int dst_rank, SimTime requested,
     message.src_rank = src_rank;
     message.dst_rank = dst_rank;
     message.phase = states_[static_cast<std::size_t>(src_rank)].phase;
+    message.tag = tag;
     message.bytes = bytes;
     message.start = start;
     message.end = end;
+    message.latency = latency;
     observer_->on_message(message);
   }
 

@@ -57,6 +57,12 @@ struct DispatchRecord {
   int phase = 0;          ///< The rank's phase at dispatch.
   std::uint8_t kind = 0;  ///< OpKind byte, or 0xFF when a rank drains.
   Bytes bytes = 0;
+  /// Op index in the rank's program (program size for the drain record).
+  /// A kWaitAll op that parks is re-dispatched on wake with the same pc,
+  /// so consumers can fold the pair back into one op instance.
+  std::int32_t pc = 0;
+  std::int32_t peer = -1;  ///< Partner rank for message ops (-1 otherwise).
+  std::int32_t tag = 0;    ///< Message tag for message ops.
 };
 
 /// One timed occupancy of a resource lane.
@@ -81,9 +87,12 @@ struct MessageRecord {
   int src_rank = 0;
   int dst_rank = 0;
   int phase = 0;            ///< Sender's phase.
+  int tag = 0;              ///< Message tag (matches the endpoints' ops).
   Bytes bytes = 0;
   SimTime start = 0;
   SimTime end = 0;
+  SimTime latency = 0;      ///< Latency share of [start, end); the rest is
+                            ///< wire/copy transfer time.
 };
 
 struct EngineConfig;
@@ -197,7 +206,7 @@ class Engine {
   /// Applies NIC/fabric occupancy to a transfer starting no earlier than
   /// `earliest`; returns the completion time and records the traffic.
   SimTime timed_transfer(int send_rank, int recv_rank, SimTime earliest,
-                         Bytes bytes);
+                         Bytes bytes, int tag);
 
   /// Marks one of `rank`'s outstanding requests resolved with the given
   /// completion time; wakes the rank if it was parked in kWaitAll.
@@ -205,14 +214,17 @@ class Engine {
 
   /// Performs a matched rendezvous transfer; wakes both ranks.
   void complete_rendezvous(int send_rank, SimTime send_ready, int recv_rank,
-                           SimTime recv_ready, Bytes bytes);
+                           SimTime recv_ready, Bytes bytes, int tag);
   /// Sends an eager message; returns its arrival time at the receiver.
-  SimTime launch_eager(int src_rank, int dst_rank, SimTime now, Bytes bytes);
+  SimTime launch_eager(int src_rank, int dst_rank, SimTime now, Bytes bytes,
+                       int tag);
 
   /// Folds one committed dispatch into the determinism digest
   /// (RunStats::event_checksum).  `kind` is the OpKind byte, or
-  /// kRankDoneAudit when a rank drains its program.
-  void audit_event(SimTime now, int rank, std::uint8_t kind, Bytes bytes);
+  /// kRankDoneAudit when a rank drains its program.  `peer`/`tag` only
+  /// annotate the observer record (message ops); the digest is unchanged.
+  void audit_event(SimTime now, int rank, std::uint8_t kind, Bytes bytes,
+                   int peer = -1, int tag = 0);
   static constexpr std::uint8_t kRankDoneAudit = 0xFF;
 
   double compute_scale_for(int rank) const;
@@ -226,7 +238,7 @@ class Engine {
   /// `fabric_wait` the share of that wait spent queued on the fabric.
   void account_transfer(int src_rank, int dst_rank, SimTime requested,
                         SimTime start, SimTime end, Bytes bytes, bool eager,
-                        SimTime fabric_wait);
+                        SimTime fabric_wait, int tag, SimTime latency);
   /// Emits one resource-lane span to the observer (no-op when detached).
   void observe_span(Lane lane, int rank, int node, std::uint8_t kind,
                     SimTime start, SimTime end, SimTime queue_wait,

@@ -223,6 +223,32 @@ TEST(ChromeTrace, ByteIdenticalAcrossReplays) {
   EXPECT_EQ(a.back(), '\n');
 }
 
+TEST(ChromeTrace, FlowEventsPairMatchedInterNodeMessages) {
+  // jacobi at 2 nodes exchanges inter-node halos, so the trace must carry
+  // flow arrows: every `s` (flow start, sender row) has an `f` (flow end,
+  // receiver row, binding point "e"), in equal numbers.
+  const auto w = workloads::make_workload("jacobi");
+  obs::ChromeTraceRecorder chrome;
+  auto options = quick_options();
+  options.observer = &chrome;
+  small_cluster(2).run(*w, options);
+  EXPECT_GT(chrome.message_count(), 0u);
+
+  const std::string doc = chrome.json();
+  auto count = [&doc](const char* needle) {
+    std::size_t n = 0;
+    for (std::size_t at = doc.find(needle); at != std::string::npos;
+         at = doc.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  const std::size_t starts = count("\"ph\":\"s\"");
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, count("\"ph\":\"f\""));
+  EXPECT_EQ(starts, count("\"bp\":\"e\""));
+}
+
 TEST(RunReport, ByteIdenticalAndCarriesChecksum) {
   const auto w = workloads::make_workload("jacobi");
   const auto cl = small_cluster(2);

@@ -1,0 +1,340 @@
+// Tests for src/prof/: critical-path extraction on hand-built
+// micro-programs, zero-residual attribution invariants, what-if
+// evaluator exactness, single-pass LB/Ser/Trf parity with the
+// replay-based core::decompose on every fig5/fig6 configuration, and
+// byte-identical profile artifacts across sweep thread counts and
+// repeated runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/efficiency.h"
+#include "prof/critical_path.h"
+#include "prof/profile.h"
+#include "prof/profiler.h"
+#include "prof/whatif.h"
+#include "sim/engine.h"
+#include "sim/op.h"
+#include "sweep/sweep.h"
+#include "systems/machines.h"
+
+namespace soc::prof {
+namespace {
+
+// Fixed-cost model for hand-computable schedules.
+class FixedCostModel : public sim::CostModel {
+ public:
+  SimTime cpu_time = 10 * kMillisecond;
+  SimTime gpu_time = 20 * kMillisecond;
+  SimTime copy = 5 * kMillisecond;
+  SimTime latency = 1 * kMillisecond;
+  double bandwidth = 1e9;  // bytes/s
+  SimTime overhead = 0;
+
+  SimTime cpu_compute_time(int, const sim::Op&) const override {
+    return cpu_time;
+  }
+  SimTime gpu_kernel_time(int, const sim::Op&) const override {
+    return gpu_time;
+  }
+  SimTime copy_time(int, const sim::Op&) const override { return copy; }
+  SimTime message_latency(int src, int dst) const override {
+    return src == dst ? 0 : latency;
+  }
+  SimTime message_transfer_time(int, int, Bytes bytes) const override {
+    return transfer_time(bytes, bandwidth);
+  }
+  SimTime send_overhead(int) const override { return overhead; }
+  SimTime recv_overhead(int) const override { return overhead; }
+};
+
+struct MicroRun {
+  sim::RunStats stats;
+  Profiler profiler;
+  const RunTrace& trace() const { return profiler.trace(); }
+};
+
+MicroRun run_micro(const std::vector<std::vector<sim::Op>>& programs,
+                   const sim::Placement& placement,
+                   const FixedCostModel& cost) {
+  MicroRun run;
+  sim::Engine engine(placement, cost, sim::EngineConfig{});
+  engine.set_observer(&run.profiler);
+  run.stats = engine.run(programs);
+  return run;
+}
+
+SimTime profile_sum(const RankProfile& profile) {
+  SimTime total = 0;
+  for (const SimTime ns : profile.by_category) total += ns;
+  return total;
+}
+
+// Every rank's full-timeline profile must tile [0, makespan] with zero
+// residual, and the walked path must tile it too (attribute() asserts
+// both internally; the test states the contract explicitly).
+void expect_zero_residual(const Attribution& attribution, SimTime makespan) {
+  ASSERT_GT(makespan, 0);
+  EXPECT_EQ(attribution.path.total, makespan);
+  SimTime step_sum = 0;
+  for (const PathStep& s : attribution.path.steps) step_sum += s.end - s.begin;
+  EXPECT_EQ(step_sum, makespan);
+  SimTime category_sum = 0;
+  for (const SimTime ns : attribution.path.by_category) category_sum += ns;
+  EXPECT_EQ(category_sum, makespan);
+  for (const RankProfile& profile : attribution.rank_profiles) {
+    EXPECT_EQ(profile_sum(profile), makespan);
+  }
+}
+
+constexpr auto idx = [](Category c) { return static_cast<std::size_t>(c); };
+
+TEST(CriticalPath, PureComputeChain) {
+  // Rank 0 runs three compute ops, rank 1 one; the path is rank 0's
+  // compute end to end, and rank 1 pads with idle.
+  FixedCostModel cost;
+  std::vector<std::vector<sim::Op>> programs(2);
+  programs[0] = {sim::cpu_op(1000, 0, 0, 0), sim::cpu_op(1000, 0, 0, 0),
+                 sim::cpu_op(1000, 0, 0, 0)};
+  programs[1] = {sim::cpu_op(1000, 0, 0, 0)};
+  const auto run =
+      run_micro(programs, sim::Placement::block(2, 2), cost);
+  ASSERT_EQ(run.stats.makespan, 30 * kMillisecond);
+
+  const Attribution a = attribute(run.trace());
+  expect_zero_residual(a, run.stats.makespan);
+  EXPECT_EQ(a.path.by_category[idx(Category::kCompute)], 30 * kMillisecond);
+  EXPECT_EQ(a.path.by_rank[0], 30 * kMillisecond);
+  EXPECT_EQ(a.path.by_rank[1], 0);
+  EXPECT_EQ(a.path.steps.size(), 3u);
+  // Rank 1: 10 ms of compute, then idle until the run drains.
+  EXPECT_EQ(a.rank_profiles[1].by_category[idx(Category::kCompute)],
+            10 * kMillisecond);
+  EXPECT_EQ(a.rank_profiles[1].by_category[idx(Category::kIdle)],
+            20 * kMillisecond);
+}
+
+TEST(CriticalPath, RendezvousPingPong) {
+  // 1 MB messages rendezvous: each hop is latency (1 ms) + wire (1 ms),
+  // so the whole 4 ms run sits on the transfer category.
+  FixedCostModel cost;
+  const Bytes bytes = 1000 * 1000;
+  std::vector<std::vector<sim::Op>> programs(2);
+  programs[0] = {sim::send_op(1, bytes, 7), sim::recv_op(1, bytes, 8)};
+  programs[1] = {sim::recv_op(0, bytes, 7), sim::send_op(0, bytes, 8)};
+  const auto run =
+      run_micro(programs, sim::Placement::block(2, 2), cost);
+  ASSERT_EQ(run.stats.makespan, 4 * kMillisecond);
+
+  const Attribution a = attribute(run.trace());
+  expect_zero_residual(a, run.stats.makespan);
+  EXPECT_EQ(a.path.by_category[idx(Category::kTransfer)], 4 * kMillisecond);
+  // The profiler reconstructed both matches (two committed messages, all
+  // four ops bound to a partner).
+  ASSERT_EQ(run.trace().messages.size(), 2u);
+  for (const OpExec& op : run.trace().ops) {
+    EXPECT_GE(op.msg, 0);
+    EXPECT_GE(op.partner, 0);
+  }
+}
+
+TEST(CriticalPath, ContendedGpuLane) {
+  // Two ranks share one node's GPU: the second kernel queues behind the
+  // first, so the path is 20 ms of gpu-wait then 20 ms of gpu-busy.
+  FixedCostModel cost;
+  std::vector<std::vector<sim::Op>> programs(2);
+  programs[0] = {sim::gpu_op(1e9, 0, sim::MemModel::kHostDevice)};
+  programs[1] = {sim::gpu_op(1e9, 0, sim::MemModel::kHostDevice)};
+  const auto run =
+      run_micro(programs, sim::Placement::block(2, 1), cost);
+  ASSERT_EQ(run.stats.makespan, 40 * kMillisecond);
+
+  const Attribution a = attribute(run.trace());
+  expect_zero_residual(a, run.stats.makespan);
+  EXPECT_EQ(a.path.by_category[idx(Category::kGpuWait)], 20 * kMillisecond);
+  EXPECT_EQ(a.path.by_category[idx(Category::kGpuBusy)], 20 * kMillisecond);
+  // The uncontended what-if removes exactly the queueing.
+  WhatIf uncontended;
+  uncontended.uncontended = true;
+  EXPECT_EQ(evaluate(run.trace(), uncontended), 20 * kMillisecond);
+}
+
+TEST(CriticalPath, NonblockingWaitAllWindow) {
+  // Eager halo exchange: irecv + isend + waitall + compute per rank,
+  // with per-message overheads so the waitall window is non-trivial.
+  FixedCostModel cost;
+  cost.overhead = 2 * kMillisecond;
+  const Bytes bytes = 4096;  // below the eager threshold
+  std::vector<std::vector<sim::Op>> programs(2);
+  for (int r = 0; r < 2; ++r) {
+    const int peer = 1 - r;
+    programs[r] = {sim::irecv_op(peer, bytes, 3), sim::isend_op(peer, bytes, 3),
+                   sim::wait_all_op(), sim::cpu_op(1000, 0, 0, 0)};
+  }
+  const auto run =
+      run_micro(programs, sim::Placement::block(2, 2), cost);
+
+  const Attribution a = attribute(run.trace());
+  expect_zero_residual(a, run.stats.makespan);
+  // The measured-scenario evaluation reproduces the engine exactly.
+  EXPECT_EQ(evaluate(run.trace(), WhatIf{}), run.stats.makespan);
+}
+
+TEST(WhatIf, MeasuredEvaluationIsExactOnMicroPrograms) {
+  FixedCostModel cost;
+  cost.overhead = 1 * kMillisecond;
+  const Bytes big = 1000 * 1000;
+  std::vector<std::vector<sim::Op>> programs(4);
+  // A mix: compute, GPU contention, eager and rendezvous messaging
+  // across two nodes.
+  programs[0] = {sim::cpu_op(1000, 0, 0, 0),
+                 sim::send_op(2, big, 1),
+                 sim::gpu_op(1e9, 0, sim::MemModel::kHostDevice),
+                 sim::recv_op(2, 64, 2)};
+  programs[1] = {sim::gpu_op(1e9, 0, sim::MemModel::kHostDevice),
+                 sim::copy_h2d_op(4096, sim::MemModel::kHostDevice)};
+  programs[2] = {sim::recv_op(0, big, 1), sim::cpu_op(1000, 0, 0, 0),
+                 sim::send_op(0, 64, 2)};
+  programs[3] = {sim::irecv_op(2, 128, 9), sim::wait_all_op(),
+                 sim::cpu_op(1000, 0, 0, 0)};
+  programs[2].push_back(sim::isend_op(3, 128, 9));
+  const auto run =
+      run_micro(programs, sim::Placement::block(4, 2), cost);
+
+  EXPECT_EQ(evaluate(run.trace(), WhatIf{}), run.stats.makespan);
+  // Projections are well-formed: never negative, ideal network is never
+  // slower than measured.
+  WhatIf net;
+  net.ideal_network = true;
+  const SimTime ideal = evaluate(run.trace(), net);
+  EXPECT_GE(ideal, 0);
+  EXPECT_LE(ideal, run.stats.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// Single-pass LB/Ser/Trf parity with the replay-based decomposition on
+// every fig5 and fig6 configuration.
+// ---------------------------------------------------------------------------
+
+void expect_close(double single_pass, double replayed, const std::string& what,
+                  double tolerance = 0.01) {
+  ASSERT_GT(replayed, 0.0) << what;
+  EXPECT_NEAR(single_pass / replayed, 1.0, tolerance) << what;
+}
+
+void check_parity(const std::string& workload, int nodes, int ranks) {
+  cluster::RunRequest request;
+  request.workload = workload;
+  request.config = {systems::jetson_tx1(net::NicKind::kTenGigabit), nodes,
+                    ranks};
+  Profile profile;
+  request.profile = &profile;
+  const auto result = cluster::run(request);
+  const auto runs = cluster::replay_scenarios(request);
+  const auto d = core::decompose(runs);
+  const std::string tag = workload + "@" + std::to_string(nodes);
+
+  EXPECT_TRUE(profile.evaluator_exact) << tag;
+  EXPECT_EQ(profile.makespan, result.stats.makespan) << tag;
+  expect_close(profile.factors.load_balance, d.load_balance, tag + " LB");
+  expect_close(profile.factors.serialization, d.serialization, tag + " Ser");
+  expect_close(profile.factors.transfer, d.transfer, tag + " Trf");
+  expect_close(profile.factors.efficiency, d.efficiency, tag + " eta");
+  // The what-if scenarios reproduce the DIMEMAS-style replays.
+  EXPECT_EQ(profile.ideal_network, runs.ideal_network.makespan) << tag;
+  EXPECT_EQ(profile.ideal_balance, runs.ideal_balance.makespan) << tag;
+}
+
+TEST(SinglePassDecomposition, MatchesReplayOnFig5Configs) {
+  for (const char* workload :
+       {"hpl", "jacobi", "cloverleaf", "tealeaf2d", "tealeaf3d"}) {
+    for (const int nodes : {2, 4, 8, 16}) {
+      check_parity(workload, nodes, nodes);
+    }
+  }
+}
+
+TEST(SinglePassDecomposition, MatchesReplayOnFig6Configs) {
+  for (const char* workload :
+       {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"}) {
+    for (const int nodes : {2, 4, 8, 16}) {
+      check_parity(workload, nodes, 2 * nodes);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact determinism.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> sweep_artifacts(unsigned threads) {
+  std::vector<cluster::RunRequest> requests;
+  std::vector<Profile> profiles(3);
+  requests.push_back(cluster::RunRequest{});
+  requests.back().workload = "hpl";
+  requests.back().config = {systems::jetson_tx1(net::NicKind::kTenGigabit), 4,
+                            4};
+  requests.push_back(cluster::RunRequest{});
+  requests.back().workload = "cg";
+  requests.back().config = {systems::jetson_tx1(net::NicKind::kTenGigabit), 4,
+                            8};
+  requests.push_back(cluster::RunRequest{});
+  requests.back().workload = "jacobi";
+  requests.back().config = {systems::jetson_tx1(net::NicKind::kGigabit), 2, 2};
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].profile = &profiles[i];
+  }
+
+  sweep::SweepOptions options;
+  options.threads = threads;
+  sweep::SweepRunner runner(options);
+  runner.run(requests);
+
+  std::vector<std::string> rendered;
+  for (const Profile& profile : profiles) {
+    rendered.push_back(profile_json(profile));
+    rendered.push_back(folded_stacks(profile));
+  }
+  return rendered;
+}
+
+TEST(ProfileArtifact, ByteIdenticalAcrossSweepThreadsAndRepeats) {
+  const auto serial = sweep_artifacts(1);
+  const auto parallel = sweep_artifacts(4);
+  const auto repeated = sweep_artifacts(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "artifact " << i;
+    EXPECT_EQ(parallel[i], repeated[i]) << "artifact " << i;
+  }
+  // Sanity: the artifacts are non-trivial documents.
+  EXPECT_NE(serial[0].find("soccluster-critical-path/v1"), std::string::npos);
+  EXPECT_NE(serial[1].find("rank 0;phase"), std::string::npos);
+}
+
+TEST(ProfileArtifact, SchemaCarriesIntegerInvariants) {
+  cluster::RunRequest request;
+  request.workload = "tealeaf3d";
+  request.config = {systems::jetson_tx1(net::NicKind::kTenGigabit), 4, 4};
+  Profile profile;
+  request.profile = &profile;
+  cluster::run(request);
+
+  const std::string doc = profile_json(profile);
+  EXPECT_NE(doc.find("\"schema\":\"soccluster-critical-path/v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"evaluator_exact\":true"), std::string::npos);
+  // No floating-point values anywhere: every ratio is ppm fixed point and
+  // every duration integer nanoseconds, so the document cannot diverge
+  // between -O2 and sanitizer builds.
+  EXPECT_EQ(doc.find('.'), std::string::npos);
+  // Lane utilization counters (shared with obs::MetricsObserver).
+  EXPECT_NE(doc.find("\"nic_tx\":{\"busy_ns\":"), std::string::npos);
+  // The critical path tiles the run exactly.
+  expect_zero_residual(profile.attribution, profile.makespan);
+}
+
+}  // namespace
+}  // namespace soc::prof

@@ -20,6 +20,15 @@
 //       a per-run block and the sweep summary.
 //   socbench decompose --workload ft --nodes 16
 //       The paper's LB/Ser/Trf efficiency decomposition (Eq. 4).
+//   socbench explain --workload hpl --nodes 8 [--profile-json cp.json]
+//                    [--folded cp.folded]
+//       Single-pass critical-path profile: one instrumented run yields
+//       the bottleneck attribution (which lane/phase/rank the end-to-end
+//       time sits on), the LB/Ser/Trf factors, and what-if projections
+//       (ideal network / ideal balance / uncontended lanes) without
+//       re-running the engine.  --profile-json writes the deterministic
+//       soccluster-critical-path/v1 artifact, --folded a
+//       flamegraph-compatible folded-stacks file.
 //   socbench trace --workload tealeaf3d --nodes 8 --out run.soctrace
 //       Record the generated per-rank programs to a trace file.
 //   socbench replay --trace run.soctrace --nodes 8 [--ideal-network]
@@ -52,6 +61,8 @@
 #include "net/network.h"
 #include "obs/chrome_trace.h"
 #include "obs/observers.h"
+#include "prof/critical_path.h"
+#include "prof/profile.h"
 #include "sim/memo_cost.h"
 #include "sweep/grid.h"
 #include "sweep/sweep.h"
@@ -348,6 +359,85 @@ int cmd_decompose(const ArgParser& args) {
   return 0;
 }
 
+int cmd_explain(const ArgParser& args) {
+  const auto workload = workloads::make_workload(args.get("--workload"));
+  const int nodes = args.get_int("--nodes");
+  const int ranks = args.given("--ranks") ? args.get_int("--ranks")
+                                          : natural_ranks(*workload, nodes);
+  const auto node = systems::jetson_tx1(parse_nic(args.get("--nic")));
+
+  cluster::RunRequest request;
+  request.workload = workload->name();
+  request.workload_ref = workload.get();
+  request.config = cluster::ClusterConfig{node, nodes, ranks};
+  request.options = options_from(args);
+  prof::Profile profile;
+  request.profile = &profile;
+  if (args.given("--profile-json")) {
+    request.profile_json_path = args.get("--profile-json");
+  }
+  if (args.given("--folded")) {
+    request.profile_folded_path = args.get("--folded");
+  }
+  const auto result = cluster::run(request);
+
+  std::printf("%s on %d x %s (%s, %d ranks): critical path\n\n",
+              workload->name().c_str(), nodes, node.name.c_str(),
+              node.nic.name.c_str(), ranks);
+  std::printf("runtime        : %.3f s (%llu events, checksum %s)\n",
+              result.seconds,
+              static_cast<unsigned long long>(result.stats.events_committed),
+              cluster::checksum_hex(result.stats.event_checksum).c_str());
+
+  // Where the end-to-end time went: the walked path tiles [0, makespan]
+  // exactly, so the shares sum to 100%.
+  const prof::CriticalPath& path = profile.attribution.path;
+  TextTable table({"category", "lane", "time (s)", "share", "steps"});
+  for (std::size_t c = 0; c < prof::kCategoryCount; ++c) {
+    const auto category = static_cast<prof::Category>(c);
+    const SimTime ns = path.by_category[c];
+    if (ns == 0) continue;
+    std::size_t steps = 0;
+    for (const prof::PathStep& s : path.steps) {
+      if (s.category == category) ++steps;
+    }
+    table.add_row({prof::category_name(category),
+                   prof::category_lane(category),
+                   TextTable::num(to_seconds(ns), 3),
+                   TextTable::num(100.0 * static_cast<double>(ns) /
+                                      static_cast<double>(path.total), 1) + "%",
+                   std::to_string(steps)});
+  }
+  std::printf("\n%s", table.str().c_str());
+
+  std::printf("\nefficiency (Eq. 4, single pass): LB = %.3f, Ser = %.3f, "
+              "Trf = %.3f  ->  eta = %.3f\n",
+              profile.factors.load_balance, profile.factors.serialization,
+              profile.factors.transfer, profile.factors.efficiency);
+
+  const auto project = [&](const char* label, SimTime ns) {
+    std::printf("  %-22s: %.3f s (%.2fx)\n", label, to_seconds(ns),
+                ns > 0 ? static_cast<double>(profile.makespan) /
+                             static_cast<double>(ns)
+                       : 0.0);
+  };
+  std::printf("what-if projections (no re-run; measured re-evaluation %s):\n",
+              profile.evaluator_exact ? "exact" : "INEXACT");
+  project("ideal network", profile.ideal_network);
+  project("ideal load balance", profile.ideal_balance);
+  project("uncontended lanes", profile.uncontended);
+
+  if (!request.profile_json_path.empty()) {
+    std::printf("wrote critical-path artifact to %s\n",
+                request.profile_json_path.c_str());
+  }
+  if (!request.profile_folded_path.empty()) {
+    std::printf("wrote folded stacks to %s\n",
+                request.profile_folded_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_trace(const ArgParser& args) {
   const auto workload = workloads::make_workload(args.get("--workload"));
   const int nodes = args.get_int("--nodes");
@@ -448,6 +538,8 @@ int usage(const ArgParser& args) {
       "  sweep      cluster-size sweep, one row per (size, NIC); shards\n"
       "             across host threads (--sweep-threads)\n"
       "  decompose  LB/Ser/Trf efficiency decomposition (paper Eq. 4)\n"
+      "  explain    single-pass critical-path attribution + LB/Ser/Trf +\n"
+      "             what-if projections (--profile-json, --folded)\n"
       "  trace      record generated per-rank programs to a .soctrace file\n"
       "  replay     replay a recorded trace (what-if scenarios supported)\n"
       "  perf       engine-only replay throughput + BENCH_engine.json\n"
@@ -484,6 +576,10 @@ int main(int argc, char** argv) {
   args.add_flag("--chrome-trace",
                 "run: write a Chrome trace-event JSON (Perfetto) here");
   args.add_flag("--report-json", "run: write a canonical run report here");
+  args.add_flag("--profile-json",
+                "explain: write the soccluster-critical-path/v1 artifact here");
+  args.add_flag("--folded",
+                "explain: write flamegraph-compatible folded stacks here");
   args.add_bool("--quick", "perf: two-case smoke subset");
   args.add_flag("--reps", "perf: timed repetitions per case");
 
@@ -495,6 +591,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "decompose") return cmd_decompose(args);
+    if (command == "explain") return cmd_explain(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "perf") return cmd_perf(args);

@@ -212,8 +212,8 @@ void rule_getenv(const SourceFile& file, std::vector<Diagnostic>& out) {
 // ---------------------------------------------------------------------------
 
 const std::set<std::string>& sim_state_modules() {
-  static const std::set<std::string> kModules = {"sim",   "msg", "cluster",
-                                                 "trace", "obs", "sweep"};
+  static const std::set<std::string> kModules = {
+      "sim", "msg", "cluster", "trace", "obs", "sweep", "prof"};
   return kModules;
 }
 
@@ -251,6 +251,9 @@ const std::map<std::string, std::set<std::string>>& allowed_includes() {
       {"stats", {"common"}},
       {"sim", {"common"}},
       {"obs", {"common", "sim"}},
+      // prof (critical-path profiler) sits just above sim/obs; only
+      // cluster, sweep, bench, and tools may depend on it.
+      {"prof", {"common", "sim", "obs"}},
       {"arch", {"common"}},
       {"mem", {"common"}},
       {"net", {"common", "sim"}},
@@ -262,13 +265,13 @@ const std::map<std::string, std::set<std::string>>& allowed_includes() {
       {"systems", {"common", "arch", "gpu", "mem", "net", "power"}},
       {"workloads", {"common", "sim", "msg", "arch"}},
       {"cluster",
-       {"common", "stats", "sim", "obs", "arch", "mem", "net", "gpu", "msg",
-        "power", "trace", "core", "systems", "workloads"}},
+       {"common", "stats", "sim", "obs", "prof", "arch", "mem", "net", "gpu",
+        "msg", "power", "trace", "core", "systems", "workloads"}},
       // sweep sits above cluster; only bench/ and tools/ sit above sweep,
       // so no src/ module lists it as an allowed include.
       {"sweep",
-       {"common", "stats", "sim", "obs", "arch", "net", "trace", "systems",
-        "workloads", "cluster"}},
+       {"common", "stats", "sim", "obs", "prof", "arch", "net", "trace",
+        "systems", "workloads", "cluster"}},
   };
   return kAllowed;
 }
@@ -445,7 +448,8 @@ const std::vector<Rule>& all_rules() {
       {"getenv-in-library",
        "src/ code may not read the process environment", rule_getenv},
       {"unordered-in-sim-state",
-       "no std::unordered_{map,set} in src/{sim,obs,msg,cluster,trace,sweep}",
+       "no std::unordered_{map,set} in "
+       "src/{sim,obs,prof,msg,cluster,trace,sweep}",
        rule_unordered},
       {"layering", "#include edges must follow the src/ module DAG",
        rule_layering},
@@ -553,6 +557,13 @@ int self_test() {
               "src/sim/engine.h",
               "soc::flat_map<int, int> ok;\nstd::unordered_map<int, int> m;\n",
               "unordered-in-sim-state", 1);
+  t.lint_case("unordered_map in prof flagged", "src/prof/whatif.cpp",
+              "std::unordered_map<int, int> m;\n", "unordered-in-sim-state",
+              1);
+  t.lint_case("flat_map in prof ok", "src/prof/profiler.cpp",
+              "#include \"common/flat_map.h\"\n"
+              "soc::flat_map<int, int> pending;\n",
+              "unordered-in-sim-state", 0);
 
   // layering.
   t.lint_case("common including sim flagged", "src/common/units.h",
@@ -579,6 +590,20 @@ int self_test() {
               "#include \"sweep/sweep.h\"\n", "layering", 1);
   t.lint_case("obs including sweep flagged", "src/obs/metrics.cpp",
               "#include \"sweep/sweep.h\"\n", "layering", 1);
+  t.lint_case("prof including obs ok", "src/prof/profiler.cpp",
+              "#include \"obs/observers.h\"\n", "layering", 0);
+  t.lint_case("prof including sim ok", "src/prof/whatif.cpp",
+              "#include \"sim/event_queue.h\"\n", "layering", 0);
+  t.lint_case("prof including cluster flagged", "src/prof/profile.cpp",
+              "#include \"cluster/cluster.h\"\n", "layering", 1);
+  t.lint_case("prof including trace flagged", "src/prof/whatif.cpp",
+              "#include \"trace/replay.h\"\n", "layering", 1);
+  t.lint_case("obs including prof flagged", "src/obs/metrics.cpp",
+              "#include \"prof/profile.h\"\n", "layering", 1);
+  t.lint_case("cluster including prof ok", "src/cluster/cluster.cpp",
+              "#include \"prof/profiler.h\"\n", "layering", 0);
+  t.lint_case("sweep including prof ok", "src/sweep/sweep.cpp",
+              "#include \"prof/profile.h\"\n", "layering", 0);
 
   // pragma-once.
   t.lint_case("header without pragma once flagged", "src/mem/dram.h",

@@ -9,9 +9,10 @@
 //                           time is simulated integer nanoseconds
 //   getenv-in-library       src/ behavior may not depend on the environment
 //   unordered-in-sim-state  no std::unordered_{map,set} in simulation-state
-//                           modules (src/sim, src/msg, src/cluster,
-//                           src/trace): iteration order is unspecified, so
-//                           any walk over one can reorder replays
+//                           modules (src/sim, src/obs, src/prof, src/msg,
+//                           src/cluster, src/trace, src/sweep): iteration
+//                           order is unspecified, so any walk over one can
+//                           reorder replays
 //   layering                #include edges must follow the module DAG from
 //                           src/CMakeLists.txt (common at the bottom,
 //                           cluster at the top); src/common may include no
