@@ -39,11 +39,39 @@ if(SOC_SANITIZE)
   message(STATUS "soccluster: sanitizers enabled (${_soc_san_joined})")
 endif()
 
+# Clang thread-safety analysis: configure with
+#
+#   CC=clang CXX=clang++ cmake -B build -S . -DSOC_WERROR_THREAD_SAFETY=ON
+#
+# and every target is compiled with -Wthread-safety promoted to an error,
+# checking the SOC_GUARDED_BY/SOC_REQUIRES annotations from
+# src/common/thread_safety.h.  The option is Clang-only (GCC has no such
+# analysis); enabling it elsewhere fails the configure loudly rather than
+# pretending the gate ran.  CI turns this on for its Clang build.
+option(SOC_WERROR_THREAD_SAFETY
+    "Promote Clang -Wthread-safety findings to errors (Clang builds only)"
+    OFF)
+
+set(SOC_THREAD_SAFETY_FLAGS "")
+if(SOC_WERROR_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+        "SOC_WERROR_THREAD_SAFETY requires Clang (got "
+        "${CMAKE_CXX_COMPILER_ID}); configure with CC=clang CXX=clang++ "
+        "or drop the option")
+  endif()
+  set(SOC_THREAD_SAFETY_FLAGS -Wthread-safety -Werror=thread-safety)
+  message(STATUS "soccluster: Clang thread-safety analysis enforced")
+endif()
+
 # Applies the project-wide warning set and sanitizer instrumentation to one
 # target.  Every target created through the soc_add_* helpers gets this;
 # call it directly for targets declared with raw add_executable.
 function(soc_target_conventions target)
   target_compile_options(${target} PRIVATE -Wall -Wextra)
+  if(SOC_THREAD_SAFETY_FLAGS)
+    target_compile_options(${target} PRIVATE ${SOC_THREAD_SAFETY_FLAGS})
+  endif()
   if(SOC_SANITIZE_FLAGS)
     target_compile_options(${target} PRIVATE ${SOC_SANITIZE_FLAGS})
     target_link_options(${target} PRIVATE ${SOC_SANITIZE_FLAGS})

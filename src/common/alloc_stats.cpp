@@ -5,6 +5,8 @@
 namespace soc {
 
 namespace {
+// Process-wide counter fed by the optional operator-new hooks; a relaxed
+// atomic is the whole synchronization story.  SOC_SHARED(atomic)
 std::atomic<std::uint64_t> g_allocations{0};
 }  // namespace
 

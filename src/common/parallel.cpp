@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_safety.h"
 
 namespace soc {
 
@@ -29,9 +29,15 @@ void parallel_for(std::size_t count,
     return;
   }
 
+  // SOC_SHARED(atomic) — the work-stealing cursor every worker increments.
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+
+  // First exception thrown by any task, kept behind an annotated lock so
+  // the capture below is checkable under -Wthread-safety.
+  struct ErrorSlot {
+    Mutex mutex;  // SOC_SHARED(self)
+    std::exception_ptr first SOC_GUARDED_BY(mutex);
+  } error;
 
   auto worker = [&] {
     while (true) {
@@ -40,8 +46,8 @@ void parallel_for(std::size_t count,
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        const MutexLock lock(error.mutex);
+        if (!error.first) error.first = std::current_exception();
       }
     }
   };
@@ -50,7 +56,13 @@ void parallel_for(std::size_t count,
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  std::exception_ptr pending;
+  {
+    const MutexLock lock(error.mutex);
+    pending = error.first;
+  }
+  if (pending) std::rethrow_exception(pending);
 }
 
 }  // namespace soc

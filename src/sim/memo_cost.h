@@ -100,15 +100,19 @@ class MemoCostModel : public CostModel {
                        SimTime (CostModel::*method)(int) const) const;
 
   const CostModel& base_;
-  mutable flat_map<CpuKey, Slot, CpuKeyHash> cpu_;
-  mutable flat_map<GpuKey, Slot, GpuKeyHash> gpu_;
-  mutable flat_map<CopyKey, Slot, CopyKeyHash> copy_;
-  mutable flat_map<std::uint64_t, Slot> latency_;
-  mutable flat_map<TransferKey, Slot, TransferKeyHash> transfer_;
-  mutable std::vector<Slot> send_overhead_;  ///< Indexed by rank.
-  mutable std::vector<Slot> recv_overhead_;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
+  // The evaluation caches are mutable so the const CostModel interface
+  // can memoize through them.  A MemoCostModel instance belongs to
+  // exactly one run on one thread (cluster::run constructs its own);
+  // only the immutable base model is ever shared across sweep workers.
+  mutable flat_map<CpuKey, Slot, CpuKeyHash> cpu_;       // SOC_SHARED(single-thread)
+  mutable flat_map<GpuKey, Slot, GpuKeyHash> gpu_;       // SOC_SHARED(single-thread)
+  mutable flat_map<CopyKey, Slot, CopyKeyHash> copy_;    // SOC_SHARED(single-thread)
+  mutable flat_map<std::uint64_t, Slot> latency_;        // SOC_SHARED(single-thread)
+  mutable flat_map<TransferKey, Slot, TransferKeyHash> transfer_;  // SOC_SHARED(single-thread)
+  mutable std::vector<Slot> send_overhead_;  ///< Indexed by rank.  SOC_SHARED(single-thread)
+  mutable std::vector<Slot> recv_overhead_;  // SOC_SHARED(single-thread)
+  mutable std::uint64_t hits_ = 0;           // SOC_SHARED(single-thread)
+  mutable std::uint64_t misses_ = 0;         // SOC_SHARED(single-thread)
 };
 
 }  // namespace soc::sim

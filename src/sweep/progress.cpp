@@ -32,9 +32,11 @@ double ProgressMeter::elapsed_seconds() const {
 
 void ProgressMeter::tick(double simulated_seconds) {
   if (!enabled_) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++finished_;
-  simulated_seconds_ += simulated_seconds;
+  // Tick-order accumulation: the total only ever reaches the stderr
+  // progress line (progress.h), never simulation state or artifacts.
+  simulated_seconds_ += simulated_seconds;  // soclint: allow(shared-fp-accumulation)
   const double elapsed = elapsed_seconds();
   const double eta =
       finished_ > 0
@@ -48,7 +50,7 @@ void ProgressMeter::tick(double simulated_seconds) {
 
 void ProgressMeter::done() {
   if (!enabled_) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (!line_open_) return;
   std::fprintf(stderr,
                "\r[%s] %zu runs in %.1fs wall (%.1f simulated seconds)   \n",

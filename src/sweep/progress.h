@@ -9,8 +9,9 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <string>
+
+#include "common/thread_safety.h"
 
 namespace soc::sweep {
 
@@ -22,10 +23,10 @@ class ProgressMeter {
   /// Marks one run finished (thread-safe) and repaints the status line.
   /// `simulated_seconds` is the run's simulated makespan, echoed so the
   /// operator can see sim-time accumulate against wall time.
-  void tick(double simulated_seconds);
+  void tick(double simulated_seconds) SOC_EXCLUDES(mutex_);
 
   /// Terminates the status line with a final total (idempotent).
-  void done();
+  void done() SOC_EXCLUDES(mutex_);
 
  private:
   double elapsed_seconds() const;
@@ -33,10 +34,14 @@ class ProgressMeter {
   std::string label_;
   std::size_t total_;
   bool enabled_;
-  std::mutex mutex_;
-  std::size_t finished_ = 0;
-  double simulated_seconds_ = 0.0;
-  bool line_open_ = false;
+  /// Serializes ticks from sweep worker threads.  SOC_SHARED(self)
+  soc::Mutex mutex_;
+  std::size_t finished_ SOC_GUARDED_BY(mutex_) = 0;
+  /// Stderr feedback only: accumulation order follows tick order, so this
+  /// total may differ across thread counts — it must never reach an
+  /// artifact (sweep reports re-sum in input order instead).
+  double simulated_seconds_ SOC_GUARDED_BY(mutex_) = 0.0;
+  bool line_open_ SOC_GUARDED_BY(mutex_) = false;
   /// Wall-clock start in nanoseconds (host clock, see header comment).
   long long start_ns_ = 0;
 };

@@ -20,7 +20,8 @@ struct SweepRunner::CacheEntry {
   int ranks = 0;
   arch::WorkloadProfile profile;
 
-  std::once_flag once;
+  std::once_flag once;  // SOC_SHARED(once) — call_once publishes `model`
+  /// Written exactly once under `once`; read-only afterwards.
   std::optional<cluster::ClusterCostModel> model;
 
   bool matches(const cluster::RunRequest& request,
@@ -39,7 +40,7 @@ const cluster::ClusterCostModel& SweepRunner::cost_for(
   const arch::WorkloadProfile profile = workload.cpu_profile();
   CacheEntry* entry = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (CacheEntry& e : cache_) {
       if (e.matches(request, profile)) {
         entry = &e;
@@ -87,7 +88,10 @@ std::vector<cluster::RunResult> SweepRunner::run(
   progress.done();
 
   // Summary accumulation happens after the join, in input order, so the
-  // totals are independent of how the threads interleaved.
+  // totals are independent of how the threads interleaved.  The lock is
+  // uncontended here but keeps the analysis honest: summary_ is the same
+  // member the workers' cache hits incremented moments ago.
+  const MutexLock lock(mutex_);
   summary_.runs += requests.size();
   summary_.threads = std::max(
       summary_.threads, effective_threads(options_.threads, requests.size()));
@@ -116,6 +120,7 @@ std::vector<trace::ScenarioRuns> SweepRunner::replay_scenarios(
       options_.threads);
   progress.done();
 
+  const MutexLock lock(mutex_);
   summary_.replays += requests.size();
   summary_.threads = std::max(
       summary_.threads, effective_threads(options_.threads, requests.size()));
@@ -123,6 +128,11 @@ std::vector<trace::ScenarioRuns> SweepRunner::replay_scenarios(
     summary_.simulated_seconds += r.measured.seconds();
   }
   return results;
+}
+
+SweepSummary SweepRunner::summary() const {
+  const MutexLock lock(mutex_);
+  return summary_;
 }
 
 std::string sweep_report_json(const std::string& label,

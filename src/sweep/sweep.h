@@ -18,12 +18,12 @@
 
 #include <cstddef>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/thread_safety.h"
 #include "trace/replay.h"
 
 namespace soc::sweep {
@@ -70,8 +70,8 @@ class SweepRunner {
       const std::vector<cluster::RunRequest>& requests);
 
   /// Cumulative summary over every run()/replay_scenarios() call made
-  /// through this runner.
-  const SweepSummary& summary() const { return summary_; }
+  /// through this runner, copied under the runner's lock.
+  SweepSummary summary() const SOC_EXCLUDES(mutex_);
 
  private:
   struct CacheEntry;
@@ -79,12 +79,16 @@ class SweepRunner {
   /// Returns the memoized cost model for the request's (node, shape,
   /// profile) key, building it outside the cache lock on first use.
   const cluster::ClusterCostModel& cost_for(
-      const cluster::RunRequest& request, const workloads::Workload& workload);
+      const cluster::RunRequest& request, const workloads::Workload& workload)
+      SOC_EXCLUDES(mutex_);
 
   SweepOptions options_;
-  SweepSummary summary_;
-  std::mutex mutex_;  ///< Guards cache_ lookup/insert and hit counters.
-  std::list<CacheEntry> cache_;  ///< std::list: entry addresses are stable.
+  /// One lock guards the memo cache and the summary: worker threads hit
+  /// both from inside parallel_for.  SOC_SHARED(self)
+  mutable soc::Mutex mutex_;
+  SweepSummary summary_ SOC_GUARDED_BY(mutex_);
+  /// std::list: entry addresses are stable across insertions.
+  std::list<CacheEntry> cache_ SOC_GUARDED_BY(mutex_);
 };
 
 /// Renders a "soccluster-sweep-report/v1" JSON document summarizing one

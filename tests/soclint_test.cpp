@@ -1,0 +1,197 @@
+// soclint v2 whole-program analysis, driven as a library.
+//
+// The self-test inside the binary proves each rule in isolation; these
+// tests pin the properties CI leans on: cycle and transitive-layering
+// detection print the offending path, the soclint-report/v1 document is
+// byte-identical across repeated runs, and the baseline diff suppresses
+// exactly the keyed findings (line-number drift included).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "passes.h"
+#include "rules.h"
+
+namespace {
+
+using soclint::Diagnostic;
+using soclint::SourceFile;
+
+std::vector<SourceFile> make_files(
+    const std::vector<std::pair<std::string, std::string>>& fixtures) {
+  std::vector<SourceFile> files;
+  files.reserve(fixtures.size());
+  for (const auto& [path, text] : fixtures) {
+    files.push_back(soclint::make_source_file(path, text));
+  }
+  return files;
+}
+
+std::vector<Diagnostic> run_all(
+    const std::vector<std::pair<std::string, std::string>>& fixtures) {
+  std::vector<Diagnostic> diags;
+  soclint::run_passes(make_files(fixtures), diags);
+  return diags;
+}
+
+std::vector<Diagnostic> with_rule(const std::vector<Diagnostic>& diags,
+                                  const std::string& rule) {
+  std::vector<Diagnostic> out;
+  std::copy_if(diags.begin(), diags.end(), std::back_inserter(out),
+               [&](const Diagnostic& d) { return d.rule == rule; });
+  return out;
+}
+
+TEST(IncludeGraph, DetectsSyntheticCycle) {
+  const auto diags = run_all({
+      {"src/sim/a.h", "#pragma once\n#include \"sim/b.h\"\n"},
+      {"src/sim/b.h", "#pragma once\n#include \"sim/c.h\"\n"},
+      {"src/sim/c.h", "#pragma once\n#include \"sim/a.h\"\n"},
+  });
+  const auto cycles = with_rule(diags, "include-cycle");
+  ASSERT_EQ(cycles.size(), 1u);
+  // The message must print the full offending chain, back to the start.
+  EXPECT_NE(cycles[0].message.find("src/sim/a.h -> src/sim/b.h -> "
+                                   "src/sim/c.h -> src/sim/a.h"),
+            std::string::npos)
+      << cycles[0].message;
+}
+
+TEST(IncludeGraph, AcyclicDiamondIsClean) {
+  const auto diags = run_all({
+      {"src/sim/a.h",
+       "#pragma once\n#include \"sim/b.h\"\n#include \"sim/c.h\"\n"},
+      {"src/sim/b.h", "#pragma once\n#include \"sim/d.h\"\n"},
+      {"src/sim/c.h", "#pragma once\n#include \"sim/d.h\"\n"},
+      {"src/sim/d.h", "#pragma once\n"},
+  });
+  EXPECT_TRUE(with_rule(diags, "include-cycle").empty());
+  EXPECT_TRUE(with_rule(diags, "layering").empty());
+}
+
+TEST(IncludeGraph, TransitiveLayerViolationNamesThePath) {
+  // net may include sim, sim may only include common: the arch leak is
+  // direct at mid.h and transitive (with the chain printed) at top.h.
+  const auto diags = run_all({
+      {"src/net/top.h", "#pragma once\n#include \"sim/mid.h\"\n"},
+      {"src/sim/mid.h", "#pragma once\n#include \"arch/leaf.h\"\n"},
+      {"src/arch/leaf.h", "#pragma once\n"},
+  });
+  const auto layering = with_rule(diags, "layering");
+  ASSERT_EQ(layering.size(), 2u);
+  // Sorted by path: the transitive finding at top.h carries the chain.
+  EXPECT_EQ(layering[0].path, "src/net/top.h");
+  EXPECT_NE(layering[0].message.find(
+                "src/net/top.h -> src/sim/mid.h -> src/arch/leaf.h"),
+            std::string::npos)
+      << layering[0].message;
+  EXPECT_EQ(layering[1].path, "src/sim/mid.h");
+}
+
+TEST(IncludeGraph, ClosureMatchesDirectEdges) {
+  // Every registered module's closure contains its direct edges, and the
+  // closure relation is transitively consistent with itself.
+  for (const auto& [module, direct] : soclint::allowed_includes()) {
+    const auto& closure = soclint::module_closure(module);
+    for (const std::string& dep : direct) {
+      EXPECT_TRUE(closure.count(dep) != 0) << module << " -> " << dep;
+      for (const std::string& indirect : soclint::module_closure(dep)) {
+        EXPECT_TRUE(closure.count(indirect) != 0)
+            << module << " -> " << dep << " -> " << indirect;
+      }
+    }
+    // The DAG must actually be a DAG: no module reaches itself.
+    EXPECT_TRUE(closure.count(module) == 0) << module;
+  }
+}
+
+TEST(SharedState, FlagsAndAnnotations) {
+  const auto diags = run_all({
+      {"src/sim/bad.cpp",
+       "#include <mutex>\nstd::mutex g_lock;\n"
+       "std::atomic<int> g_hits{0};\n"},
+      {"src/sim/good.cpp",
+       "#include <mutex>\nstd::mutex g_lock;  // SOC_SHARED(self)\n"
+       "std::atomic<int> g_hits{0};  // SOC_SHARED(atomic)\n"},
+  });
+  const auto shared = with_rule(diags, "shared-mutable-state");
+  ASSERT_EQ(shared.size(), 2u);
+  EXPECT_EQ(shared[0].path, "src/sim/bad.cpp");
+  EXPECT_EQ(shared[1].path, "src/sim/bad.cpp");
+}
+
+TEST(Report, ByteIdenticalAcrossRepeatedRuns) {
+  const std::vector<std::pair<std::string, std::string>> fixtures = {
+      {"src/sim/x.cpp",
+       "std::mutex a;\nstd::mutex b;\nstd::mt19937 rng;\n"},
+      {"src/net/top.h", "#pragma once\n#include \"arch/leaf.h\"\n"},
+      {"src/arch/leaf.h", "#pragma once\n"},
+  };
+  const auto diags1 = run_all(fixtures);
+  const auto diags2 = run_all(fixtures);
+  ASSERT_FALSE(diags1.empty());
+
+  const std::string report1 =
+      soclint::report_json(diags1, fixtures.size(), /*baseline=*/{});
+  const std::string report2 =
+      soclint::report_json(diags2, fixtures.size(), /*baseline=*/{});
+  EXPECT_EQ(report1, report2);
+  EXPECT_NE(report1.find("\"schema\": \"soclint-report/v1\""),
+            std::string::npos);
+
+  // Same findings through the baseline writer: also byte-stable.
+  EXPECT_EQ(soclint::baseline_json(diags1), soclint::baseline_json(diags2));
+}
+
+TEST(Baseline, RoundTripSuppressesExactlyTheKeyedFindings) {
+  const std::vector<std::pair<std::string, std::string>> fixtures = {
+      {"src/sim/x.cpp", "std::mutex a;\nstd::mutex b;\n"},
+  };
+  const auto diags = run_all(fixtures);
+  ASSERT_EQ(diags.size(), 2u);
+
+  std::set<std::string> keys;
+  ASSERT_TRUE(soclint::parse_baseline(soclint::baseline_json(diags), keys));
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_EQ(soclint::new_violation_count(diags, keys), 0u);
+  EXPECT_EQ(soclint::new_violation_count(diags, {}), 2u);
+
+  // Keys are line-number free: shifting the declarations down two lines
+  // (an unrelated edit above them) must not invalidate the baseline.
+  const auto shifted = run_all({
+      {"src/sim/x.cpp", "\n\nstd::mutex a;\nstd::mutex b;\n"},
+  });
+  ASSERT_EQ(shifted.size(), 2u);
+  EXPECT_EQ(soclint::new_violation_count(shifted, keys), 0u);
+
+  // A genuinely new finding is not covered.
+  const auto grown = run_all({
+      {"src/sim/x.cpp", "std::mutex a;\nstd::mutex b;\nstd::mutex c;\n"},
+  });
+  ASSERT_EQ(grown.size(), 3u);
+  EXPECT_EQ(soclint::new_violation_count(grown, keys), 1u);
+
+  std::set<std::string> rejected;
+  EXPECT_FALSE(soclint::parse_baseline("{\"schema\": \"other\"}", rejected));
+}
+
+TEST(Determinism, RulesFireOncePerSite) {
+  const auto diags = run_all({
+      {"src/workloads/x.cpp",
+       "std::unordered_map<int, int> m;\n"
+       "void f() {\n"
+       "  for (const auto& kv : m) use(kv);\n"
+       "  std::mt19937 rng;\n"
+       "  const char* stamp = __DATE__;\n"
+       "}\n"},
+  });
+  EXPECT_EQ(with_rule(diags, "unordered-range-for").size(), 1u);
+  EXPECT_EQ(with_rule(diags, "unseeded-rng").size(), 1u);
+  EXPECT_EQ(with_rule(diags, "build-timestamp").size(), 1u);
+}
+
+}  // namespace

@@ -2,20 +2,40 @@
 # Format gate: clang-format --dry-run over every first-party C++ source.
 # Check-only — this script never rewrites a file; run
 #   clang-format -i $(git ls-files '*.h' '*.cpp')
-# yourself to apply.  Exits 0 clean, 1 on violations, and 77 (the ctest
-# skip code) when clang-format is not installed.
+# yourself to apply.
+#
+# Exit status: 0 clean, 1 on violations.  When clang-format is missing the
+# behavior depends on where we run: in CI (the CI environment variable is
+# set, as GitHub Actions always does) a missing formatter is a broken gate
+# and fails loudly with exit 1; on developer machines it exits 77 (the
+# ctest skip code) so a box without LLVM still runs the rest of the suite.
+# Set SOC_ALLOW_MISSING_CLANG_FORMAT=1 to force the quiet 77 skip anywhere
+# (e.g. a CI job that deliberately has no formatter).
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root" || exit 1
 
 if ! command -v clang-format >/dev/null 2>&1; then
+  if [ "${SOC_ALLOW_MISSING_CLANG_FORMAT:-}" = "1" ]; then
+    echo "check_format: clang-format not found; skipping (explicitly allowed)" >&2
+    exit 77
+  fi
+  if [ -n "${CI:-}" ]; then
+    echo "check_format: clang-format not found but CI is set -- the format" >&2
+    echo "check_format: gate must not silently skip in CI; install" >&2
+    echo "check_format: clang-format or set SOC_ALLOW_MISSING_CLANG_FORMAT=1" >&2
+    exit 1
+  fi
   echo "check_format: clang-format not found; skipping" >&2
   exit 77
 fi
 
+# tools/soclint/testdata holds deliberate lint fixtures; keep them out of
+# the format sweep too so fixture layout stays frozen.
 files=$(find src bench tests tools examples \
-        -name '*.h' -o -name '*.cpp' 2>/dev/null | sort)
+        \( -path 'tools/soclint/testdata' -prune \) -o \
+        \( -name '*.h' -o -name '*.cpp' \) -print 2>/dev/null | sort)
 if [ -z "$files" ]; then
   echo "check_format: no sources found" >&2
   exit 1

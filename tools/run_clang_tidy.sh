@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# clang-tidy sweep over the first-party sources, using the repo .clang-tidy
+# (bugprone-*, concurrency-*, performance-*) and the compile database from
+# an existing build tree.
+#
+#   tools/run_clang_tidy.sh [build-dir] [path-filter]
+#
+#   build-dir    defaults to build/ (must have been configured with
+#                CMAKE_EXPORT_COMPILE_COMMANDS=ON or a generator that
+#                emits compile_commands.json, e.g. Ninja)
+#   path-filter  optional substring: only .cpp files whose path contains
+#                it are checked, e.g. `src/sweep` or `src/prof`
+#
+# Exit status: 0 clean, 1 findings, 77 when clang-tidy or the compile
+# database is missing (the ctest skip convention, same as check_format.sh).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root" || exit 1
+
+build_dir="${1:-build}"
+filter="${2:-src/}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found; skipping" >&2
+  exit 77
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: no $build_dir/compile_commands.json; configure with" >&2
+  echo "  cmake -B $build_dir -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 77
+fi
+
+files=$(find src -name '*.cpp' | grep "$filter" | sort)
+if [ -z "$files" ]; then
+  echo "run_clang_tidy: no sources match '$filter'" >&2
+  exit 1
+fi
+
+status=0
+# shellcheck disable=SC2086
+clang-tidy -p "$build_dir" --quiet $files || status=1
+if [ "$status" -eq 0 ]; then
+  echo "run_clang_tidy: clean ($(echo "$files" | wc -l | tr -d ' ') files)"
+fi
+exit $status

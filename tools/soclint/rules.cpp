@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <map>
 #include <set>
 #include <sstream>
 
@@ -117,7 +116,11 @@ std::vector<std::string> split_lines(const std::string& text) {
   return lines;
 }
 
-/// Finds whole-identifier occurrences of `token` in `line`; returns columns.
+}  // namespace
+
+// Shared with the whole-program passes (passes.cpp).
+namespace detail {
+
 std::vector<std::size_t> find_token(const std::string& line,
                                     const std::string& token) {
   std::vector<std::size_t> cols;
@@ -139,6 +142,22 @@ bool line_is_preprocessor(const std::string& code_line) {
   }
   return false;
 }
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::find_token;
+using detail::line_is_preprocessor;
+using detail::trim;
 
 // ---------------------------------------------------------------------------
 // Rule: banned-nondeterminism
@@ -239,74 +258,6 @@ void rule_unordered(const SourceFile& file, std::vector<Diagnostic>& out) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule: layering
-// ---------------------------------------------------------------------------
-
-// Allowed #include edges between src/ modules; mirrors the dependency
-// comment in src/CMakeLists.txt and the DEPS lists of each module.  A
-// module may always include itself.
-const std::map<std::string, std::set<std::string>>& allowed_includes() {
-  static const std::map<std::string, std::set<std::string>> kAllowed = {
-      {"common", {}},
-      {"stats", {"common"}},
-      {"sim", {"common"}},
-      {"obs", {"common", "sim"}},
-      // prof (critical-path profiler) sits just above sim/obs; only
-      // cluster, sweep, bench, and tools may depend on it.
-      {"prof", {"common", "sim", "obs"}},
-      {"arch", {"common"}},
-      {"mem", {"common"}},
-      {"net", {"common", "sim"}},
-      {"gpu", {"common", "arch", "sim"}},
-      {"msg", {"common", "sim"}},
-      {"power", {"common", "sim"}},
-      {"trace", {"common", "sim"}},
-      {"core", {"common", "stats", "sim", "arch", "trace"}},
-      {"systems", {"common", "arch", "gpu", "mem", "net", "power"}},
-      {"workloads", {"common", "sim", "msg", "arch"}},
-      {"cluster",
-       {"common", "stats", "sim", "obs", "prof", "arch", "mem", "net", "gpu",
-        "msg", "power", "trace", "core", "systems", "workloads"}},
-      // sweep sits above cluster; only bench/ and tools/ sit above sweep,
-      // so no src/ module lists it as an allowed include.
-      {"sweep",
-       {"common", "stats", "sim", "obs", "prof", "arch", "net", "trace",
-        "systems", "workloads", "cluster"}},
-  };
-  return kAllowed;
-}
-
-void rule_layering(const SourceFile& file, std::vector<Diagnostic>& out) {
-  if (file.top_dir != "src" || file.module_name.empty()) return;
-  const auto it = allowed_includes().find(file.module_name);
-  if (it == allowed_includes().end()) return;  // unknown module: no edges known
-  for (std::size_t i = 0; i < file.code_lines.size(); ++i) {
-    const std::string& code = file.code_lines[i];
-    if (!line_is_preprocessor(code)) continue;
-    if (code.find("include") == std::string::npos) continue;
-    // The scrubber keeps string quotes; include paths live in raw lines.
-    const std::string& raw = file.raw_lines[i];
-    const auto open = raw.find('"');
-    if (open == std::string::npos) continue;
-    const auto close = raw.find('"', open + 1);
-    if (close == std::string::npos) continue;
-    const std::string target = raw.substr(open + 1, close - open - 1);
-    const auto slash = target.find('/');
-    if (slash == std::string::npos) continue;  // local header
-    const std::string target_module = target.substr(0, slash);
-    if (allowed_includes().count(target_module) == 0) continue;  // not src/
-    if (target_module == file.module_name) continue;
-    if (it->second.count(target_module) == 0) {
-      out.push_back(
-          {file.path, i + 1, "layering",
-           "src/" + file.module_name + " may not include \"" + target +
-               "\": dependency edges flow strictly upward (see "
-               "src/CMakeLists.txt); add the edge there first if intended"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
 // Rule: pragma-once
 // ---------------------------------------------------------------------------
 
@@ -334,14 +285,6 @@ std::string join(const std::vector<std::string>& lines) {
     text += lines[i];
   }
   return text;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
 }
 
 void rule_check_message(const SourceFile& file, std::vector<Diagnostic>& out) {
@@ -451,8 +394,6 @@ const std::vector<Rule>& all_rules() {
        "no std::unordered_{map,set} in "
        "src/{sim,obs,prof,msg,cluster,trace,sweep}",
        rule_unordered},
-      {"layering", "#include edges must follow the src/ module DAG",
-       rule_layering},
       {"pragma-once", "every header carries #pragma once", rule_pragma_once},
       {"soc-check-message", "every SOC_CHECK carries a non-empty message",
        rule_check_message},
@@ -565,45 +506,8 @@ int self_test() {
               "soc::flat_map<int, int> pending;\n",
               "unordered-in-sim-state", 0);
 
-  // layering.
-  t.lint_case("common including sim flagged", "src/common/units.h",
-              "#pragma once\n#include \"sim/engine.h\"\n", "layering", 1);
-  t.lint_case("sim including workloads flagged", "src/sim/engine.cpp",
-              "#include \"workloads/workload.h\"\n", "layering", 1);
-  t.lint_case("sim including common ok", "src/sim/engine.cpp",
-              "#include \"common/units.h\"\n", "layering", 0);
-  t.lint_case("cluster including workloads ok", "src/cluster/cluster.cpp",
-              "#include \"workloads/workload.h\"\n", "layering", 0);
-  t.lint_case("obs including cluster flagged", "src/obs/metrics.cpp",
-              "#include \"cluster/cluster.h\"\n", "layering", 1);
-  t.lint_case("obs including sim ok", "src/obs/observers.cpp",
-              "#include \"sim/engine.h\"\n", "layering", 0);
-  t.lint_case("cluster including obs ok", "src/cluster/report.cpp",
-              "#include \"obs/json.h\"\n", "layering", 0);
-  t.lint_case("system header ignored", "src/common/units.cpp",
-              "#include <vector>\n", "layering", 0);
-  t.lint_case("sweep including cluster ok", "src/sweep/sweep.cpp",
-              "#include \"cluster/cluster.h\"\n", "layering", 0);
-  t.lint_case("sweep including obs ok", "src/sweep/sweep.cpp",
-              "#include \"obs/json.h\"\n", "layering", 0);
-  t.lint_case("cluster including sweep flagged", "src/cluster/cluster.cpp",
-              "#include \"sweep/sweep.h\"\n", "layering", 1);
-  t.lint_case("obs including sweep flagged", "src/obs/metrics.cpp",
-              "#include \"sweep/sweep.h\"\n", "layering", 1);
-  t.lint_case("prof including obs ok", "src/prof/profiler.cpp",
-              "#include \"obs/observers.h\"\n", "layering", 0);
-  t.lint_case("prof including sim ok", "src/prof/whatif.cpp",
-              "#include \"sim/event_queue.h\"\n", "layering", 0);
-  t.lint_case("prof including cluster flagged", "src/prof/profile.cpp",
-              "#include \"cluster/cluster.h\"\n", "layering", 1);
-  t.lint_case("prof including trace flagged", "src/prof/whatif.cpp",
-              "#include \"trace/replay.h\"\n", "layering", 1);
-  t.lint_case("obs including prof flagged", "src/obs/metrics.cpp",
-              "#include \"prof/profile.h\"\n", "layering", 1);
-  t.lint_case("cluster including prof ok", "src/cluster/cluster.cpp",
-              "#include \"prof/profiler.h\"\n", "layering", 0);
-  t.lint_case("sweep including prof ok", "src/sweep/sweep.cpp",
-              "#include \"prof/profile.h\"\n", "layering", 0);
+  // Layering cases live in passes_self_test() now (passes.cpp), where
+  // the include-graph pass — which owns the rule — is exercised directly.
 
   // pragma-once.
   t.lint_case("header without pragma once flagged", "src/mem/dram.h",

@@ -13,12 +13,13 @@
 //                           src/cluster, src/trace, src/sweep): iteration
 //                           order is unspecified, so any walk over one can
 //                           reorder replays
-//   layering                #include edges must follow the module DAG from
-//                           src/CMakeLists.txt (common at the bottom,
-//                           cluster at the top); src/common may include no
-//                           other module, src/sim may not see workloads
 //   pragma-once             every header carries #pragma once
 //   soc-check-message       every SOC_CHECK has a non-empty message
+//
+// Layering moved from a per-line rule into the whole-program include-graph
+// pass (passes.h), which also rejects include cycles, checks transitive
+// reachability against the src/ module DAG, and runs the shared-mutable-
+// state and determinism passes.
 //
 // A finding can be waived for one line with a trailing
 // `// soclint: allow(<rule-id>)` comment.
@@ -76,5 +77,15 @@ void run_rules(const SourceFile& file, std::vector<Diagnostic>& out);
 /// Exercises every rule against embedded good/bad snippets.  Returns the
 /// number of failed expectations (0 = pass) and prints each failure.
 int self_test();
+
+namespace detail {
+/// Whole-identifier occurrences of `token` in `line`; returns columns.
+std::vector<std::size_t> find_token(const std::string& line,
+                                    const std::string& token);
+/// True when the line's first non-space character is '#'.
+bool line_is_preprocessor(const std::string& code_line);
+/// Strips leading/trailing whitespace.
+std::string trim(const std::string& s);
+}  // namespace detail
 
 }  // namespace soclint

@@ -1,21 +1,33 @@
-// soclint driver: walks the repository's C++ sources and applies the
-// determinism/layering rules in rules.cpp.
+// soclint driver: walks the repository's C++ sources, applies the
+// per-line rules (rules.cpp) and the whole-program passes (passes.cpp —
+// include graph, shared mutable state, determinism), and diffs the
+// combined findings against the checked-in baseline.
 //
-//   soclint --root <repo>     lint src/ bench/ tests/ tools/ examples/
-//   soclint --self-test       prove every rule on embedded snippets
-//   soclint --list-rules      print the rule catalog
+//   soclint --root <repo>             lint src/ bench/ tests/ tools/ examples/
+//   ... --baseline <file>             suppress keys listed in the baseline;
+//                                     exit 1 only on *new* findings
+//   ... --report <file>               also write a "soclint-report/v1" JSON
+//                                     document (byte-identical across runs)
+//   ... --write-baseline <file>       regenerate the baseline from this run
+//   soclint --self-test [--testdata <dir>]
+//                                     prove every rule and pass on embedded
+//                                     snippets (+ on-disk fixtures)
+//   soclint --list-rules              print the rule catalog
 //
-// Exit status: 0 clean, 1 findings, 2 usage/IO error.  Registered in
-// ctest (tier-1) as `soclint` and `soclint_selftest`.
+// Exit status: 0 clean (or all findings baselined), 1 new findings,
+// 2 usage/IO error.  Registered in ctest (tier-1) as `soclint` and
+// `soclint_selftest`; CI uploads the report as an artifact.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "passes.h"
 #include "rules.h"
 
 namespace {
@@ -26,6 +38,10 @@ namespace fs = std::filesystem;
 // under these, so generated sources are naturally excluded.
 constexpr const char* kScanDirs[] = {"src", "bench", "tests", "tools",
                                      "examples"};
+
+// The lint fixtures are violations on purpose; scanning them would make
+// the repo permanently dirty.
+constexpr const char* kTestdataPrefix = "tools/soclint/testdata/";
 
 bool has_extension(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -38,10 +54,10 @@ std::vector<std::string> collect_files(const fs::path& root) {
     const fs::path base = root / dir;
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (entry.is_regular_file() && has_extension(entry.path())) {
-        files.push_back(
-            fs::relative(entry.path(), root).generic_string());
-      }
+      if (!entry.is_regular_file() || !has_extension(entry.path())) continue;
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (rel.rfind(kTestdataPrefix, 0) == 0) continue;
+      files.push_back(std::move(rel));
     }
   }
   std::sort(files.begin(), files.end());
@@ -49,76 +65,179 @@ std::vector<std::string> collect_files(const fs::path& root) {
 }
 
 int list_rules() {
-  std::printf("soclint rules:\n");
+  std::printf("soclint per-line rules:\n");
   for (const soclint::Rule& rule : soclint::all_rules()) {
     std::printf("  %-24s %s\n", rule.id, rule.summary);
   }
+  std::printf("\nsoclint whole-program passes:\n");
+  for (const soclint::PassRule& rule : soclint::pass_rules()) {
+    std::printf("  %-24s %s\n", rule.id, rule.summary);
+  }
   std::printf(
-      "\nwaive one line with a trailing `// soclint: allow(<rule-id>)`\n");
+      "\nwaive one line with a trailing `// soclint: allow(<rule-id>)`;\n"
+      "justify shared state with `// SOC_SHARED(<guard>)` or a\n"
+      "SOC_GUARDED_BY annotation (src/common/thread_safety.h)\n");
   return 0;
 }
 
-int lint_tree(const fs::path& root) {
+bool write_text(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+struct Options {
+  fs::path root = ".";
+  fs::path baseline_path;        ///< Empty: no baseline filtering.
+  fs::path report_path;          ///< Empty: no report written.
+  fs::path write_baseline_path;  ///< Empty: no baseline regeneration.
+};
+
+int lint_tree(const Options& opt) {
   std::error_code ec;
-  if (!fs::exists(root, ec) || ec) {
+  if (!fs::exists(opt.root, ec) || ec) {
     std::fprintf(stderr, "soclint: root '%s' does not exist\n",
-                 root.string().c_str());
+                 opt.root.string().c_str());
     return 2;
   }
-  const std::vector<std::string> files = collect_files(root);
-  if (files.empty()) {
+  const std::vector<std::string> paths = collect_files(opt.root);
+  if (paths.empty()) {
     std::fprintf(stderr, "soclint: no sources found under '%s'\n",
-                 root.string().c_str());
+                 opt.root.string().c_str());
     return 2;
   }
 
-  std::vector<soclint::Diagnostic> diags;
-  for (const std::string& rel : files) {
-    std::ifstream in(root / rel, std::ios::binary);
+  std::vector<soclint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& rel : paths) {
+    std::ifstream in(opt.root / rel, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "soclint: cannot read %s\n", rel.c_str());
       return 2;
     }
     std::ostringstream text;
     text << in.rdbuf();
-    soclint::run_rules(soclint::make_source_file(rel, text.str()), diags);
+    files.push_back(soclint::make_source_file(rel, text.str()));
   }
 
-  for (const soclint::Diagnostic& d : diags) {
-    std::printf("%s:%zu: error: [%s] %s\n", d.path.c_str(), d.line,
-                d.rule.c_str(), d.message.c_str());
+  // Per-line rules, then the whole-program passes; one sorted list.
+  std::vector<soclint::Diagnostic> diags;
+  for (const soclint::SourceFile& file : files) {
+    soclint::run_rules(file, diags);
   }
-  if (!diags.empty()) {
-    std::printf("soclint: %zu finding(s) in %zu file(s) scanned\n",
-                diags.size(), files.size());
+  soclint::run_passes(files, diags);
+  std::sort(diags.begin(), diags.end(),
+            [](const soclint::Diagnostic& a, const soclint::Diagnostic& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+
+  std::set<std::string> baseline;
+  if (!opt.baseline_path.empty()) {
+    std::ifstream in(opt.baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "soclint: cannot read baseline %s\n",
+                   opt.baseline_path.string().c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!soclint::parse_baseline(text.str(), baseline)) {
+      std::fprintf(stderr,
+                   "soclint: %s is not a soclint-baseline/v1 document\n",
+                   opt.baseline_path.string().c_str());
+      return 2;
+    }
+  }
+
+  if (!opt.write_baseline_path.empty()) {
+    if (!write_text(opt.write_baseline_path, soclint::baseline_json(diags))) {
+      std::fprintf(stderr, "soclint: cannot write %s\n",
+                   opt.write_baseline_path.string().c_str());
+      return 2;
+    }
+    std::printf("soclint: wrote baseline (%zu keys) to %s\n", diags.size(),
+                opt.write_baseline_path.string().c_str());
+  }
+  if (!opt.report_path.empty()) {
+    if (!write_text(opt.report_path,
+                    soclint::report_json(diags, files.size(), baseline))) {
+      std::fprintf(stderr, "soclint: cannot write %s\n",
+                   opt.report_path.string().c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> keys = soclint::diagnostic_keys(diags);
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const bool baselined = baseline.count(keys[i]) != 0;
+    if (!baselined) ++fresh;
+    std::printf("%s:%zu: %s: [%s] %s\n", diags[i].path.c_str(),
+                diags[i].line, baselined ? "warning (baselined)" : "error",
+                diags[i].rule.c_str(), diags[i].message.c_str());
+  }
+  if (fresh != 0) {
+    std::printf("soclint: %zu new finding(s) (%zu baselined) in %zu file(s) "
+                "scanned\n",
+                fresh, diags.size() - fresh, files.size());
     return 1;
   }
-  std::printf("soclint: clean (%zu files scanned)\n", files.size());
+  if (!diags.empty()) {
+    std::printf("soclint: clean (%zu baselined finding(s), %zu files "
+                "scanned)\n",
+                diags.size(), files.size());
+  } else {
+    std::printf("soclint: clean (%zu files scanned)\n", files.size());
+  }
   return 0;
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: soclint [--root <dir>] | --self-test | --list-rules\n");
+  std::fprintf(
+      stderr,
+      "usage: soclint [--root <dir>] [--baseline <file>] [--report <file>]\n"
+      "               [--write-baseline <file>]\n"
+      "       soclint --self-test [--testdata <dir>]\n"
+      "       soclint --list-rules\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
+  Options opt;
+  bool self_test = false;
+  std::string testdata_dir;
   for (int i = 1; i < argc; ++i) {
+    const auto flag_value = [&](const char* name, auto& slot) {
+      if (std::strcmp(argv[i], name) != 0 || i + 1 >= argc) return false;
+      slot = argv[++i];
+      return true;
+    };
     if (std::strcmp(argv[i], "--self-test") == 0) {
-      return soclint::self_test() == 0 ? 0 : 1;
+      self_test = true;
+      continue;
     }
     if (std::strcmp(argv[i], "--list-rules") == 0) {
       return list_rules();
     }
-    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
-      root = argv[++i];
+    if (flag_value("--root", opt.root) ||
+        flag_value("--baseline", opt.baseline_path) ||
+        flag_value("--report", opt.report_path) ||
+        flag_value("--write-baseline", opt.write_baseline_path) ||
+        flag_value("--testdata", testdata_dir)) {
       continue;
     }
     return usage();
   }
-  return lint_tree(root);
+  if (self_test) {
+    const int failures =
+        soclint::self_test() + soclint::passes_self_test(testdata_dir);
+    return failures == 0 ? 0 : 1;
+  }
+  return lint_tree(opt);
 }

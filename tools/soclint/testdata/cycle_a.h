@@ -1,0 +1,7 @@
+// Fixture: one half of a two-file include cycle (linted as
+// src/sim/cycle_a.h).
+#pragma once
+
+#include "sim/cycle_b.h"
+
+inline int cycle_a() { return cycle_b() + 1; }

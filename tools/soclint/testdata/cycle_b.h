@@ -1,0 +1,6 @@
+// Fixture: the other half of the cycle (linted as src/sim/cycle_b.h).
+#pragma once
+
+#include "sim/cycle_a.h"
+
+inline int cycle_b() { return 0; }

@@ -1,0 +1,29 @@
+// Fixture: linted as src/workloads/determinism_bad.cpp.  One of each
+// determinism hazard: hash-order iteration, an unseeded engine, a build
+// timestamp, and FP accumulation into shared state (twice: the
+// atomic<double> declaration and the += into it).
+#include <atomic>
+#include <random>
+#include <unordered_map>
+
+namespace soc::workloads {
+namespace {
+
+std::atomic<double> g_total{0.0};  // SOC_SHARED(atomic)
+const char* kBuildStamp = __DATE__;
+
+}  // namespace
+
+int churn() {
+  std::unordered_map<int, int> counts;
+  std::mt19937 rng;
+  counts[static_cast<int>(rng())] = 1;
+  int sum = 0;
+  for (const auto& kv : counts) {
+    sum += kv.second;
+  }
+  g_total += sum;
+  return sum + (kBuildStamp != nullptr ? 1 : 0);
+}
+
+}  // namespace soc::workloads

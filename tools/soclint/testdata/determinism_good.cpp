@@ -1,0 +1,20 @@
+// Fixture: linted as src/workloads/determinism_good.cpp.  The clean
+// control: ordered containers, per-shard sums re-folded in input order.
+#include <map>
+#include <vector>
+
+namespace soc::workloads {
+
+int stable_sum(const std::map<int, int>& counts) {
+  int sum = 0;
+  for (const auto& [key, value] : counts) sum += value;
+  return sum;
+}
+
+double fold_in_order(const std::vector<double>& shard_sums) {
+  double total = 0.0;
+  for (double s : shard_sums) total += s;
+  return total;
+}
+
+}  // namespace soc::workloads

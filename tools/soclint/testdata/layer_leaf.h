@@ -1,0 +1,4 @@
+// Fixture: linted as src/arch/layer_leaf.h.  Innocent by itself.
+#pragma once
+
+inline int layer_leaf() { return 42; }

@@ -1,0 +1,8 @@
+// Fixture: linted as src/sim/layer_mid.h.  sim may only include common,
+// so this direct edge into src/arch is the layering violation that also
+// poisons every file above it.
+#pragma once
+
+#include "arch/layer_leaf.h"
+
+inline int layer_mid() { return layer_leaf(); }

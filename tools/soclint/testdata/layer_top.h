@@ -1,0 +1,8 @@
+// Fixture: linted as src/net/layer_top.h.  The direct edge net -> sim is
+// allowed, but layer_mid.h leaks src/arch in — a layer net may not see —
+// so the pass must report the transitive chain here.
+#pragma once
+
+#include "sim/layer_mid.h"
+
+inline int layer_top() { return layer_mid(); }

@@ -1,0 +1,22 @@
+// Fixture: linted as src/sim/shared_bad.cpp.  Three pieces of shared
+// mutable state, none justified — each must be flagged.
+#include <atomic>
+#include <mutex>
+
+namespace soc::sim {
+namespace {
+
+std::mutex g_lock;
+std::atomic<int> g_hits{0};
+static int g_calls = 0;
+
+}  // namespace
+
+void touch() {
+  g_lock.lock();
+  ++g_calls;
+  g_lock.unlock();
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace soc::sim

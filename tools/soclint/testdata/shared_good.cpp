@@ -1,0 +1,28 @@
+// Fixture: linted as src/sim/shared_good.cpp.  The same state as
+// shared_bad.cpp with every justification form the pass accepts:
+// same-line SOC_SHARED, line-above SOC_SHARED, and SOC_GUARDED_BY.
+#include <atomic>
+#include <mutex>
+
+namespace soc::sim {
+namespace {
+
+std::mutex g_lock;           // SOC_SHARED(self) — guards g_calls
+std::atomic<int> g_hits{0};  // SOC_SHARED(atomic)
+// SOC_SHARED(g_lock)
+static int g_calls = 0;
+
+}  // namespace
+
+struct Counter {
+  int pending SOC_GUARDED_BY(g_lock) = 0;
+};
+
+void touch() {
+  g_lock.lock();
+  ++g_calls;
+  g_lock.unlock();
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace soc::sim
