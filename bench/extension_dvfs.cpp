@@ -7,8 +7,8 @@
 //
 // Power model under scaling: dynamic power ∝ f·V² and V roughly tracks
 // f in the DVFS range, so active component power scales ~f^2.5 while
-// idle/NIC power is frequency-independent.
-#include <cmath>
+// idle/NIC power is frequency-independent.  The re-clocking recipe lives
+// in systems::with_dvfs so the frontier driver sweeps the same curve.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -22,15 +22,8 @@ int main(int argc, char** argv) {
   // deliberately misses the sweep runner's cost-model cache (configs
   // compare by value), plus one baseline (k=1.0) per workload up front.
   auto request_at = [](const char* name, double k) {
-    systems::NodeConfig node = systems::jetson_tx1(net::NicKind::kTenGigabit);
-    node.core.frequency_hz *= k;
-    node.gpu.frequency_hz *= k;
-    node.dram.cpu_bandwidth *= 0.4 + 0.6 * k;  // memory scales weakly
-    node.dram.gpu_bandwidth *= 0.4 + 0.6 * k;
-    node.gpu.memory_bandwidth *= 0.4 + 0.6 * k;
-    const double pscale = std::pow(k, 2.5);
-    node.power.cpu_core_active_w *= pscale;
-    node.power.gpu_active_w *= pscale;
+    const systems::NodeConfig node = systems::with_dvfs(
+        systems::jetson_tx1(net::NicKind::kTenGigabit), k);
 
     cluster::RunRequest request;
     request.workload = name;

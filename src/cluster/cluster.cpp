@@ -93,7 +93,8 @@ RunResult run(const RunRequest& request, const workloads::Workload& workload,
       request.metrics != nullptr || !request.report_path.empty();
   const bool want_profile = request.profile != nullptr ||
                             !request.profile_json_path.empty() ||
-                            !request.profile_folded_path.empty();
+                            !request.profile_folded_path.empty() ||
+                            request.run_trace != nullptr;
   sim::EngineObserver* observer = request.options.observer;
   {
     int attached = observer != nullptr ? 1 : 0;
@@ -123,6 +124,12 @@ RunResult run(const RunRequest& request, const workloads::Workload& workload,
   }
   if (want_profile) {
     prof::Profile profile = prof::analyze(profiler.trace());
+    // The run owns the power config, so the energy attribution rides on
+    // the profile (analyze() alone cannot compute it).
+    profile.energy = prof::attribute_energy(
+        profiler.trace(), request.config.node.power, request.config.node.cpu_cores);
+    profile.has_energy = true;
+    if (request.run_trace != nullptr) *request.run_trace = profiler.trace();
     if (!request.profile_json_path.empty()) {
       prof::write_text(request.profile_json_path, prof::profile_json(profile));
     }

@@ -33,6 +33,7 @@ class MetricsRegistry;
 
 namespace soc::prof {
 struct Profile;
+struct RunTrace;
 }  // namespace soc::prof
 
 namespace soc::cluster {
@@ -102,6 +103,10 @@ struct RunRequest {
   prof::Profile* profile = nullptr;
   std::string profile_json_path;
   std::string profile_folded_path;
+  /// Receives a copy of the reconstructed prof::RunTrace (implies
+  /// profiling like the sinks above); feed it to prof::retime() for
+  /// DVFS / power-cap what-ifs without re-running.
+  prof::RunTrace* run_trace = nullptr;
 };
 
 /// Validates a cluster shape; throws soc::Error on a bad one.  Shared by

@@ -28,6 +28,16 @@ std::string checksum_hex(std::uint64_t v) {
 
 namespace {
 
+void write_breakdown(obs::JsonWriter& w, const power::EnergyBreakdown& b) {
+  w.begin_object();
+  w.field("idle", b.idle);
+  w.field("cpu", b.cpu);
+  w.field("gpu", b.gpu);
+  w.field("nic", b.nic);
+  w.field("dram", b.dram);
+  w.end_object();
+}
+
 void write_energy(obs::JsonWriter& w, const power::EnergyReport& e) {
   w.begin_object();
   w.field("joules", e.joules);
@@ -35,13 +45,28 @@ void write_energy(obs::JsonWriter& w, const power::EnergyReport& e) {
   w.field("peak_watts", e.peak_watts);
   w.field("seconds", e.seconds);
   w.key("breakdown");
-  w.begin_object();
-  w.field("idle", e.breakdown.idle);
-  w.field("cpu", e.breakdown.cpu);
-  w.field("gpu", e.breakdown.gpu);
-  w.field("nic", e.breakdown.nic);
-  w.field("dram", e.breakdown.dram);
-  w.end_object();
+  write_breakdown(w, e.breakdown);
+  // The 1 Hz wall-socket trace, one object per second: total draw plus
+  // the per-component split (samples_parts is index-parallel with
+  // samples_w by construction).
+  w.newline();
+  w.key("samples_1hz");
+  w.begin_array();
+  for (std::size_t s = 0; s < e.samples_w.size(); ++s) {
+    w.newline();
+    w.begin_object();
+    w.field("watts", e.samples_w[s]);
+    const power::EnergyBreakdown p =
+        s < e.samples_parts.size() ? e.samples_parts[s]
+                                   : power::EnergyBreakdown{};
+    w.field("idle", p.idle);
+    w.field("cpu", p.cpu);
+    w.field("gpu", p.gpu);
+    w.field("nic", p.nic);
+    w.field("dram", p.dram);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -148,6 +173,65 @@ std::string report_json(const ClusterConfig& config,
   }
   w.end_object();
 
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
+
+core::EnergyRoofline energy_roofline_model(const systems::NodeConfig& node,
+                                           bool dp) {
+  core::EnergyRoofline model;
+  model.roofline.peak_flops =
+      dp ? node.gpu.peak_dp_flops() : node.gpu.peak_sp_flops();
+  model.roofline.memory_bandwidth = node.dram.gpu_bandwidth;
+  model.roofline.network_bandwidth = node.nic.effective_bandwidth;
+  model.power = node.power;
+  return model;
+}
+
+std::string energy_roofline_json(
+    const std::string& label, const std::vector<RunRequest>& requests,
+    const std::vector<RunResult>& results,
+    const std::vector<core::EnergyRooflineMeasurement>& measurements) {
+  SOC_CHECK(requests.size() == results.size() &&
+                requests.size() == measurements.size(),
+            "energy roofline: requests/results/measurements must be parallel");
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "soccluster-energy-roofline/v1");
+  w.field("label", std::string_view(label));
+  w.newline();
+  w.key("runs");
+  w.begin_array();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const RunRequest& req = requests[i];
+    const RunResult& res = results[i];
+    const core::EnergyRooflineMeasurement& m = measurements[i];
+    w.newline();
+    w.begin_object();
+    w.field("workload", std::string_view(m.roofline.benchmark));
+    w.field("node", std::string_view(req.config.node.name));
+    w.field("nodes", req.config.nodes);
+    w.field("ranks", req.config.ranks);
+    w.field("gpu_work_fraction", req.options.gpu_work_fraction);
+    w.field("seconds", res.seconds);
+    w.field("gflops", res.gflops);
+    w.field("joules", res.joules);
+    w.field("average_watts", res.average_watts);
+    w.field("event_checksum", checksum_hex(res.stats.event_checksum));
+    w.field("operational_intensity", m.roofline.operational_intensity);
+    w.field("network_intensity", m.roofline.network_intensity);
+    w.field("achieved_gflops_per_node", m.roofline.achieved_flops / 1e9);
+    w.field("attainable_gflops_per_node", m.roofline.attainable_flops / 1e9);
+    w.field("limit", core::limit_name(m.roofline.limiting_intensity));
+    w.field("sustained_watts_per_node", m.sustained_watts);
+    w.field("achieved_gflops_per_watt", m.achieved_gflops_per_watt);
+    w.field("attainable_gflops_per_watt", m.attainable_gflops_per_watt);
+    w.field("percent_of_ceiling", m.percent_of_ceiling);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   std::string out = w.str();
   out += '\n';
   return out;

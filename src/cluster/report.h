@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
+#include "core/extended_roofline.h"
 #include "obs/metrics.h"
 
 namespace soc::cluster {
@@ -38,5 +40,22 @@ void write_report(const std::string& path, const ClusterConfig& config,
                   const RunOptions& options, const std::string& workload,
                   const RunResult& result,
                   const obs::MetricsRegistry* metrics = nullptr);
+
+/// The energy-extended roofline model for one node configuration — the
+/// same peak/bandwidth choices socbench's roofline table uses (`dp`
+/// selects double-precision GPU peak) joined with the node's component
+/// power model.
+core::EnergyRoofline energy_roofline_model(const systems::NodeConfig& node,
+                                           bool dp);
+
+/// Renders a "soccluster-energy-roofline/v1" JSON document: one row per
+/// run placing it on the GFLOPS/W roofline (achieved vs power-derived
+/// ceiling at its measured OI/NI).  requests, results, and measurements
+/// are parallel vectors; the document is byte-identical across thread
+/// counts and build flavors.
+std::string energy_roofline_json(
+    const std::string& label, const std::vector<RunRequest>& requests,
+    const std::vector<RunResult>& results,
+    const std::vector<core::EnergyRooflineMeasurement>& measurements);
 
 }  // namespace soc::cluster

@@ -115,4 +115,31 @@ std::vector<int> parse_int_list(const std::string& csv) {
   return out;
 }
 
+std::vector<std::string> parse_string_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    SOC_CHECK(!item.empty(), "empty entry in list: '" + csv + "'");
+    out.push_back(item);
+  }
+  SOC_CHECK(!out.empty(), "empty string list");
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& csv) {
+  std::vector<double> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    try {
+      out.push_back(std::stod(item));
+    } catch (const std::exception&) {
+      throw Error("bad number in list: '" + item + "'");
+    }
+  }
+  SOC_CHECK(!out.empty(), "empty number list");
+  return out;
+}
+
 }  // namespace soc

@@ -52,4 +52,10 @@ class ArgParser {
 /// Splits "2,4,8,16" into integers; throws on malformed entries.
 std::vector<int> parse_int_list(const std::string& csv);
 
+/// Splits "0.6,0.8,1.0" into doubles; throws on malformed entries.
+std::vector<double> parse_double_list(const std::string& csv);
+
+/// Splits "hpl,jacobi" into strings; throws on empty entries.
+std::vector<std::string> parse_string_list(const std::string& csv);
+
 }  // namespace soc

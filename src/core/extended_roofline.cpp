@@ -73,6 +73,52 @@ RooflineMeasurement measure_roofline(const ExtendedRoofline& model,
   return m;
 }
 
+double EnergyRoofline::sustained_watts(double oi, double ni) const {
+  const double f = roofline.attainable(oi, ni);
+  // Only +, *, / and min: the expression is deterministic across builds.
+  const double gpu_util =
+      roofline.peak_flops > 0.0 ? std::min(f / roofline.peak_flops, 1.0) : 0.0;
+  // OI pins the DRAM rate at the operating point (bytes/s = f / OI) and
+  // NI the NIC rate; each feeds the same linear component model the
+  // meter integrates.
+  const double dram_gbps = f / oi / 1e9;
+  const double nic_util =
+      roofline.network_bandwidth > 0.0
+          ? std::min(f / ni / roofline.network_bandwidth, 1.0)
+          : 0.0;
+  return power.idle_w + power.host_overhead_w + power.cpu_core_active_w +
+         gpu_util * power.gpu_active_w + dram_gbps * power.dram_w_per_gbps +
+         power.nic_idle_w + nic_util * power.nic_active_w;
+}
+
+double EnergyRoofline::attainable_gflops_per_watt(double oi, double ni) const {
+  const double watts = sustained_watts(oi, ni);
+  if (watts <= 0.0) return 0.0;
+  return roofline.attainable(oi, ni) / 1e9 / watts;
+}
+
+EnergyRooflineMeasurement measure_energy_roofline(
+    const EnergyRoofline& model, const sim::RunStats& stats,
+    const power::EnergyReport& energy, int nodes,
+    const std::string& benchmark) {
+  EnergyRooflineMeasurement m;
+  m.roofline = measure_roofline(model.roofline, stats, nodes, benchmark);
+  // Per-node achieved rate over per-node average draw == the cluster's
+  // GFLOPS/W, the wall-socket number the paper reports.
+  const double node_watts = energy.average_watts / static_cast<double>(nodes);
+  m.achieved_gflops_per_watt =
+      node_watts > 0.0 ? m.roofline.achieved_flops / 1e9 / node_watts : 0.0;
+  m.sustained_watts = model.sustained_watts(m.roofline.operational_intensity,
+                                            m.roofline.network_intensity);
+  m.attainable_gflops_per_watt = model.attainable_gflops_per_watt(
+      m.roofline.operational_intensity, m.roofline.network_intensity);
+  m.percent_of_ceiling =
+      m.attainable_gflops_per_watt > 0.0
+          ? 100.0 * m.achieved_gflops_per_watt / m.attainable_gflops_per_watt
+          : 0.0;
+  return m;
+}
+
 std::vector<ExtendedRooflinePoint> sample_extended(
     const ExtendedRoofline& model, double ni, double oi_min, double oi_max,
     int points) {

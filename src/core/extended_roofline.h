@@ -12,11 +12,18 @@
 //
 // All quantities are per node: peak is one node's GPU capacity, mem_bw
 // the GPU's achievable DRAM bandwidth, net_bw the NIC's achievable rate.
+// The energy extension (EnergyRoofline below) re-derives the ceiling in
+// GFLOPS/W: at any (OI, NI) operating point the component power model
+// (power::NodePowerConfig) predicts the sustained node draw needed to run
+// at the attainable rate — GPU utilization, the DRAM and NIC rates the
+// intensities imply — and the energy ceiling is attainable / watts, the
+// perf-per-watt analogue of Eq. 3 (cf. arXiv 1809.09206, 2009.05257).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "power/power_model.h"
 #include "sim/stats.h"
 
 namespace soc::core {
@@ -63,6 +70,38 @@ struct RooflineMeasurement {
 RooflineMeasurement measure_roofline(const ExtendedRoofline& model,
                                      const sim::RunStats& stats, int nodes,
                                      const std::string& benchmark);
+
+/// Energy-extended roofline: the perf-per-watt ceiling at an (OI, NI)
+/// operating point, from the same component power model the meter uses.
+struct EnergyRoofline {
+  ExtendedRoofline roofline;
+  power::NodePowerConfig power;
+
+  /// Model watts one node sustains while running at attainable(oi, ni):
+  /// board idle + host overhead + one driving core + GPU at its implied
+  /// utilization + the DRAM and NIC rates the intensities pin down.
+  double sustained_watts(double oi, double ni) const;
+
+  /// The energy ceiling: attainable(oi, ni) / sustained_watts(oi, ni),
+  /// in GFLOPS/W per node.
+  double attainable_gflops_per_watt(double oi, double ni) const;
+};
+
+/// Measured perf-per-watt position of one run against the energy ceiling.
+struct EnergyRooflineMeasurement {
+  RooflineMeasurement roofline;
+  double achieved_gflops_per_watt = 0.0;    ///< Cluster GFLOPs over watts.
+  double attainable_gflops_per_watt = 0.0;  ///< Ceiling at (OI, NI).
+  double sustained_watts = 0.0;             ///< Model node draw at (OI, NI).
+  double percent_of_ceiling = 0.0;          ///< achieved / ceiling x 100.
+};
+
+/// Joins measure_roofline with the metered energy: where the run sits on
+/// the GFLOPS/W roofline.  `energy` must be the report for `stats`.
+EnergyRooflineMeasurement measure_energy_roofline(
+    const EnergyRoofline& model, const sim::RunStats& stats,
+    const power::EnergyReport& energy, int nodes,
+    const std::string& benchmark);
 
 /// Samples the OI ceiling sweep at a fixed NI (for the Fig 4 plots).
 struct ExtendedRooflinePoint {

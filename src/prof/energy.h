@@ -1,0 +1,109 @@
+// Critical-path profiler, stage 5: energy attribution and energy
+// what-ifs.
+//
+// attribute_energy() extends the single-pass decomposition to joules:
+// the run's binned power timeline (power::power_timeline, the same bins
+// measure_energy integrates) is re-integrated as prefix sums with the
+// identical floating-point operation sequence, so the attribution total
+// reproduces EnergyReport.joules bit-exactly.  Per-phase and per-rank
+// shares follow the repo's fixed-point artifact convention (integer
+// microjoules, like the ns/ppm critical-path document): phase shares are
+// telescoped differences of llround'ed prefix values and rank shares a
+// largest-remainder apportionment, so both partitions sum to
+// llround(joules * 1e6) with zero residual — exactly, in integer
+// arithmetic, not "up to rounding".
+//
+// retime() answers "what would this run have cost under a different DVFS
+// state or power cap?" from the recorded trace alone: durations re-time
+// through the what-if evaluator (whatif.h), active energy rescales along
+// the NodePowerConfig voltage-frequency curve, and power caps clamp the
+// measured timeline bin by bin, dilating the bins they clip.  The
+// baseline scenario (all knobs at their defaults) reproduces the
+// measured runtime and energy exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/power_model.h"
+#include "prof/profiler.h"
+#include "prof/whatif.h"
+
+namespace soc::prof {
+
+/// One phase's exact share of the run's energy, integer microjoules.
+struct PhaseEnergy {
+  int phase = 0;
+  SimTime end = 0;  ///< Phase boundary: running max of op completions.
+  std::int64_t uj = 0;       ///< Σ over phases == EnergyAttribution::total_uj.
+  std::int64_t idle_uj = 0;  ///< Per-component shares; each column sums
+  std::int64_t cpu_uj = 0;   ///< exactly to the matching *_uj total below.
+  std::int64_t gpu_uj = 0;
+  std::int64_t nic_uj = 0;
+  std::int64_t dram_uj = 0;
+};
+
+/// Zero-residual energy decomposition of one recorded run.
+struct EnergyAttribution {
+  /// Bit-equal to power::measure_energy(...).joules for the same run —
+  /// the prefix integration repeats the same FP operation sequence.
+  double joules = 0.0;
+  /// Bit-equal per component, same argument.
+  power::EnergyBreakdown breakdown;
+
+  /// llround(joules * 1e6): the fixed-point total both partitions below
+  /// sum to exactly.
+  std::int64_t total_uj = 0;
+  std::int64_t idle_uj = 0;
+  std::int64_t cpu_uj = 0;
+  std::int64_t gpu_uj = 0;
+  std::int64_t nic_uj = 0;
+  std::int64_t dram_uj = 0;
+
+  /// Ascending phase id; Σ uj == total_uj (telescoped, exact).
+  std::vector<PhaseEnergy> phases;
+  /// Per-rank model shares (shared idle/NIC draw split evenly, active
+  /// components by busy-time/traffic share), largest-remainder rounded:
+  /// Σ == total_uj exactly.
+  std::vector<std::int64_t> rank_uj;
+};
+
+/// Charges each phase and rank its CPU/GPU/NIC/DRAM/idle energy.  The
+/// node power config and core count must match the metered run's
+/// (cluster::run passes its own).
+EnergyAttribution attribute_energy(const RunTrace& trace,
+                                   const power::NodePowerConfig& node,
+                                   int cores_per_node);
+
+/// One re-timed scenario with its projected energy.
+struct Retimed {
+  SimTime makespan = 0;
+  double seconds = 0.0;
+  double joules = 0.0;
+  double average_watts = 0.0;
+  power::EnergyBreakdown breakdown;
+  std::size_t capped_bins = 0;  ///< Power-cap scenarios only.
+};
+
+/// Re-times the trace under the scenario and projects its energy.
+///
+/// - Baseline (default WhatIf): reproduces the measured makespan
+///   (asserted, like analyze()'s evaluator_exact) and the measured
+///   energy bit-exactly.
+/// - DVFS / re-timing scenarios: durations come from evaluate(); active
+///   CPU/GPU energy rescales by pf(f)/f (time dilation x power curve),
+///   DRAM energy by pf(f_mem) (traffic-metered, time-invariant), and the
+///   frequency-independent idle + NIC-idle draw follows the projected
+///   runtime.
+/// - Power cap (power_cap_w > 0): clamps the measured timeline via
+///   power::apply_power_cap; cannot be combined with the other knobs.
+Retimed retime(const RunTrace& trace, const WhatIf& scenario,
+               const power::NodePowerConfig& node, int cores_per_node);
+
+/// The deterministic "soccluster-energy-attribution/v1" JSON document:
+/// fixed-point microjoule totals, per-phase shares, and per-rank shares
+/// (the zero-residual partitions), plus the bit-exact double totals.
+std::string energy_json(const EnergyAttribution& energy);
+
+}  // namespace soc::prof

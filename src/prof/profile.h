@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "prof/critical_path.h"
+#include "prof/energy.h"
 #include "prof/profiler.h"
 #include "prof/whatif.h"
 
@@ -58,6 +59,11 @@ struct Profile {
   SimTime compute_max = 0;
 
   Factors factors;
+
+  /// Zero-residual joule attribution (set by cluster::run, which owns the
+  /// node power config; analyze() alone leaves has_energy false).
+  bool has_energy = false;
+  EnergyAttribution energy;
 };
 
 /// Rolls a reconstructed trace into a Profile (attribution + three what-if

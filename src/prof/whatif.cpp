@@ -41,6 +41,8 @@ class Evaluator {
     SOC_CHECK(scenario_.compute_scale.empty() ||
                   scenario_.compute_scale.size() == n,
               "what-if: compute_scale size mismatch");
+    SOC_CHECK(scenario_.dvfs_compute > 0.0 && scenario_.dvfs_dram > 0.0,
+              "what-if: DVFS frequency scales must be positive");
     // Message costs: latency is recorded per message; the wire share is
     // the rest of the transfer window.  Identical (nodes, bytes) keys
     // always carry identical costs (the cost model is deterministic).
@@ -130,6 +132,13 @@ class Evaluator {
     if (s == 1.0) return t;
     return static_cast<SimTime>(std::llround(static_cast<double>(t) * s));
   }
+  /// DVFS duration scaling: a lane clocked at relative frequency f takes
+  /// 1/f of its recorded service time.  f == 1.0 skips the multiply so
+  /// the baseline state reproduces recorded durations bit-exactly.
+  static SimTime dvfs_scaled(SimTime t, double freq) {
+    if (freq == 1.0) return t;
+    return static_cast<SimTime>(std::llround(static_cast<double>(t) / freq));
+  }
 
   void execute(int rank, SimTime now) {
     auto& st = states_[static_cast<std::size_t>(rank)];
@@ -171,7 +180,14 @@ class Evaluator {
   void start_lane(int rank, SimTime now, const OpExec& op) {
     auto& st = states_[static_cast<std::size_t>(rank)];
     const std::size_t node = static_cast<std::size_t>(op.node);
-    const SimTime dur = scaled(op.busy_end - op.busy_start, rank);
+    // cpu/gpu lanes follow the compute clocks; the copy engine follows
+    // the memory clock.
+    const double freq = (op.kind == sim::OpKind::kCpuCompute ||
+                         op.kind == sim::OpKind::kGpuKernel)
+                            ? scenario_.dvfs_compute
+                            : scenario_.dvfs_dram;
+    const SimTime dur =
+        dvfs_scaled(scaled(op.busy_end - op.busy_start, rank), freq);
     SimTime start = now;
     if (op.kind == sim::OpKind::kGpuKernel) {
       if (!scenario_.uncontended) {

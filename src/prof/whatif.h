@@ -31,6 +31,19 @@ struct WhatIf {
   /// Per-rank compute multiplier (empty = 1.0), applied exactly as the
   /// engine applies Scenario::compute_scale.
   std::vector<double> compute_scale;
+  /// DVFS state: relative frequency of the compute clocks (CPU + GPU).
+  /// Durations of cpu/gpu lane ops scale by 1/dvfs_compute; 1.0 is the
+  /// recorded state and is an exact identity (no rounding applied).
+  double dvfs_compute = 1.0;
+  /// Relative frequency of the memory clock: copy-lane ops scale by
+  /// 1/dvfs_dram.  1.0 is an exact identity.
+  double dvfs_dram = 1.0;
+  /// Whole-cluster power cap in watts (0 = off).  The cap is evaluated
+  /// on the measured power timeline by prof::retime() — bins over the
+  /// cap dilate, the makespan stretches — and cannot be combined with
+  /// the duration-changing knobs above (retime() throws).  evaluate()
+  /// ignores it.
+  double power_cap_w = 0.0;
 };
 
 /// Re-times the trace under the scenario; returns the projected makespan.

@@ -1,0 +1,71 @@
+// Perf-per-watt frontier sweep: CPU/GPU work split x DVFS operating
+// point x node count, evaluated through the shared SweepRunner and
+// reduced to each workload's Pareto frontier in (runtime, energy).
+//
+// The sweep answers the deployment question behind the paper's energy
+// argument: which operating points of the SoC cluster are *efficient* —
+// no other point finishes both faster and on fewer joules.  Points off
+// the frontier are dominated and never worth configuring.
+//
+// frontier_json renders the deterministic "soccluster-energy-frontier/v1"
+// document; like every sweep artifact it is byte-identical across thread
+// counts and build flavors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "net/network.h"
+
+namespace soc::sweep {
+
+/// Axes of the frontier sweep; enumeration is row-major with workloads
+/// outermost (workloads x nodes x gpu_fractions x dvfs).
+struct FrontierGrid {
+  std::vector<std::string> workloads;
+  std::vector<int> nodes = {16};
+  /// CPU/GPU work split (cluster::RunOptions::gpu_work_fraction).
+  std::vector<double> gpu_fractions = {1.0};
+  /// Relative frequency; each point re-clocks the node through
+  /// systems::with_dvfs (clocks, bandwidth law, VF power curve).
+  std::vector<double> dvfs = {1.0};
+  net::NicKind nic = net::NicKind::kTenGigabit;
+  /// Options every request starts from (gpu_work_fraction is overridden
+  /// by the axis above).
+  cluster::RunOptions base;
+
+  std::size_t size() const;
+  /// The flat RunRequest list, in the row-major axis order above.
+  std::vector<cluster::RunRequest> requests() const;
+};
+
+/// One evaluated operating point of the frontier sweep.
+struct FrontierPoint {
+  std::string workload;
+  int nodes = 0;
+  int ranks = 0;
+  double gpu_fraction = 1.0;
+  double dvfs = 1.0;
+  double seconds = 0.0;
+  double joules = 0.0;
+  double gflops = 0.0;
+  double average_watts = 0.0;
+  double mflops_per_watt = 0.0;
+  std::uint64_t event_checksum = 0;
+  /// Non-dominated within its workload: no other point has both lower-
+  /// or-equal runtime and lower-or-equal energy with one strictly lower.
+  bool pareto = false;
+};
+
+/// Joins the grid with its sweep results (parallel to grid.requests())
+/// and marks each workload's Pareto-optimal points.
+std::vector<FrontierPoint> perf_per_watt_frontier(
+    const FrontierGrid& grid, const std::vector<cluster::RunResult>& results);
+
+/// The deterministic "soccluster-energy-frontier/v1" JSON document.
+std::string frontier_json(const std::string& label, const FrontierGrid& grid,
+                          const std::vector<FrontierPoint>& points);
+
+}  // namespace soc::sweep

@@ -145,4 +145,21 @@ NodeConfig xeon_gtx980() {
   return n;
 }
 
+NodeConfig with_dvfs(NodeConfig node, double freq_scale) {
+  if (freq_scale == 1.0) return node;
+  node.core.frequency_hz *= freq_scale;
+  node.gpu.frequency_hz *= freq_scale;
+  // LPDDR bandwidth is only partially frequency-bound.
+  const double mem_scale = 0.4 + 0.6 * freq_scale;
+  node.dram.cpu_bandwidth *= mem_scale;
+  node.dram.gpu_bandwidth *= mem_scale;
+  node.gpu.memory_bandwidth *= mem_scale;
+  // Active power along the voltage-frequency curve (f * V^2 with V
+  // roughly linear in f over the usable range).
+  const double pscale = power::dvfs_power_factor(node.power, freq_scale);
+  node.power.cpu_core_active_w *= pscale;
+  node.power.gpu_active_w *= pscale;
+  return node;
+}
+
 }  // namespace soc::systems

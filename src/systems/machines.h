@@ -51,4 +51,12 @@ NodeConfig thunderx_server();
 /// Xeon E5-2620v3-class host carrying one MSI GTX 980 (Table VII).
 NodeConfig xeon_gtx980();
 
+/// The node re-clocked to relative frequency `freq_scale` (the DVFS
+/// operating point the extension bench sweeps): CPU and GPU clocks scale
+/// linearly, memory bandwidth follows the partially-frequency-bound
+/// 0.4 + 0.6 f law, and active CPU/GPU power follows the node's
+/// voltage-frequency curve (power::dvfs_power_factor).  freq_scale 1.0
+/// returns the node unchanged.
+NodeConfig with_dvfs(NodeConfig node, double freq_scale);
+
 }  // namespace soc::systems

@@ -6,12 +6,15 @@
 // repeated runs.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "core/efficiency.h"
 #include "prof/critical_path.h"
+#include "prof/energy.h"
 #include "prof/profile.h"
 #include "prof/profiler.h"
 #include "prof/whatif.h"
@@ -231,6 +234,8 @@ void check_parity(const std::string& workload, int nodes, int ranks) {
                     ranks};
   Profile profile;
   request.profile = &profile;
+  RunTrace trace;
+  request.run_trace = &trace;
   const auto result = cluster::run(request);
   const auto runs = cluster::replay_scenarios(request);
   const auto d = core::decompose(runs);
@@ -245,6 +250,47 @@ void check_parity(const std::string& workload, int nodes, int ranks) {
   // The what-if scenarios reproduce the DIMEMAS-style replays.
   EXPECT_EQ(profile.ideal_network, runs.ideal_network.makespan) << tag;
   EXPECT_EQ(profile.ideal_balance, runs.ideal_balance.makespan) << tag;
+
+  // Energy attribution: the prefix integration reproduces the meter
+  // bit-exactly, and both fixed-point partitions carry zero residual.
+  ASSERT_TRUE(profile.has_energy) << tag;
+  const EnergyAttribution& e = profile.energy;
+  EXPECT_EQ(e.joules, result.energy.joules) << tag;  // bit-exact
+  EXPECT_TRUE(e.breakdown == result.energy.breakdown) << tag;
+  EXPECT_EQ(e.total_uj, std::llround(e.joules * 1e6)) << tag;
+  std::int64_t uj = 0, idle = 0, cpu = 0, gpu = 0, nic = 0, dram = 0;
+  for (const PhaseEnergy& p : e.phases) {
+    EXPECT_GE(p.uj, 0) << tag;
+    uj += p.uj;
+    idle += p.idle_uj;
+    cpu += p.cpu_uj;
+    gpu += p.gpu_uj;
+    nic += p.nic_uj;
+    dram += p.dram_uj;
+  }
+  EXPECT_EQ(uj, e.total_uj) << tag;
+  EXPECT_EQ(idle, e.idle_uj) << tag;
+  EXPECT_EQ(cpu, e.cpu_uj) << tag;
+  EXPECT_EQ(gpu, e.gpu_uj) << tag;
+  EXPECT_EQ(nic, e.nic_uj) << tag;
+  EXPECT_EQ(dram, e.dram_uj) << tag;
+  ASSERT_EQ(e.rank_uj.size(), static_cast<std::size_t>(ranks)) << tag;
+  std::int64_t rank_sum = 0;
+  for (const std::int64_t r : e.rank_uj) {
+    EXPECT_GE(r, 0) << tag;
+    rank_sum += r;
+  }
+  EXPECT_EQ(rank_sum, e.total_uj) << tag;
+
+  // The baseline re-timing reproduces the measured runtime and energy
+  // exactly — the energy analogue of evaluator_exact.
+  const Retimed base = retime(trace, WhatIf{}, request.config.node.power,
+                              request.config.node.cpu_cores);
+  EXPECT_EQ(base.makespan, result.stats.makespan) << tag;
+  EXPECT_EQ(base.seconds, result.energy.seconds) << tag;
+  EXPECT_EQ(base.joules, result.energy.joules) << tag;
+  EXPECT_EQ(base.average_watts, result.energy.average_watts) << tag;
+  EXPECT_TRUE(base.breakdown == result.energy.breakdown) << tag;
 }
 
 TEST(SinglePassDecomposition, MatchesReplayOnFig5Configs) {
@@ -296,6 +342,7 @@ std::vector<std::string> sweep_artifacts(unsigned threads) {
   for (const Profile& profile : profiles) {
     rendered.push_back(profile_json(profile));
     rendered.push_back(folded_stacks(profile));
+    rendered.push_back(energy_json(profile.energy));
   }
   return rendered;
 }
@@ -312,6 +359,109 @@ TEST(ProfileArtifact, ByteIdenticalAcrossSweepThreadsAndRepeats) {
   // Sanity: the artifacts are non-trivial documents.
   EXPECT_NE(serial[0].find("soccluster-critical-path/v1"), std::string::npos);
   EXPECT_NE(serial[1].find("rank 0;phase"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Energy what-ifs: DVFS and power-cap re-timing from the recorded trace.
+// ---------------------------------------------------------------------------
+
+struct EnergyRun {
+  cluster::RunResult result;
+  RunTrace trace;
+  power::NodePowerConfig power;
+  int cores = 0;
+};
+
+EnergyRun energy_run(const std::string& workload, int nodes, int ranks) {
+  cluster::RunRequest request;
+  request.workload = workload;
+  request.config = {systems::jetson_tx1(net::NicKind::kTenGigabit), nodes,
+                    ranks};
+  EnergyRun r;
+  request.run_trace = &r.trace;
+  r.result = cluster::run(request);
+  r.power = request.config.node.power;
+  r.cores = request.config.node.cpu_cores;
+  return r;
+}
+
+TEST(EnergyWhatIf, DownclockStretchesRuntimeAndSavesActiveEnergy) {
+  const EnergyRun r = energy_run("jacobi", 4, 4);
+  const Retimed base = retime(r.trace, WhatIf{}, r.power, r.cores);
+  WhatIf slow;
+  slow.dvfs_compute = 0.8;
+  slow.dvfs_dram = 0.4 + 0.6 * 0.8;  // the with_dvfs bandwidth law
+  const Retimed d = retime(r.trace, slow, r.power, r.cores);
+  EXPECT_GT(d.makespan, base.makespan);
+  // pf(f)/f = f^1.5 < 1 below nominal: active compute energy drops...
+  EXPECT_LT(d.breakdown.cpu + d.breakdown.gpu,
+            base.breakdown.cpu + base.breakdown.gpu);
+  EXPECT_LE(d.breakdown.dram, base.breakdown.dram);
+  // ...while the longer runtime accrues more frequency-independent draw.
+  EXPECT_GT(d.breakdown.idle, base.breakdown.idle);
+  EXPECT_GE(d.breakdown.nic, base.breakdown.nic);
+}
+
+TEST(EnergyWhatIf, OverclockShortensRuntime) {
+  const EnergyRun r = energy_run("cg", 2, 4);
+  WhatIf fast;
+  fast.dvfs_compute = 1.2;
+  fast.dvfs_dram = 0.4 + 0.6 * 1.2;
+  const Retimed d = retime(r.trace, fast, r.power, r.cores);
+  EXPECT_LT(d.makespan, r.result.stats.makespan);
+  // Superlinear VF curve: faster costs more active compute energy.
+  EXPECT_GT(d.breakdown.cpu + d.breakdown.gpu,
+            r.result.energy.breakdown.cpu + r.result.energy.breakdown.gpu);
+}
+
+TEST(EnergyWhatIf, PowerCapRetimesWithoutRerunning) {
+  const EnergyRun r = energy_run("hpl", 2, 2);
+  const power::EnergyReport& measured = r.result.energy;
+
+  // A cap at the average draw must clip the above-average bins.
+  WhatIf cap;
+  cap.power_cap_w = measured.average_watts;
+  const Retimed capped = retime(r.trace, cap, r.power, r.cores);
+  EXPECT_GT(capped.capped_bins, 0u);
+  EXPECT_GT(capped.makespan, r.result.stats.makespan);
+  EXPECT_GE(capped.joules, measured.joules);
+  // Active compute energy is conserved under the cap dilation.
+  EXPECT_DOUBLE_EQ(capped.breakdown.cpu, measured.breakdown.cpu);
+  EXPECT_DOUBLE_EQ(capped.breakdown.gpu, measured.breakdown.gpu);
+  EXPECT_DOUBLE_EQ(capped.breakdown.dram, measured.breakdown.dram);
+
+  // A cap above peak is a bit-exact identity.
+  WhatIf loose;
+  loose.power_cap_w = measured.peak_watts + 5.0;
+  const Retimed same = retime(r.trace, loose, r.power, r.cores);
+  EXPECT_EQ(same.capped_bins, 0u);
+  EXPECT_EQ(same.makespan, r.result.stats.makespan);
+  EXPECT_EQ(same.joules, measured.joules);
+
+  // The cap dilates the measured timeline, so it cannot compose with
+  // knobs that change that timeline.
+  WhatIf both;
+  both.power_cap_w = 100.0;
+  both.dvfs_compute = 0.8;
+  EXPECT_THROW(retime(r.trace, both, r.power, r.cores), Error);
+}
+
+TEST(EnergyArtifact, SchemaAndFixedPointPartition) {
+  cluster::RunRequest request;
+  request.workload = "tealeaf2d";
+  request.config = {systems::jetson_tx1(net::NicKind::kTenGigabit), 2, 2};
+  Profile profile;
+  request.profile = &profile;
+  cluster::run(request);
+
+  ASSERT_TRUE(profile.has_energy);
+  const std::string doc = energy_json(profile.energy);
+  EXPECT_NE(doc.find("\"schema\":\"soccluster-energy-attribution/v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"total_uj\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"components_uj\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"rank_uj\":"), std::string::npos);
+  EXPECT_EQ(doc.back(), '\n');
 }
 
 TEST(ProfileArtifact, SchemaCarriesIntegerInvariants) {

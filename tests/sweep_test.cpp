@@ -13,6 +13,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "net/network.h"
+#include "sweep/frontier.h"
 #include "sweep/grid.h"
 #include "sweep/sweep.h"
 #include "systems/machines.h"
@@ -271,6 +272,87 @@ TEST(Registry, UnknownTagErrorNamesTheValidTags) {
     // The message teaches the valid spellings.
     for (const char* tag : {"hpl", "jacobi", "alexnet", "cg"}) {
       EXPECT_NE(what.find(tag), std::string::npos) << tag;
+    }
+  }
+}
+
+// --- Energy frontier ------------------------------------------------------
+
+sweep::FrontierGrid small_frontier() {
+  sweep::FrontierGrid grid;
+  grid.workloads = {"jacobi", "hpl"};
+  grid.nodes = {2, 4};
+  grid.gpu_fractions = {1.0};
+  grid.dvfs = {0.8, 1.0};
+  grid.base.size_scale = 0.05;
+  return grid;
+}
+
+TEST(Frontier, GridEnumeratesRowMajor) {
+  const sweep::FrontierGrid grid = small_frontier();
+  EXPECT_EQ(grid.size(), 8u);
+  const auto requests = grid.requests();
+  ASSERT_EQ(requests.size(), grid.size());
+  // Workloads outermost, dvfs innermost.
+  EXPECT_EQ(requests[0].workload, "jacobi");
+  EXPECT_EQ(requests[4].workload, "hpl");
+  EXPECT_EQ(requests[2].config.nodes, 4);
+  // The DVFS axis re-clocks the node config.
+  EXPECT_LT(requests[0].config.node.core.frequency_hz,
+            requests[1].config.node.core.frequency_hz);
+}
+
+TEST(Frontier, ArtifactByteIdenticalAcrossThreadCounts) {
+  const sweep::FrontierGrid grid = small_frontier();
+  const auto requests = grid.requests();
+  sweep::SweepRunner serial(sweep::SweepOptions{.threads = 1});
+  sweep::SweepRunner threaded(sweep::SweepOptions{.threads = 4});
+  const auto a = sweep::perf_per_watt_frontier(grid, serial.run(requests));
+  const auto b = sweep::perf_per_watt_frontier(grid, threaded.run(requests));
+  const std::string doc_a = sweep::frontier_json("t", grid, a);
+  EXPECT_EQ(doc_a, sweep::frontier_json("t", grid, b));
+  EXPECT_NE(doc_a.find("\"schema\":\"soccluster-energy-frontier/v1\""),
+            std::string::npos);
+}
+
+TEST(Frontier, ParetoMarkingIsPerWorkloadAndConsistent) {
+  const sweep::FrontierGrid grid = small_frontier();
+  sweep::SweepRunner runner(sweep::SweepOptions{.threads = 4});
+  const auto points =
+      sweep::perf_per_watt_frontier(grid, runner.run(grid.requests()));
+  ASSERT_EQ(points.size(), grid.size());
+  for (const std::string& workload : grid.workloads) {
+    std::vector<const sweep::FrontierPoint*> mine;
+    for (const auto& p : points) {
+      if (p.workload == workload) mine.push_back(&p);
+    }
+    ASSERT_FALSE(mine.empty());
+    // The lexicographic minima in (seconds, joules) and (joules, seconds)
+    // are always non-dominated.
+    const auto fastest =
+        *std::min_element(mine.begin(), mine.end(), [](auto* a, auto* b) {
+          return a->seconds != b->seconds ? a->seconds < b->seconds
+                                          : a->joules < b->joules;
+        });
+    const auto frugal =
+        *std::min_element(mine.begin(), mine.end(), [](auto* a, auto* b) {
+          return a->joules != b->joules ? a->joules < b->joules
+                                        : a->seconds < b->seconds;
+        });
+    EXPECT_TRUE(fastest->pareto) << workload;
+    EXPECT_TRUE(frugal->pareto) << workload;
+    // Every dominated point has a dominating witness on the frontier.
+    for (const auto* p : mine) {
+      if (p->pareto) continue;
+      bool witnessed = false;
+      for (const auto* q : mine) {
+        if (q->pareto && q->seconds <= p->seconds && q->joules <= p->joules &&
+            (q->seconds < p->seconds || q->joules < p->joules)) {
+          witnessed = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(witnessed) << workload;
     }
   }
 }

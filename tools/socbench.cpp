@@ -17,18 +17,32 @@
 //       threads (--sweep-threads or SOC_SWEEP_THREADS; 0 = all cores) —
 //       thread count never changes results, only wall-clock.
 //       --report-json writes a soccluster-sweep-report/v1 document with
-//       a per-run block and the sweep summary.
+//       a per-run block and the sweep summary; --energy-roofline writes
+//       the soccluster-energy-roofline/v1 artifact (achieved GFLOPS/W vs
+//       the power-derived ceiling at each run's measured OI/NI).
 //   socbench decompose --workload ft --nodes 16
 //       The paper's LB/Ser/Trf efficiency decomposition (Eq. 4).
 //   socbench explain --workload hpl --nodes 8 [--profile-json cp.json]
-//                    [--folded cp.folded]
+//                    [--folded cp.folded] [--energy] [--energy-json e.json]
+//                    [--dvfs 0.6,0.8] [--cap-watts 10]
 //       Single-pass critical-path profile: one instrumented run yields
 //       the bottleneck attribution (which lane/phase/rank the end-to-end
 //       time sits on), the LB/Ser/Trf factors, and what-if projections
 //       (ideal network / ideal balance / uncontended lanes) without
 //       re-running the engine.  --profile-json writes the deterministic
 //       soccluster-critical-path/v1 artifact, --folded a
-//       flamegraph-compatible folded-stacks file.
+//       flamegraph-compatible folded-stacks file.  --energy prints the
+//       zero-residual joule attribution (per phase / per rank / per
+//       component), --energy-json the soccluster-energy-attribution/v1
+//       artifact; --dvfs and --cap-watts re-time the recorded run under
+//       DVFS states and whole-cluster power caps without re-running.
+//   socbench frontier --workload jacobi --nodes 8,16
+//                     [--gpu-fractions 0.5,0.75,1.0] [--dvfs 0.6,0.8,1.0]
+//                     [--report-json f.json]
+//       Perf-per-watt frontier: sweeps the CPU/GPU work split x DVFS
+//       operating point x node count through the sweep runner and marks
+//       each workload's Pareto-optimal points in (runtime, energy).
+//       --report-json writes the soccluster-energy-frontier/v1 artifact.
 //   socbench trace --workload tealeaf3d --nodes 8 --out run.soctrace
 //       Record the generated per-rank programs to a trace file.
 //   socbench replay --trace run.soctrace --nodes 8 [--ideal-network]
@@ -62,8 +76,10 @@
 #include "obs/chrome_trace.h"
 #include "obs/observers.h"
 #include "prof/critical_path.h"
+#include "prof/energy.h"
 #include "prof/profile.h"
 #include "sim/memo_cost.h"
+#include "sweep/frontier.h"
 #include "sweep/grid.h"
 #include "sweep/sweep.h"
 #include "systems/machines.h"
@@ -334,6 +350,78 @@ int cmd_sweep(const ArgParser& args) {
     SOC_CHECK(f.good(), "failed writing sweep report: " + path);
     std::printf("\nwrote sweep report to %s\n", path.c_str());
   }
+
+  if (args.given("--energy-roofline")) {
+    // Place every run on the GFLOPS/W roofline: achieved efficiency vs
+    // the power-derived ceiling at its measured (OI, NI).
+    std::vector<core::EnergyRooflineMeasurement> measurements;
+    measurements.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const cluster::RunRequest& req = requests[i];
+      const bool dp =
+          req.workload != "alexnet" && req.workload != "googlenet";
+      const core::EnergyRoofline model =
+          cluster::energy_roofline_model(req.config.node, dp);
+      measurements.push_back(core::measure_energy_roofline(
+          model, results[i].stats, results[i].energy, req.config.nodes,
+          req.workload));
+    }
+    const std::string path = args.get("--energy-roofline");
+    std::ofstream f(path, std::ios::binary);
+    SOC_CHECK(f.good(), "cannot open energy roofline for writing: " + path);
+    const std::string doc = cluster::energy_roofline_json(
+        "socbench sweep", requests, results, measurements);
+    f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    SOC_CHECK(f.good(), "failed writing energy roofline: " + path);
+    std::printf("\nwrote energy roofline to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_frontier(const ArgParser& args) {
+  const std::string tag = args.get("--workload");
+  sweep::FrontierGrid grid;
+  grid.workloads = tag == "all" ? workloads::list() : parse_string_list(tag);
+  grid.nodes = parse_int_list(args.get("--nodes"));
+  grid.gpu_fractions = parse_double_list(args.get("--gpu-fractions"));
+  grid.dvfs = parse_double_list(args.get("--dvfs"));
+  grid.nic = parse_nic(args.get("--nic"));
+  grid.base = options_from(args);
+  const auto requests = grid.requests();
+
+  sweep::SweepOptions sweep_options;
+  sweep_options.label = "socbench frontier";
+  sweep_options.threads = sweep_threads(args);
+  sweep_options.progress = args.get_bool("--progress");
+  sweep::SweepRunner runner(sweep_options);
+  const auto results = runner.run(requests);
+  const auto points = sweep::perf_per_watt_frontier(grid, results);
+
+  TextTable table({"workload", "nodes", "gpu frac", "dvfs", "runtime (s)",
+                   "energy (kJ)", "MFLOPS/W", "pareto"});
+  std::size_t pareto = 0;
+  for (const sweep::FrontierPoint& p : points) {
+    if (p.pareto) ++pareto;
+    table.add_row({p.workload, std::to_string(p.nodes),
+                   TextTable::num(p.gpu_fraction, 2),
+                   TextTable::num(p.dvfs, 2), TextTable::num(p.seconds, 2),
+                   TextTable::num(p.joules / 1e3, 2),
+                   TextTable::num(p.mflops_per_watt, 0),
+                   p.pareto ? "*" : ""});
+  }
+  std::printf("perf-per-watt frontier (%zu points, %zu Pareto-optimal)\n\n%s",
+              points.size(), pareto, table.str().c_str());
+
+  if (args.given("--report-json")) {
+    const std::string path = args.get("--report-json");
+    std::ofstream f(path, std::ios::binary);
+    SOC_CHECK(f.good(), "cannot open frontier report for writing: " + path);
+    const std::string doc =
+        sweep::frontier_json("socbench frontier", grid, points);
+    f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    SOC_CHECK(f.good(), "failed writing frontier report: " + path);
+    std::printf("\nwrote frontier report to %s\n", path.c_str());
+  }
   return 0;
 }
 
@@ -379,6 +467,10 @@ int cmd_explain(const ArgParser& args) {
   if (args.given("--folded")) {
     request.profile_folded_path = args.get("--folded");
   }
+  // DVFS / power-cap what-ifs re-time the recorded trace, so keep it.
+  prof::RunTrace run_trace;
+  const bool want_retime = args.given("--dvfs") || args.given("--cap-watts");
+  if (want_retime) request.run_trace = &run_trace;
   const auto result = cluster::run(request);
 
   std::printf("%s on %d x %s (%s, %d ranks): critical path\n\n",
@@ -426,6 +518,71 @@ int cmd_explain(const ArgParser& args) {
   project("ideal network", profile.ideal_network);
   project("ideal load balance", profile.ideal_balance);
   project("uncontended lanes", profile.uncontended);
+
+  if (args.get_bool("--energy") || args.given("--energy-json")) {
+    SOC_CHECK(profile.has_energy, "profile carries no energy attribution");
+    const prof::EnergyAttribution& e = profile.energy;
+    std::printf("\nenergy attribution (%.1f J; zero-residual partition of "
+                "%lld uJ)\n",
+                e.joules, static_cast<long long>(e.total_uj));
+    TextTable et({"phase", "end (s)", "J", "idle", "cpu", "gpu", "nic",
+                  "dram"});
+    for (const prof::PhaseEnergy& p : e.phases) {
+      et.add_row({std::to_string(p.phase), TextTable::num(to_seconds(p.end), 3),
+                  TextTable::num(static_cast<double>(p.uj) / 1e6, 2),
+                  TextTable::num(static_cast<double>(p.idle_uj) / 1e6, 2),
+                  TextTable::num(static_cast<double>(p.cpu_uj) / 1e6, 2),
+                  TextTable::num(static_cast<double>(p.gpu_uj) / 1e6, 2),
+                  TextTable::num(static_cast<double>(p.nic_uj) / 1e6, 2),
+                  TextTable::num(static_cast<double>(p.dram_uj) / 1e6, 2)});
+    }
+    std::printf("\n%s", et.str().c_str());
+    std::printf("\nper-rank shares (largest-remainder, sums to total):\n ");
+    for (std::size_t r = 0; r < e.rank_uj.size(); ++r) {
+      std::printf(" r%zu=%.1fJ", r, static_cast<double>(e.rank_uj[r]) / 1e6);
+    }
+    std::printf("\n");
+    if (args.given("--energy-json")) {
+      prof::write_text(args.get("--energy-json"), prof::energy_json(e));
+      std::printf("wrote energy attribution to %s\n",
+                  args.get("--energy-json").c_str());
+    }
+  }
+
+  if (want_retime) {
+    std::printf("\nenergy what-ifs (re-timed from the trace, no re-run):\n");
+    const prof::Retimed base =
+        prof::retime(run_trace, prof::WhatIf{}, node.power, node.cpu_cores);
+    std::printf("  %-22s: %.3f s, %.1f J (reproduces measured run)\n",
+                "baseline", base.seconds, base.joules);
+    if (args.given("--dvfs")) {
+      for (const double f : parse_double_list(args.get("--dvfs"))) {
+        prof::WhatIf s;
+        s.dvfs_compute = f;
+        // Memory clock follows the same weakly-scaling law the DVFS
+        // bench applies to bandwidth (systems::with_dvfs).
+        s.dvfs_dram = 0.4 + 0.6 * f;
+        const prof::Retimed r =
+            prof::retime(run_trace, s, node.power, node.cpu_cores);
+        std::printf("  dvfs %.2f              : %.3f s (%.2fx), %.1f J "
+                    "(%.2fx), avg %.1f W\n",
+                    f, r.seconds, r.seconds / base.seconds, r.joules,
+                    r.joules / base.joules, r.average_watts);
+      }
+    }
+    if (args.given("--cap-watts")) {
+      for (const double cap : parse_double_list(args.get("--cap-watts"))) {
+        prof::WhatIf s;
+        s.power_cap_w = cap;
+        const prof::Retimed r =
+            prof::retime(run_trace, s, node.power, node.cpu_cores);
+        std::printf("  cap %-6.1f W          : %.3f s (+%.3f s), %.1f J, "
+                    "%zu bins clamped\n",
+                    cap, r.seconds, r.seconds - base.seconds, r.joules,
+                    r.capped_bins);
+      }
+    }
+  }
 
   if (!request.profile_json_path.empty()) {
     std::printf("wrote critical-path artifact to %s\n",
@@ -536,10 +693,15 @@ int usage(const ArgParser& args) {
       "             --report-json for observability artifacts;\n"
       "             --audit-determinism for a replay audit)\n"
       "  sweep      cluster-size sweep, one row per (size, NIC); shards\n"
-      "             across host threads (--sweep-threads)\n"
+      "             across host threads (--sweep-threads);\n"
+      "             --energy-roofline writes the GFLOPS/W artifact\n"
+      "  frontier   perf-per-watt Pareto frontier over gpu-fraction x DVFS\n"
+      "             x nodes (--gpu-fractions, --dvfs, --report-json)\n"
       "  decompose  LB/Ser/Trf efficiency decomposition (paper Eq. 4)\n"
       "  explain    single-pass critical-path attribution + LB/Ser/Trf +\n"
-      "             what-if projections (--profile-json, --folded)\n"
+      "             what-if projections (--profile-json, --folded);\n"
+      "             --energy for the joule attribution, --dvfs/--cap-watts\n"
+      "             for energy what-ifs re-timed from the trace\n"
       "  trace      record generated per-rank programs to a .soctrace file\n"
       "  replay     replay a recorded trace (what-if scenarios supported)\n"
       "  perf       engine-only replay throughput + BENCH_engine.json\n"
@@ -580,6 +742,22 @@ int main(int argc, char** argv) {
                 "explain: write the soccluster-critical-path/v1 artifact here");
   args.add_flag("--folded",
                 "explain: write flamegraph-compatible folded stacks here");
+  args.add_bool("--energy",
+                "explain: print the zero-residual joule attribution");
+  args.add_flag("--energy-json",
+                "explain: write the soccluster-energy-attribution/v1 "
+                "artifact here");
+  args.add_flag("--dvfs",
+                "explain/frontier: CSV of relative frequencies to re-time "
+                "under", "0.6,0.8,1.0");
+  args.add_flag("--cap-watts",
+                "explain: CSV of whole-cluster power caps to re-time under");
+  args.add_flag("--gpu-fractions",
+                "frontier: CSV of GPU work fractions to sweep",
+                "0.5,0.75,1.0");
+  args.add_flag("--energy-roofline",
+                "sweep: write the soccluster-energy-roofline/v1 artifact "
+                "here");
   args.add_bool("--quick", "perf: two-case smoke subset");
   args.add_flag("--reps", "perf: timed repetitions per case");
 
@@ -590,6 +768,7 @@ int main(int argc, char** argv) {
     if (command == "list") return cmd_list();
     if (command == "run") return cmd_run(args);
     if (command == "sweep") return cmd_sweep(args);
+    if (command == "frontier") return cmd_frontier(args);
     if (command == "decompose") return cmd_decompose(args);
     if (command == "explain") return cmd_explain(args);
     if (command == "trace") return cmd_trace(args);

@@ -723,9 +723,10 @@ const std::map<std::string, std::set<std::string>>& allowed_includes() {
       {"stats", {"common"}},
       {"sim", {"common"}},
       {"obs", {"common", "sim"}},
-      // prof (critical-path profiler) sits just above sim/obs; only
-      // cluster, sweep, bench, and tools may depend on it.
-      {"prof", {"common", "sim", "obs"}},
+      // prof (critical-path profiler) sits just above sim/obs/power —
+      // power for the energy attribution; only cluster, sweep, bench,
+      // and tools may depend on it.
+      {"prof", {"common", "sim", "obs", "power"}},
       {"arch", {"common"}},
       {"mem", {"common"}},
       {"net", {"common", "sim"}},
@@ -733,7 +734,9 @@ const std::map<std::string, std::set<std::string>>& allowed_includes() {
       {"msg", {"common", "sim"}},
       {"power", {"common", "sim"}},
       {"trace", {"common", "sim"}},
-      {"core", {"common", "stats", "sim", "arch", "trace"}},
+      // core -> power: the energy-extended roofline prices its ceilings
+      // with the same component power model the meter integrates.
+      {"core", {"common", "stats", "sim", "arch", "trace", "power"}},
       {"systems", {"common", "arch", "gpu", "mem", "net", "power"}},
       {"workloads", {"common", "sim", "msg", "arch"}},
       {"cluster",
