@@ -28,7 +28,7 @@ int main() {
 
   TextTable table({"workload", "machine", "cpi", "br-mpred", "l1d-miss",
                    "l2d-miss", "dramB/inst"});
-  for (const std::string& name : workloads::all_workload_names()) {
+  for (const std::string& name : workloads::list()) {
     const auto workload = workloads::make_workload(name);
     for (const Shape& s : shapes) {
       cluster::ClusterCostModel cost(s.node, s.nodes, s.ranks,

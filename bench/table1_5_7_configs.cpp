@@ -73,7 +73,7 @@ int main() {
       "xyz face exchanges",           // sp
   };
   int i = 0;
-  for (const std::string& name : workloads::all_workload_names()) {
+  for (const std::string& name : workloads::list()) {
     const auto w = workloads::make_workload(name);
     const Shape s = shape_of(*w);
     table.add_row({name, w->gpu_accelerated() ? "CPU+GPU" : "CPU (NPB C)",

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   TextTable table({"workload", "1GbE (s)", "10GbE (s)", "speedup",
                    "energy 1G (kJ)", "energy 10G (kJ)", "energy ratio"});
 
-  for (const std::string& name : workloads::all_workload_names()) {
+  for (const std::string& name : workloads::list()) {
     const auto workload = workloads::make_workload(name);
     // GPU workloads drive one rank per node; the DNNs use all four cores
     // as decode workers; NPB runs 2 ranks per node.

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     workload = workloads::make_workload(name);
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\nknown workloads:", e.what());
-    for (const std::string& n : workloads::all_workload_names()) {
+    for (const std::string& n : workloads::list()) {
       std::fprintf(stderr, " %s", n.c_str());
     }
     std::fprintf(stderr, "\n");

@@ -6,6 +6,7 @@
 #include "prof/profile.h"
 #include "prof/profiler.h"
 #include "sim/memo_cost.h"
+#include "workloads/op_stream.h"
 
 namespace soc::cluster {
 
@@ -69,8 +70,12 @@ const workloads::Workload& resolve_workload(
 RunResult run(const RunRequest& request, const workloads::Workload& workload,
               const ClusterCostModel& cost) {
   validate(request.config);
-  const auto programs =
-      workload.build(build_context(request.config, request.options));
+  // The engine pulls ops through the workload's stream (with any
+  // scenario decorators layered on top); Workload::build() survives as
+  // the compat shim underneath the default ProgramWalkStream adapter.
+  std::unique_ptr<workloads::OpStream> stream = workloads::apply_scenarios(
+      workload.stream(build_context(request.config, request.options)),
+      request.scenario, request.config.nodes);
   // The cluster model is memoizable (pure tables after construction), so
   // repeated op shapes hit a cache instead of re-deriving durations.
   // Subclasses that override costs rank-dependently opt out via
@@ -115,12 +120,13 @@ RunResult run(const RunRequest& request, const workloads::Workload& workload,
   }
   engine.set_observer(observer);
 
-  RunResult result = meter(engine.run(programs), request.config, cost);
+  RunResult result = meter(engine.run(*stream), request.config, cost);
   if (request.metrics != nullptr) *request.metrics = metrics_observer.registry();
   if (!request.report_path.empty()) {
     write_report(request.report_path, request.config, request.options,
                  workload.name(), result,
-                 want_metrics ? &metrics_observer.registry() : nullptr);
+                 want_metrics ? &metrics_observer.registry() : nullptr,
+                 &request.scenario);
   }
   if (want_profile) {
     prof::Profile profile = prof::analyze(profiler.trace());
@@ -155,11 +161,15 @@ trace::ScenarioRuns replay_scenarios(const RunRequest& request,
                                      const workloads::Workload& workload,
                                      const ClusterCostModel& cost) {
   validate(request.config);
-  const auto programs =
-      workload.build(build_context(request.config, request.options));
+  // The measured run streams (recording as it goes) and the two ideal
+  // replays re-time the recorded op sequence, so time-dependent
+  // decorators are sampled exactly once.
+  std::unique_ptr<workloads::OpStream> stream = workloads::apply_scenarios(
+      workload.stream(build_context(request.config, request.options)),
+      request.scenario, request.config.nodes);
   return trace::replay_scenarios(
       sim::Placement::block(request.config.ranks, request.config.nodes), cost,
-      programs, engine_config(request.config, request.options));
+      *stream, engine_config(request.config, request.options));
 }
 
 trace::ScenarioRuns replay_scenarios(const RunRequest& request) {

@@ -25,6 +25,7 @@
 #include "sim/engine.h"
 #include "systems/machines.h"
 #include "trace/replay.h"
+#include "workloads/scenario.h"
 #include "workloads/workload.h"
 
 namespace soc::obs {
@@ -82,6 +83,12 @@ struct RunRequest {
   const workloads::Workload* workload_ref = nullptr;
   ClusterConfig config;
   RunOptions options;
+
+  /// Fault-injection / noise / checkpoint decorators applied over the
+  /// workload's op stream (value-semantic; serialized into run reports
+  /// when enabled).  Empty by default: the run is then byte-identical to
+  /// the pre-scenario API.
+  workloads::ScenarioConfig scenario;
 
   /// Per-run observability sinks, both optional.  When either is set the
   /// run attaches its own obs::MetricsObserver (composed with

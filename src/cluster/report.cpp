@@ -103,11 +103,68 @@ void write_rank(obs::JsonWriter& w, const sim::RankStats& r) {
 
 }  // namespace
 
+void write_scenario(obs::JsonWriter& w, const workloads::ScenarioConfig& s) {
+  w.begin_object();
+  w.key("faults");
+  w.begin_array();
+  for (const workloads::FaultSpec& f : s.faults) {
+    w.newline();
+    w.begin_object();
+    w.field("kind", workloads::fault_kind_name(f.kind));
+    switch (f.kind) {
+      case workloads::FaultSpec::Kind::kNodeCrash:
+        w.field("node", f.node);
+        w.field("t_seconds", f.start_seconds);
+        w.field("downtime_seconds", f.downtime_seconds);
+        break;
+      case workloads::FaultSpec::Kind::kLinkFlap:
+        w.field("node", f.node);
+        w.field("t0_seconds", f.start_seconds);
+        w.field("t1_seconds", f.end_seconds);
+        break;
+      case workloads::FaultSpec::Kind::kStraggler:
+        w.field("rank", f.rank);
+        w.field("slowdown", f.slowdown);
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  if (s.noise.enabled()) {
+    w.newline();
+    w.key("noise");
+    w.begin_object();
+    w.field("seed", static_cast<std::int64_t>(s.noise.seed));
+    w.field("interval_seconds", s.noise.interval_seconds);
+    w.field("duration_seconds", s.noise.duration_seconds);
+    w.field("jitter", s.noise.jitter);
+    w.end_object();
+  }
+  if (s.checkpoint.enabled()) {
+    w.newline();
+    w.key("checkpoint");
+    w.begin_object();
+    w.field("size_bytes", s.checkpoint.size_bytes);
+    w.field("bandwidth", s.checkpoint.bandwidth);
+    w.field("mtti_seconds", s.checkpoint.mtti_seconds);
+    w.field("runtime_seconds", s.checkpoint.runtime_seconds);
+    const double write_seconds =
+        s.checkpoint.size_bytes / s.checkpoint.bandwidth;
+    w.field("write_seconds", write_seconds);
+    w.field("daly_interval_seconds",
+            workloads::daly_optimal_interval(write_seconds,
+                                             s.checkpoint.mtti_seconds));
+    w.end_object();
+  }
+  w.end_object();
+}
+
 std::string report_json(const ClusterConfig& config,
                         const RunOptions& options,
                         const std::string& workload,
                         const RunResult& result,
-                        const obs::MetricsRegistry* metrics) {
+                        const obs::MetricsRegistry* metrics,
+                        const workloads::ScenarioConfig* scenario) {
   obs::JsonWriter w;
   w.begin_object();
   w.field("schema", "soccluster-run-report/v1");
@@ -128,6 +185,14 @@ std::string report_json(const ClusterConfig& config,
   w.field("bisection_bandwidth", options.engine.bisection_bandwidth);
   w.end_object();
   w.newline();
+
+  // Only an enabled scenario is serialized: scenario-free reports stay
+  // byte-identical to the pre-scenario schema.
+  if (scenario != nullptr && scenario->enabled()) {
+    w.key("scenario");
+    write_scenario(w, *scenario);
+    w.newline();
+  }
 
   w.key("result");
   w.begin_object();
@@ -240,11 +305,12 @@ std::string energy_roofline_json(
 void write_report(const std::string& path, const ClusterConfig& config,
                   const RunOptions& options, const std::string& workload,
                   const RunResult& result,
-                  const obs::MetricsRegistry* metrics) {
+                  const obs::MetricsRegistry* metrics,
+                  const workloads::ScenarioConfig* scenario) {
   std::ofstream f(path, std::ios::binary);
   SOC_CHECK(f.good(), "cannot open report file for writing: " + path);
   const std::string doc =
-      report_json(config, options, workload, result, metrics);
+      report_json(config, options, workload, result, metrics, scenario);
   f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
   SOC_CHECK(f.good(), "failed writing report file: " + path);
 }

@@ -16,6 +16,10 @@
 #include "core/extended_roofline.h"
 #include "obs/metrics.h"
 
+namespace soc::obs {
+class JsonWriter;
+}  // namespace soc::obs
+
 namespace soc::cluster {
 
 /// Canonical spelling of a memory model in report documents; shared with
@@ -28,18 +32,28 @@ const char* mem_model_name(sim::MemModel mm);
 std::string checksum_hex(std::uint64_t v);
 
 /// Renders the report document (ends with a newline).  `metrics` may be
-/// nullptr when no MetricsObserver was attached.
+/// nullptr when no MetricsObserver was attached.  `scenario` may be
+/// nullptr or disabled; a "scenario" block is emitted only when it is
+/// enabled, so scenario-free reports stay byte-identical to the
+/// pre-scenario schema.
 std::string report_json(const ClusterConfig& config,
                         const RunOptions& options,
                         const std::string& workload,
                         const RunResult& result,
-                        const obs::MetricsRegistry* metrics = nullptr);
+                        const obs::MetricsRegistry* metrics = nullptr,
+                        const workloads::ScenarioConfig* scenario = nullptr);
 
 /// Writes report_json(...) to `path`; throws soc::Error on I/O failure.
 void write_report(const std::string& path, const ClusterConfig& config,
                   const RunOptions& options, const std::string& workload,
                   const RunResult& result,
-                  const obs::MetricsRegistry* metrics = nullptr);
+                  const obs::MetricsRegistry* metrics = nullptr,
+                  const workloads::ScenarioConfig* scenario = nullptr);
+
+/// Appends the "scenario" JSON block for an enabled scenario config.
+/// Shared by the run-report and sweep-report emitters so the two schemas
+/// render scenarios identically.
+void write_scenario(obs::JsonWriter& w, const workloads::ScenarioConfig& s);
 
 /// The energy-extended roofline model for one node configuration — the
 /// same peak/bandwidth choices socbench's roofline table uses (`dp`

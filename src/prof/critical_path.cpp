@@ -20,6 +20,7 @@ const char* category_name(Category category) {
     case Category::kBlockedSend: return "blocked-send";
     case Category::kBlockedRecv: return "blocked-recv";
     case Category::kBlockedWait: return "blocked-wait";
+    case Category::kInjected: return "injected";
     case Category::kIdle: return "idle";
     case Category::kCount: break;
   }
@@ -31,6 +32,7 @@ const char* category_lane(Category category) {
     case Category::kCompute:
     case Category::kSendOverhead:
     case Category::kRecvOverhead:
+    case Category::kInjected:
       return "cpu";
     case Category::kGpuWait:
     case Category::kGpuBusy:
@@ -90,6 +92,9 @@ void op_segments(const RunTrace& trace, const OpExec& op,
   switch (op.kind) {
     case sim::OpKind::kCpuCompute:
       emit(segments, b0, c, Category::kCompute, op.phase);
+      return;
+    case sim::OpKind::kDelay:
+      emit(segments, b0, c, Category::kInjected, op.phase);
       return;
     case sim::OpKind::kGpuKernel:
       emit(segments, b0, op.busy_start, Category::kGpuWait, op.phase);

@@ -38,6 +38,8 @@ enum class Category : std::uint8_t {
   kBlockedSend,   ///< Parked in a rendezvous send; no receiver yet.
   kBlockedRecv,   ///< Parked in a receive; nothing sent yet.
   kBlockedWait,   ///< Parked in kWaitAll on an unresolved request.
+  kInjected,      ///< Scenario-injected stall (fault downtime, OS noise,
+                  ///< checkpoint I/O) occupying the host.
   kIdle,          ///< Rank drained before the run's makespan.
   kCount,
 };

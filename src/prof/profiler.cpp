@@ -23,6 +23,7 @@ bool is_lane_op(sim::OpKind kind) {
     case sim::OpKind::kGpuKernel:
     case sim::OpKind::kCopyH2D:
     case sim::OpKind::kCopyD2H:
+    case sim::OpKind::kDelay:
       return true;
     default:
       return false;
@@ -31,7 +32,9 @@ bool is_lane_op(sim::OpKind kind) {
 
 sim::Lane lane_for(sim::OpKind kind) {
   switch (kind) {
-    case sim::OpKind::kCpuCompute: return sim::Lane::kCpu;
+    case sim::OpKind::kCpuCompute:
+    case sim::OpKind::kDelay:
+      return sim::Lane::kCpu;
     case sim::OpKind::kGpuKernel: return sim::Lane::kGpu;
     default: return sim::Lane::kCopy;
   }

@@ -155,6 +155,7 @@ class Evaluator {
       case sim::OpKind::kGpuKernel:
       case sim::OpKind::kCopyH2D:
       case sim::OpKind::kCopyD2H:
+      case sim::OpKind::kDelay:
         start_lane(rank, now, op);
         return;
       case sim::OpKind::kSend:
@@ -181,11 +182,16 @@ class Evaluator {
     auto& st = states_[static_cast<std::size_t>(rank)];
     const std::size_t node = static_cast<std::size_t>(op.node);
     // cpu/gpu lanes follow the compute clocks; the copy engine follows
-    // the memory clock.
-    const double freq = (op.kind == sim::OpKind::kCpuCompute ||
-                         op.kind == sim::OpKind::kGpuKernel)
-                            ? scenario_.dvfs_compute
-                            : scenario_.dvfs_dram;
+    // the memory clock.  Injected stalls (kDelay) are wall-clock: no
+    // frequency scales them and no engine contends for them.
+    double freq = 1.0;
+    if (op.kind == sim::OpKind::kCpuCompute ||
+        op.kind == sim::OpKind::kGpuKernel) {
+      freq = scenario_.dvfs_compute;
+    } else if (op.kind == sim::OpKind::kCopyH2D ||
+               op.kind == sim::OpKind::kCopyD2H) {
+      freq = scenario_.dvfs_dram;
+    }
     const SimTime dur =
         dvfs_scaled(scaled(op.busy_end - op.busy_start, rank), freq);
     SimTime start = now;
@@ -194,7 +200,8 @@ class Evaluator {
         start = std::max(now, gpu_free_[node]);
         gpu_free_[node] = start + dur;
       }
-    } else if (op.kind != sim::OpKind::kCpuCompute) {
+    } else if (op.kind == sim::OpKind::kCopyH2D ||
+               op.kind == sim::OpKind::kCopyD2H) {
       if (!scenario_.uncontended) {
         start = std::max(now, copy_free_[node]);
         copy_free_[node] = start + dur;

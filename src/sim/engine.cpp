@@ -103,10 +103,30 @@ void Engine::bin_value(std::vector<double>& lane, SimTime at, double value) {
   lane[bin] += value;
 }
 
+namespace {
+
+// Straggler injection: op.time_scale stretches the cost-model-derived
+// duration AFTER memo lookup, so memoized costs stay shared across
+// scaled and unscaled ranks.
+SimTime apply_time_scale(SimTime t, const Op& op) {
+  if (op.time_scale == 1.0) return t;
+  return static_cast<SimTime>(
+      std::llround(static_cast<double>(t) * op.time_scale));
+}
+
+}  // namespace
+
 RunStats Engine::run(const std::vector<Program>& programs) {
   SOC_CHECK(static_cast<int>(programs.size()) == placement_.ranks,
             "one program per rank required");
-  const std::size_t n = programs.size();
+  ProgramSource source(programs);
+  return run(source);
+}
+
+RunStats Engine::run(OpSource& source) {
+  SOC_CHECK(source.ranks() == placement_.ranks,
+            "one op stream per rank required");
+  const std::size_t n = static_cast<std::size_t>(placement_.ranks);
   states_.assign(n, RankState{});
   stats_ = RunStats{};
   stats_.timeline_bin_seconds = config_.timeline_bin_seconds;
@@ -145,17 +165,17 @@ RunStats Engine::run(const std::vector<Program>& programs) {
   while (!queue_.empty()) {
     const Event e = queue_.pop();
     SOC_CHECK(e.time <= horizon, "simulation exceeded max_sim_seconds");
-    execute_next(e.payload, e.time, programs);
+    execute_next(e.payload, e.time, source);
   }
 
-  // Every rank must have drained its program; otherwise communication
+  // Every rank must have drained its stream; otherwise communication
   // deadlocked (a send or recv never found its partner).
   for (std::size_t r = 0; r < n; ++r) {
     if (!states_[r].done) {
       std::ostringstream os;
       os << "deadlock: rank " << r << " stuck at op " << states_[r].pc;
-      if (states_[r].pc < programs[r].size()) {
-        const Op& op = programs[r][states_[r].pc];
+      if (states_[r].have_current) {
+        const Op& op = states_[r].current;
         os << " (kind=" << static_cast<int>(op.kind) << " peer=" << op.peer
            << " tag=" << op.tag << ")";
       }
@@ -224,16 +244,29 @@ void Engine::observe_pending() {
   }
 }
 
-void Engine::execute_next(int rank, SimTime now,
-                          const std::vector<Program>& programs) {
+void Engine::advance(int rank) {
+  auto& st = states_[static_cast<std::size_t>(rank)];
+  ++st.pc;
+  st.have_current = false;
+}
+
+void Engine::execute_next(int rank, SimTime now, OpSource& source) {
   auto& st = states_[static_cast<std::size_t>(rank)];
   st.blocked = false;
-  const Program& prog = programs[static_cast<std::size_t>(rank)];
 
   // Zero-cost ops (phase markers) are consumed inline; any op with real
-  // duration schedules a wake-up and returns.
-  while (st.pc < prog.size()) {
-    const Op& op = prog[st.pc];
+  // duration schedules a wake-up and returns.  A parked op (rendezvous,
+  // kWaitAll) stays buffered in st.current, so wake-ups re-dispatch it
+  // without pulling the source again.
+  for (;;) {
+    if (!st.have_current) {
+      if (st.exhausted || !source.next(rank, now, &st.current)) {
+        st.exhausted = true;
+        break;
+      }
+      st.have_current = true;
+    }
+    const Op& op = st.current;
     // Every dispatch — including re-dispatch of a parked op after a
     // wake-up — is one record of the determinism digest.  The dispatch
     // sequence is exactly the engine's total event order, so equal digests
@@ -243,7 +276,7 @@ void Engine::execute_next(int rank, SimTime now,
     switch (op.kind) {
       case OpKind::kPhase:
         st.phase = op.phase;
-        ++st.pc;
+        advance(rank);
         continue;
       case OpKind::kCpuCompute:
         start_compute(rank, now, op);
@@ -270,6 +303,14 @@ void Engine::execute_next(int rank, SimTime now,
       case OpKind::kWaitAll:
         start_wait_all(rank, now);
         return;
+      case OpKind::kDelay:
+        start_delay(rank, now, op);
+        return;
+      case OpKind::kEnd:
+        // End-of-stream is signalled by next() returning false;
+        // workloads::OpStream bridges the kEnd sentinel to that.
+        SOC_CHECK(false, "kEnd sentinel must not reach the engine");
+        return;
     }
   }
   st.done = true;
@@ -279,10 +320,10 @@ void Engine::execute_next(int rank, SimTime now,
 }
 
 void Engine::start_compute(int rank, SimTime now, const Op& op) {
-  auto& st = states_[static_cast<std::size_t>(rank)];
   auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
   const int node = placement_.node_of[static_cast<std::size_t>(rank)];
-  const SimTime dur = scaled(cost_.cpu_compute_time(rank, op), rank);
+  const SimTime dur =
+      scaled(apply_time_scale(cost_.cpu_compute_time(rank, op), op), rank);
 
   rs.cpu_busy += dur;
   rs.flops += op.flops;
@@ -296,18 +337,39 @@ void Engine::start_compute(int rank, SimTime now, const Op& op) {
   observe_span(Lane::kCpu, rank, node, static_cast<std::uint8_t>(op.kind),
                now, now + dur, 0, 0, op.dram_bytes);
 
-  ++st.pc;
+  advance(rank);
+  queue_.push(now + dur, rank);
+}
+
+void Engine::start_delay(int rank, SimTime now, const Op& op) {
+  auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
+  const int node = placement_.node_of[static_cast<std::size_t>(rank)];
+  // An injected stall occupies the host like compute (the core spins or
+  // the OS holds it), so it flows through cpu_busy, the per-phase
+  // compute ledger, and the node timeline — which is exactly what lets
+  // the LB/Ser/Trf decomposition and energy attribution explain the
+  // damage with zero residual.  compute_scale (what-if DVFS on replay)
+  // applies; op.time_scale does not: a fixed stall is wall-clock.
+  const SimTime dur = scaled(from_seconds(op.delay_seconds), rank);
+
+  rs.cpu_busy += dur;
+  add_phase_compute(rank, dur);
+  bin_busy(stats_.nodes[static_cast<std::size_t>(node)].cpu_busy, now, now + dur);
+  observe_span(Lane::kCpu, rank, node, static_cast<std::uint8_t>(op.kind),
+               now, now + dur, 0, 0, 0);
+
+  advance(rank);
   queue_.push(now + dur, rank);
 }
 
 void Engine::start_gpu(int rank, SimTime now, const Op& op) {
-  auto& st = states_[static_cast<std::size_t>(rank)];
   auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
   const int node = placement_.node_of[static_cast<std::size_t>(rank)];
   auto& gpu_free = gpu_free_[static_cast<std::size_t>(node)];
 
   const SimTime start = std::max(now, gpu_free);
-  const SimTime dur = scaled(cost_.gpu_kernel_time(rank, op), rank);
+  const SimTime dur =
+      scaled(apply_time_scale(cost_.gpu_kernel_time(rank, op), op), rank);
   gpu_free = start + dur;
 
   rs.gpu_queue_wait += start - now;
@@ -324,18 +386,18 @@ void Engine::start_gpu(int rank, SimTime now, const Op& op) {
   observe_span(Lane::kGpu, rank, node, static_cast<std::uint8_t>(op.kind),
                start, start + dur, start - now, 0, op.dram_bytes);
 
-  ++st.pc;
+  advance(rank);
   queue_.push(start + dur, rank);
 }
 
 void Engine::start_copy(int rank, SimTime now, const Op& op) {
-  auto& st = states_[static_cast<std::size_t>(rank)];
   auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
   const int node = placement_.node_of[static_cast<std::size_t>(rank)];
   auto& copy_free = copy_free_[static_cast<std::size_t>(node)];
 
   const SimTime start = std::max(now, copy_free);
-  const SimTime dur = scaled(cost_.copy_time(rank, op), rank);
+  const SimTime dur =
+      scaled(apply_time_scale(cost_.copy_time(rank, op), op), rank);
   copy_free = start + dur;
 
   rs.copy_busy += dur;
@@ -350,7 +412,7 @@ void Engine::start_copy(int rank, SimTime now, const Op& op) {
   observe_span(Lane::kCopy, rank, node, static_cast<std::uint8_t>(op.kind),
                start, start + dur, start - now, 0, op.bytes);
 
-  ++st.pc;
+  advance(rank);
   queue_.push(start + dur, rank);
 }
 
@@ -376,7 +438,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
       const SimTime complete =
           std::max(pr.ready, arrival) + cost_.recv_overhead(pr.rank);
       recv_rs.recv_blocked += complete - pr.ready;
-      ++states_[static_cast<std::size_t>(pr.rank)].pc;
+      advance(pr.rank);
       queue_.push(complete, pr.rank);
     } else if (posted != nullptr && !posted->empty()) {
       const int recv_rank = posted->front();
@@ -387,7 +449,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
       arrivals_[key].push_back(Arrival{arrival, op.bytes});
     }
 
-    ++st.pc;
+    advance(rank);
     queue_.push(now + overhead, rank);
     return;
   }
@@ -408,7 +470,7 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
     --pending_recv_depth_;
     const SimTime end = timed_transfer(rank, recv_rank, now, op.bytes, op.tag);
     stats_.ranks[static_cast<std::size_t>(rank)].send_blocked += end - now;
-    ++st.pc;
+    advance(rank);
     queue_.push(end, rank);
     resolve_request(recv_rank, end + cost_.recv_overhead(recv_rank));
     return;
@@ -433,7 +495,7 @@ void Engine::start_recv(int rank, SimTime now, const Op& op) {
     arrived->pop_front();
     const SimTime complete = std::max(now, a.time) + cost_.recv_overhead(rank);
     rs.recv_blocked += complete - now;
-    ++st.pc;
+    advance(rank);
     queue_.push(complete, rank);
     return;
   }
@@ -477,7 +539,7 @@ void Engine::start_isend(int rank, SimTime now, const Op& op) {
     const SimTime complete =
         std::max(pr.ready, arrival) + cost_.recv_overhead(pr.rank);
     recv_rs.recv_blocked += complete - pr.ready;
-    ++states_[static_cast<std::size_t>(pr.rank)].pc;
+    advance(pr.rank);
     queue_.push(complete, pr.rank);
   } else if (posted != nullptr && !posted->empty()) {
     const int recv_rank = posted->front();
@@ -488,7 +550,7 @@ void Engine::start_isend(int rank, SimTime now, const Op& op) {
     arrivals_[key].push_back(Arrival{arrival, op.bytes});
   }
 
-  ++st.pc;
+  advance(rank);
   queue_.push(now + overhead, rank);
 }
 
@@ -518,7 +580,7 @@ void Engine::start_irecv(int rank, SimTime now, const Op& op) {
                                          op.tag);
       auto& send_rs = stats_.ranks[static_cast<std::size_t>(ps.rank)];
       send_rs.send_blocked += end - ps.ready;
-      ++states_[static_cast<std::size_t>(ps.rank)].pc;
+      advance(ps.rank);
       queue_.push(end, ps.rank);
       st.requests_complete = std::max(st.requests_complete,
                                       end + cost_.recv_overhead(rank));
@@ -530,7 +592,7 @@ void Engine::start_irecv(int rank, SimTime now, const Op& op) {
     }
   }
 
-  ++st.pc;
+  advance(rank);
   queue_.push(now + cost_.recv_overhead(rank), rank);
 }
 
@@ -544,7 +606,7 @@ void Engine::start_wait_all(int rank, SimTime now) {
   const SimTime done = std::max(now, st.requests_complete);
   stats_.ranks[static_cast<std::size_t>(rank)].recv_blocked += done - now;
   st.requests_complete = 0;
-  ++st.pc;
+  advance(rank);
   queue_.push(done, rank);
 }
 
@@ -612,8 +674,8 @@ void Engine::complete_rendezvous(int send_rank, SimTime send_ready,
   send_rs.send_blocked += end - send_ready;
   recv_rs.recv_blocked += end - recv_ready;
 
-  ++states_[static_cast<std::size_t>(send_rank)].pc;
-  ++states_[static_cast<std::size_t>(recv_rank)].pc;
+  advance(send_rank);
+  advance(recv_rank);
   queue_.push(end, send_rank);
   queue_.push(end, recv_rank);
 }

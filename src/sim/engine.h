@@ -1,10 +1,11 @@
 // The replay engine.
 //
-// Executes one Program per rank against a CostModel, resolving resource
-// contention (per-node GPU, copy engine, NIC) and blocking message
-// semantics.  Event ordering is deterministic: ties break by event
-// insertion order, so a given (programs, cost model, scenario) triple
-// always yields the identical RunStats.
+// Pulls one op stream per rank from an OpSource (or replays pre-built
+// Programs through the ProgramSource adapter) against a CostModel,
+// resolving resource contention (per-node GPU, copy engine, NIC) and
+// blocking message semantics.  Event ordering is deterministic: ties
+// break by event insertion order, so a given (source, cost model,
+// scenario) triple always yields the identical RunStats.
 //
 // Scenario knobs implement the DIMEMAS-style what-if replays of the
 // paper's scalability methodology: `ideal_network` zeroes latency and
@@ -22,6 +23,7 @@
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
 #include "sim/op.h"
+#include "sim/op_stream.h"
 #include "sim/stats.h"
 
 namespace soc::sim {
@@ -150,8 +152,13 @@ class Engine {
   Engine(Placement placement, const CostModel& cost_model,
          EngineConfig config = {}, Scenario scenario = {});
 
-  /// Replays the programs to completion and returns the collected stats.
-  /// Throws soc::Error on deadlock (unmatched send/recv) or misuse.
+  /// Pulls every rank's op stream to completion and returns the
+  /// collected stats.  Throws soc::Error on deadlock (unmatched
+  /// send/recv) or misuse.  The source is single-use: the run consumes
+  /// it.
+  RunStats run(OpSource& source);
+
+  /// Replays pre-built programs (wraps them in a ProgramSource).
   RunStats run(const std::vector<Program>& programs);
 
   /// Attaches a (non-owning) observer over the committed event stream;
@@ -160,11 +167,18 @@ class Engine {
 
  private:
   struct RankState {
-    std::size_t pc = 0;        ///< Next op index.
+    std::size_t pc = 0;        ///< Index of the current op in pull order.
     SimTime ready = 0;         ///< Time the rank becomes runnable.
     int phase = 0;             ///< Current phase id.
     bool blocked = false;      ///< Parked on an unmatched message.
     bool done = false;
+    // -- Stream cursor: the op pulled from the source but not yet
+    //    finished.  A parked op (rendezvous, kWaitAll) stays buffered so
+    //    wake-ups re-dispatch it without re-pulling the source; advance()
+    //    clears the buffer together with bumping pc.
+    Op current{};
+    bool have_current = false;
+    bool exhausted = false;    ///< The source returned end-of-stream.
     // -- Non-blocking request window (between Isend/Irecv and WaitAll) --
     int unresolved_requests = 0;   ///< Requests with unknown completion.
     SimTime requests_complete = 0; ///< Max known request completion.
@@ -193,8 +207,14 @@ class Engine {
 
   static MsgKey msg_key(int src, int dst, int tag);
 
-  void execute_next(int rank, SimTime now, const std::vector<Program>& programs);
+  void execute_next(int rank, SimTime now, OpSource& source);
+  /// Finishes the rank's current op: bumps pc and drops the stream
+  /// buffer so the next execute_next pulls a fresh op.  Every site that
+  /// used to advance a rank's pc — including cross-rank wake paths —
+  /// must go through here, or the stream cursor desynchronizes.
+  void advance(int rank);
   void start_compute(int rank, SimTime now, const Op& op);
+  void start_delay(int rank, SimTime now, const Op& op);
   void start_gpu(int rank, SimTime now, const Op& op);
   void start_copy(int rank, SimTime now, const Op& op);
   void start_send(int rank, SimTime now, const Op& op);

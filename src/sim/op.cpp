@@ -14,6 +14,8 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kIrecv: return "irecv";
     case OpKind::kWaitAll: return "waitall";
     case OpKind::kPhase: return "phase";
+    case OpKind::kDelay: return "delay";
+    case OpKind::kEnd: return "end";
   }
   return "?";
 }
@@ -104,6 +106,20 @@ Op phase_op(int phase) {
   Op op;
   op.kind = OpKind::kPhase;
   op.phase = phase;
+  return op;
+}
+
+Op delay_op(double seconds, int phase) {
+  Op op;
+  op.kind = OpKind::kDelay;
+  op.delay_seconds = seconds;
+  op.phase = phase;
+  return op;
+}
+
+Op end_op() {
+  Op op;
+  op.kind = OpKind::kEnd;
   return op;
 }
 

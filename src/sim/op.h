@@ -26,11 +26,15 @@ enum class OpKind : std::uint8_t {
   kIrecv,       ///< Non-blocking receive; completes at kWaitAll.
   kWaitAll,     ///< Blocks until every outstanding Isend/Irecv completed.
   kPhase,       ///< Marks the start of iteration phase `phase` (zero cost).
+  kDelay,       ///< Fixed-duration host stall of `delay_seconds` (fault
+                ///< downtime, OS noise, checkpoint I/O — scenario streams).
+  kEnd,         ///< End-of-stream sentinel (workloads::OpStream::get_next);
+                ///< never dispatched by the engine.
 };
 
 /// Short stable identifier for an op kind ("cpu", "gpu", "h2d", "d2h",
-/// "send", "recv", "isend", "irecv", "waitall", "phase") — the soctrace
-/// verbs.  Observers and exporters key on these.
+/// "send", "recv", "isend", "irecv", "waitall", "phase", "delay", "end")
+/// — the soctrace verbs.  Observers and exporters key on these.
 const char* op_kind_name(OpKind kind);
 
 /// GPU memory-management model under which kernel/copy ops execute
@@ -58,6 +62,12 @@ struct Op {
   double parallelism = 1e15;  ///< GPU thread-count hint (occupancy model).
   Bytes dram_bytes = 0;       ///< Main-memory traffic generated.
   Bytes bytes = 0;            ///< Message / copy size.
+  /// Duration multiplier on the cost-model-derived service time of
+  /// compute/kernel/copy ops (straggler injection).  Applied by the
+  /// engine AFTER cost evaluation, so memoized costs stay shared.
+  double time_scale = 1.0;
+  /// kDelay only: the stall duration in seconds.
+  double delay_seconds = 0.0;
 };
 
 using Program = std::vector<Op>;
@@ -75,5 +85,8 @@ Op isend_op(int peer, Bytes bytes, int tag, int phase = 0);
 Op irecv_op(int peer, Bytes bytes, int tag, int phase = 0);
 Op wait_all_op(int phase = 0);
 Op phase_op(int phase);
+Op delay_op(double seconds, int phase = 0);
+/// The kEnd sentinel (workloads::OpStream end-of-stream marker).
+Op end_op();
 
 }  // namespace soc::sim

@@ -1,0 +1,35 @@
+#include "sim/op_stream.h"
+
+#include "common/error.h"
+
+namespace soc::sim {
+
+ProgramSource::ProgramSource(const std::vector<Program>& programs)
+    : programs_(&programs), cursor_(programs.size(), 0) {}
+
+int ProgramSource::ranks() const {
+  return static_cast<int>(programs_->size());
+}
+
+bool ProgramSource::next(int rank, SimTime /*now*/, Op* op) {
+  const std::size_t r = static_cast<std::size_t>(rank);
+  SOC_CHECK(r < cursor_.size(), "ProgramSource: rank out of range");
+  const Program& prog = (*programs_)[r];
+  if (cursor_[r] >= prog.size()) return false;
+  *op = prog[cursor_[r]++];
+  return true;
+}
+
+RecordingSource::RecordingSource(OpSource& inner)
+    : inner_(&inner),
+      programs_(static_cast<std::size_t>(inner.ranks())) {}
+
+int RecordingSource::ranks() const { return inner_->ranks(); }
+
+bool RecordingSource::next(int rank, SimTime now, Op* op) {
+  if (!inner_->next(rank, now, op)) return false;
+  programs_[static_cast<std::size_t>(rank)].push_back(*op);
+  return true;
+}
+
+}  // namespace soc::sim

@@ -75,6 +75,7 @@ std::vector<cluster::RunRequest> Grid::requests() const {
               request.workload = tag;
               request.config = {node_config, n, r};
               request.options = base;
+              request.scenario = scenario;
               if (!mem_models.empty()) {
                 request.options.mem_model = mem_models[imem];
               }

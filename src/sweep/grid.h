@@ -39,6 +39,10 @@ struct Grid {
   /// Options every request starts from before axis overrides apply.
   cluster::RunOptions base;
 
+  /// Scenario decorators (fault injection / noise / checkpoint) attached
+  /// to every enumerated request; empty = scenario-free runs.
+  workloads::ScenarioConfig scenario;
+
   /// Node config per NIC; defaults to systems::jetson_tx1 when unset.
   std::function<systems::NodeConfig(net::NicKind)> node;
 

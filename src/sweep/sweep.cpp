@@ -177,6 +177,12 @@ std::string sweep_report_json(const std::string& label,
     w.field("gpu_work_fraction", request.options.gpu_work_fraction);
     w.field("size_scale", request.options.size_scale);
     w.field("overlap_halos", request.options.overlap_halos);
+    if (request.scenario.enabled()) {
+      w.newline();
+      w.key("scenario");
+      cluster::write_scenario(w, request.scenario);
+      w.newline();
+    }
     w.field("seconds", result.seconds);
     w.field("gflops", result.gflops);
     w.field("mflops_per_watt", result.mflops_per_watt);

@@ -39,6 +39,8 @@ std::string export_programs(const std::vector<sim::Program>& programs) {
   for (std::size_t r = 0; r < programs.size(); ++r) {
     os << "rank " << r << "\n";
     for (const sim::Op& op : programs[r]) {
+      SOC_CHECK(op.time_scale == 1.0,
+                "soctrace v1 cannot carry Op::time_scale != 1");
       switch (op.kind) {
         case sim::OpKind::kCpuCompute:
           os << "cpu " << op.instructions << " " << op.flops << " "
@@ -78,6 +80,12 @@ std::string export_programs(const std::vector<sim::Program>& programs) {
           break;
         case sim::OpKind::kPhase:
           os << "phase " << op.phase << "\n";
+          break;
+        case sim::OpKind::kDelay:
+          os << "delay " << op.delay_seconds << " " << op.phase << "\n";
+          break;
+        case sim::OpKind::kEnd:
+          SOC_CHECK(false, "soctrace: kEnd sentinel in a program");
           break;
       }
     }
@@ -160,6 +168,9 @@ std::vector<sim::Program> import_programs(const std::string& text) {
     } else if (verb == "phase") {
       op.kind = sim::OpKind::kPhase;
       ok = static_cast<bool>(ls >> op.phase);
+    } else if (verb == "delay") {
+      op.kind = sim::OpKind::kDelay;
+      ok = static_cast<bool>(ls >> op.delay_seconds >> op.phase);
     } else {
       fail(line_no, "unknown op '" + verb + "'");
     }

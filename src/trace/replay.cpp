@@ -24,6 +24,29 @@ std::vector<double> ideal_balance_scales(const sim::RunStats& measured) {
   return scales;
 }
 
+namespace {
+
+// The two what-if replays over an already-measured op sequence.
+void replay_ideals(const sim::Placement& placement,
+                   const sim::CostModel& effective,
+                   const std::vector<sim::Program>& programs,
+                   const sim::EngineConfig& config, ScenarioRuns& runs) {
+  {
+    sim::Scenario scenario;
+    scenario.ideal_network = true;
+    sim::Engine engine(placement, effective, config, scenario);
+    runs.ideal_network = engine.run(programs);
+  }
+  {
+    sim::Scenario scenario;
+    scenario.compute_scale = ideal_balance_scales(runs.measured);
+    sim::Engine engine(placement, effective, config, scenario);
+    runs.ideal_balance = engine.run(programs);
+  }
+}
+
+}  // namespace
+
 ScenarioRuns replay_scenarios(const sim::Placement& placement,
                               const sim::CostModel& cost,
                               const std::vector<sim::Program>& programs,
@@ -41,18 +64,23 @@ ScenarioRuns replay_scenarios(const sim::Placement& placement,
     sim::Engine engine(placement, effective, config);
     runs.measured = engine.run(programs);
   }
+  replay_ideals(placement, effective, programs, config, runs);
+  return runs;
+}
+
+ScenarioRuns replay_scenarios(const sim::Placement& placement,
+                              const sim::CostModel& cost, sim::OpSource& source,
+                              const sim::EngineConfig& config) {
+  const sim::MemoCostModel memo(cost);
+  const sim::CostModel& effective =
+      cost.memoizable() ? static_cast<const sim::CostModel&>(memo) : cost;
+  ScenarioRuns runs;
+  sim::RecordingSource recording(source);
   {
-    sim::Scenario scenario;
-    scenario.ideal_network = true;
-    sim::Engine engine(placement, effective, config, scenario);
-    runs.ideal_network = engine.run(programs);
+    sim::Engine engine(placement, effective, config);
+    runs.measured = engine.run(recording);
   }
-  {
-    sim::Scenario scenario;
-    scenario.compute_scale = ideal_balance_scales(runs.measured);
-    sim::Engine engine(placement, effective, config, scenario);
-    runs.ideal_balance = engine.run(programs);
-  }
+  replay_ideals(placement, effective, recording.programs(), config, runs);
   return runs;
 }
 

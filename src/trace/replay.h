@@ -32,4 +32,14 @@ ScenarioRuns replay_scenarios(const sim::Placement& placement,
                               const std::vector<sim::Program>& programs,
                               const sim::EngineConfig& config = {});
 
+/// Stream form: the measured run pulls `source` through a recording tee,
+/// and the two ideals replay the recorded programs.  This preserves
+/// trace-replay semantics under time-dependent streams (fault/noise
+/// decorators): the what-ifs re-time exactly the op sequence the
+/// measured run committed, instead of re-sampling the decorators under
+/// a different schedule.
+ScenarioRuns replay_scenarios(const sim::Placement& placement,
+                              const sim::CostModel& cost, sim::OpSource& source,
+                              const sim::EngineConfig& config = {});
+
 }  // namespace soc::trace

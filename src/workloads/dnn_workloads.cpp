@@ -26,7 +26,7 @@ double DnnWorkload::flops_per_image() const {
 }
 
 std::vector<sim::Program> DnnWorkload::build(const BuildContext& ctx) const {
-  SOC_CHECK(ctx.ranks % ctx.nodes == 0, "ranks must divide over nodes");
+  validate(ctx);
   const int ranks = ctx.ranks;
   const auto layers = network_ == Network::kAlexNet
                           ? kernels::alexnet_layers()

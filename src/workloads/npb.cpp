@@ -28,8 +28,8 @@ arch::WorkloadProfile NpbWorkload::cpu_profile() const {
 }
 
 std::vector<sim::Program> NpbWorkload::build(const BuildContext& ctx) const {
+  validate(ctx);
   const int p = ctx.ranks;
-  SOC_CHECK(p >= 1, "no ranks");
   const bool pow2 = std::has_single_bit(static_cast<unsigned>(p));
   msg::ProgramSet ps(p);
 

@@ -134,6 +134,4 @@ std::unique_ptr<Workload> make_workload(const std::string& name) {
   return nullptr;
 }
 
-std::vector<std::string> all_workload_names() { return list(); }
-
 }  // namespace soc::workloads

@@ -83,9 +83,9 @@ double HplWorkload::total_flops() const {
 }
 
 std::vector<sim::Program> HplWorkload::build(const BuildContext& ctx) const {
+  validate(ctx);
   const int nodes = ctx.nodes;
   const int ranks = ctx.ranks;
-  SOC_CHECK(ranks % nodes == 0, "ranks must divide evenly over nodes");
   const int rpn = ranks / nodes;
   SOC_CHECK(rpn == 1 || rpn == 4,
             "hpl supports 1 rank/node (GPU) or 4 ranks/node (CPU/colocated)");
@@ -198,6 +198,7 @@ arch::WorkloadProfile JacobiWorkload::cpu_profile() const {
 
 std::vector<sim::Program> JacobiWorkload::build(
     const BuildContext& ctx) const {
+  validate(ctx);
   SOC_CHECK(ctx.ranks == ctx.nodes, "jacobi runs one rank per node");
   const int p = ctx.ranks;
   const auto g = static_cast<std::size_t>(
@@ -266,6 +267,7 @@ arch::WorkloadProfile CloverLeafWorkload::cpu_profile() const {
 
 std::vector<sim::Program> CloverLeafWorkload::build(
     const BuildContext& ctx) const {
+  validate(ctx);
   SOC_CHECK(ctx.ranks == ctx.nodes, "cloverleaf runs one rank per node");
   const int p = ctx.ranks;
   const auto g = static_cast<std::size_t>(
@@ -335,6 +337,7 @@ arch::WorkloadProfile TeaLeafWorkload::cpu_profile() const {
 
 std::vector<sim::Program> TeaLeafWorkload::build(
     const BuildContext& ctx) const {
+  validate(ctx);
   SOC_CHECK(ctx.ranks == ctx.nodes, "tealeaf runs one rank per node");
   const int p = ctx.ranks;
   const double scale = dims_ == 2 ? std::sqrt(ctx.size_scale)

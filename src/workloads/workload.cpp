@@ -1,0 +1,22 @@
+#include "workloads/workload.h"
+
+#include "common/error.h"
+#include "workloads/op_stream.h"
+
+namespace soc::workloads {
+
+void validate(const BuildContext& ctx) {
+  SOC_CHECK(ctx.ranks > 0, "BuildContext.ranks must be > 0");
+  SOC_CHECK(ctx.nodes > 0, "BuildContext.nodes must be > 0");
+  SOC_CHECK(ctx.ranks % ctx.nodes == 0,
+            "BuildContext.ranks must be a multiple of BuildContext.nodes");
+  SOC_CHECK(ctx.gpu_work_fraction >= 0.0 && ctx.gpu_work_fraction <= 1.0,
+            "BuildContext.gpu_work_fraction must be within [0, 1]");
+  SOC_CHECK(ctx.size_scale > 0.0, "BuildContext.size_scale must be > 0");
+}
+
+std::unique_ptr<OpStream> Workload::stream(const BuildContext& ctx) const {
+  return std::make_unique<ProgramWalkStream>(*this, ctx);
+}
+
+}  // namespace soc::workloads

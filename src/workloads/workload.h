@@ -17,6 +17,8 @@
 
 namespace soc::workloads {
 
+class OpStream;
+
 /// Parameters threaded into program generation.
 struct BuildContext {
   int ranks = 1;
@@ -35,6 +37,10 @@ struct BuildContext {
   bool overlap_halos = false;
 };
 
+/// Rejects malformed build parameters with a SOC_CHECK naming the
+/// offending field.  Every generator calls this before lowering.
+void validate(const BuildContext& ctx);
+
 class Workload {
  public:
   virtual ~Workload() = default;
@@ -46,8 +52,16 @@ class Workload {
   /// generated CPU ops reference).
   virtual arch::WorkloadProfile cpu_profile() const = 0;
 
-  /// Generates one program per rank.
+  /// Generates one program per rank.  Compatibility shim: the engine
+  /// consumes streams (see stream()); build() remains for callers that
+  /// need whole programs up front (trace export, calibration probes).
   virtual std::vector<sim::Program> build(const BuildContext& ctx) const = 0;
+
+  /// The pull-based form every runner consumes.  The default adapter
+  /// walks build()'s programs lazily (generation is deferred until the
+  /// first pull), and produces the byte-identical committed event stream
+  /// and event_checksum as replaying build()'s output directly.
+  virtual std::unique_ptr<OpStream> stream(const BuildContext& ctx) const;
 };
 
 /// All GPGPU-accelerated workloads of Table I, in paper order:
@@ -65,8 +79,5 @@ const std::vector<std::string>& list();
 /// Creates one workload by its Table I / NPB tag.  An unknown tag fails a
 /// SOC_CHECK whose message names every valid tag.
 std::unique_ptr<Workload> make_workload(const std::string& name);
-
-/// Every benchmark tag this library knows (compat alias for list()).
-std::vector<std::string> all_workload_names();
 
 }  // namespace soc::workloads

@@ -44,7 +44,7 @@ BuildContext ctx_for(const Workload& w, int nodes) {
 }
 
 TEST(Registry, AllFifteenWorkloadsPresent) {
-  const auto names = all_workload_names();
+  const auto names = list();
   EXPECT_EQ(names.size(), 15u);
   const std::set<std::string> set(names.begin(), names.end());
   for (const char* expected :
@@ -55,7 +55,7 @@ TEST(Registry, AllFifteenWorkloadsPresent) {
 }
 
 TEST(Registry, MakeWorkloadRoundTrips) {
-  for (const std::string& name : all_workload_names()) {
+  for (const std::string& name : list()) {
     const auto w = make_workload(name);
     ASSERT_NE(w, nullptr);
     EXPECT_EQ(w->name(), name);
@@ -77,7 +77,7 @@ TEST(Registry, GpuFlagsMatchTableOne) {
 
 TEST(Registry, ProfilesAreDistinctlyNamed) {
   std::set<std::string> names;
-  for (const std::string& name : all_workload_names()) {
+  for (const std::string& name : list()) {
     names.insert(make_workload(name)->cpu_profile().name);
   }
   // tealeaf2d/3d and alexnet/googlenet share profiles by design.
@@ -105,7 +105,7 @@ TEST_P(WorkloadExecutionTest, ProgramsExecuteToCompletion) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, WorkloadExecutionTest,
-    ::testing::Combine(::testing::ValuesIn(all_workload_names()),
+    ::testing::Combine(::testing::ValuesIn(list()),
                        ::testing::Values(1, 2, 4, 16)),
     [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
       return std::get<0>(info.param) + "_" +

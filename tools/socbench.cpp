@@ -6,7 +6,13 @@
 //   socbench run --workload jacobi --nodes 16 --nic 10g [--scale 1.0]
 //                [--mem-model hd|zc|um] [--gpu-fraction 1.0] [--ranks N]
 //                [--metrics] [--chrome-trace t.json] [--report-json r.json]
+//                [--fault node-crash:node=0,t=5,down=60]
+//                [--noise interval=0.01,duration=0.001]
+//                [--checkpoint daly:size=4e9,bw=2e9,mtti=3600]
 //       One metered run: runtime, throughput, energy, traffic, roofline.
+//       --fault / --noise / --checkpoint wrap the workload's op stream in
+//       scenario decorators (run, sweep, explain, and decompose all take
+//       them); enabled scenarios are serialized into report JSON.
 //       Observability artifacts on demand: --metrics prints the run's
 //       metrics registry, --chrome-trace writes a Perfetto-loadable
 //       trace, --report-json a canonical machine-readable run report.
@@ -147,7 +153,7 @@ void print_result(const cluster::RunResult& r, const systems::NodeConfig& node,
 
 int cmd_list() {
   std::printf("workloads:\n");
-  for (const std::string& name : workloads::all_workload_names()) {
+  for (const std::string& name : workloads::list()) {
     const auto w = workloads::make_workload(name);
     std::printf("  %-11s %s\n", name.c_str(),
                 w->gpu_accelerated() ? "(GPU-accelerated)" : "(CPU, NPB)");
@@ -169,6 +175,13 @@ cluster::RunOptions options_from(const ArgParser& args) {
   return options;
 }
 
+/// Scenario decorators from the --fault / --noise / --checkpoint flags;
+/// all-empty flags yield a disabled config (scenario-free run).
+workloads::ScenarioConfig scenario_from(const ArgParser& args) {
+  return workloads::parse_scenario(args.get("--fault"), args.get("--noise"),
+                                   args.get("--checkpoint"));
+}
+
 // Audits one workload: the baseline run, --repeats serial replays, and
 // --repeats parallel_for replays must all commit the identical event
 // stream (RunStats::event_checksum).  Returns true when they do.
@@ -178,26 +191,31 @@ bool audit_workload(const std::string& name, const ArgParser& args) {
   const int ranks = args.given("--ranks") ? args.get_int("--ranks")
                                           : natural_ranks(*workload, nodes);
   const auto node = systems::jetson_tx1(parse_nic(args.get("--nic")));
-  const cluster::ClusterConfig config{node, nodes, ranks};
-  const auto options = options_from(args);
   const int repeats = args.get_int("--repeats");
   SOC_CHECK(repeats >= 2, "--repeats must be at least 2");
 
-  const auto baseline = cluster::Cluster(config).run(*workload, options);
+  // Scenario decorators participate in the audit: fault/noise/checkpoint
+  // streams must replay bit-identically like any workload.
+  cluster::RunRequest request;
+  request.workload = name;
+  request.config = cluster::ClusterConfig{node, nodes, ranks};
+  request.options = options_from(args);
+  request.scenario = scenario_from(args);
+
+  const auto baseline = cluster::run(request);
   bool serial_ok = true;
   for (int i = 1; i < repeats; ++i) {
-    const auto r = cluster::Cluster(config).run(*workload, options);
+    const auto r = cluster::run(request);
     serial_ok = serial_ok && r.stats.event_checksum ==
                                  baseline.stats.event_checksum;
   }
 
   std::vector<std::uint64_t> checksums(static_cast<std::size_t>(repeats), 0);
   parallel_for(checksums.size(), [&](std::size_t i) {
-    // Each replica builds its own workload and cluster: the audit must
-    // hold with zero shared mutable state, exactly like the bench sweeps.
-    const auto replica = workloads::make_workload(name);
-    checksums[i] =
-        cluster::Cluster(config).run(*replica, options).stats.event_checksum;
+    // Each replica resolves its own workload instance from the registry
+    // tag: the audit must hold with zero shared mutable state, exactly
+    // like the bench sweeps.
+    checksums[i] = cluster::run(request).stats.event_checksum;
   });
   bool parallel_ok = true;
   for (std::uint64_t c : checksums) {
@@ -217,7 +235,7 @@ bool audit_workload(const std::string& name, const ArgParser& args) {
 int cmd_audit(const ArgParser& args) {
   const std::string tag = args.get("--workload");
   const std::vector<std::string> names =
-      tag == "all" ? workloads::all_workload_names()
+      tag == "all" ? workloads::list()
                    : std::vector<std::string>{tag};
   bool ok = true;
   for (const std::string& name : names) ok = audit_workload(name, args) && ok;
@@ -238,7 +256,6 @@ int cmd_run(const ArgParser& args) {
   const int ranks = args.given("--ranks") ? args.get_int("--ranks")
                                           : natural_ranks(*workload, nodes);
   const auto node = systems::jetson_tx1(parse_nic(args.get("--nic")));
-  const cluster::Cluster cl(cluster::ClusterConfig{node, nodes, ranks});
 
   // Observability: attach only what the flags ask for, so the default
   // run keeps the engine's no-observer fast path.
@@ -252,7 +269,13 @@ int cmd_run(const ArgParser& args) {
   auto options = options_from(args);
   if (!observers.empty()) options.observer = &observers;
 
-  const auto result = cl.run(*workload, options);
+  cluster::RunRequest request;
+  request.workload = workload->name();
+  request.workload_ref = workload.get();
+  request.config = cluster::ClusterConfig{node, nodes, ranks};
+  request.options = options;
+  request.scenario = scenario_from(args);
+  const auto result = cluster::run(request);
   std::printf("%s on %d x %s (%s, %d ranks)\n\n", workload->name().c_str(),
               nodes, node.name.c_str(), node.nic.name.c_str(), ranks);
   const bool dp = workload->name() != "alexnet" &&
@@ -273,8 +296,9 @@ int cmd_run(const ArgParser& args) {
                 args.get("--chrome-trace").c_str());
   }
   if (args.given("--report-json")) {
-    cluster::write_report(args.get("--report-json"), cl.config(), options,
-                          workload->name(), result, &metrics.registry());
+    cluster::write_report(args.get("--report-json"), request.config, options,
+                          workload->name(), result, &metrics.registry(),
+                          &request.scenario);
     std::printf("wrote run report to %s\n",
                 args.get("--report-json").c_str());
   }
@@ -311,6 +335,7 @@ int cmd_sweep(const ArgParser& args) {
     grid.nics = {parse_nic(nic_arg)};
   }
   grid.base = options_from(args);
+  grid.scenario = scenario_from(args);
   const auto requests = grid.requests();
 
   sweep::SweepOptions sweep_options;
@@ -429,9 +454,14 @@ int cmd_decompose(const ArgParser& args) {
   const auto workload = workloads::make_workload(args.get("--workload"));
   const int nodes = args.get_int("--nodes");
   const auto node = systems::jetson_tx1(parse_nic(args.get("--nic")));
-  const cluster::Cluster cl(cluster::ClusterConfig{
-      node, nodes, natural_ranks(*workload, nodes)});
-  const auto runs = cl.replay_scenarios(*workload, options_from(args));
+  cluster::RunRequest request;
+  request.workload = workload->name();
+  request.workload_ref = workload.get();
+  request.config = cluster::ClusterConfig{node, nodes,
+                                          natural_ranks(*workload, nodes)};
+  request.options = options_from(args);
+  request.scenario = scenario_from(args);
+  const auto runs = cluster::replay_scenarios(request);
   const auto d = core::decompose(runs);
   std::printf("%s on %d nodes (%s): Eq. 4 decomposition\n\n",
               workload->name().c_str(), nodes, node.nic.name.c_str());
@@ -459,6 +489,7 @@ int cmd_explain(const ArgParser& args) {
   request.workload_ref = workload.get();
   request.config = cluster::ClusterConfig{node, nodes, ranks};
   request.options = options_from(args);
+  request.scenario = scenario_from(args);
   prof::Profile profile;
   request.profile = &profile;
   if (args.given("--profile-json")) {
@@ -706,6 +737,12 @@ int usage(const ArgParser& args) {
       "  replay     replay a recorded trace (what-if scenarios supported)\n"
       "  perf       engine-only replay throughput + BENCH_engine.json\n"
       "             (--quick for the CI smoke subset)\n"
+      "\nscenarios (run/sweep/explain/decompose): --fault injects\n"
+      "deterministic node crashes, link flaps, and stragglers; --noise adds\n"
+      "seeded per-rank OS jitter; --checkpoint daly:... inserts\n"
+      "checkpoint/restart stalls at Daly's optimal interval.  All three\n"
+      "compose, stay bit-deterministic, and are attributed with zero\n"
+      "residual by 'explain' (category `injected`).\n"
       "\nworkloads: %s\n"
       "\nflags:\n%s", tags.c_str(), args.usage().c_str());
   return 2;
@@ -722,6 +759,13 @@ int main(int argc, char** argv) {
   args.add_flag("--scale", "problem-size multiplier", "1.0");
   args.add_flag("--mem-model", "CUDA memory model: hd, zc, um", "hd");
   args.add_flag("--gpu-fraction", "GPU share of offloadable work", "1.0");
+  args.add_flag("--fault",
+                "';'-separated fault specs: node-crash:node=N,t=S,down=S | "
+                "link-flap:node=N,t0=S,t1=S | straggler:rank=R,slowdown=F");
+  args.add_flag("--noise",
+                "OS noise: interval=S,duration=S[,seed=N][,jitter=F]");
+  args.add_flag("--checkpoint",
+                "checkpoint/restart: daly:size=B,bw=B/s,mtti=S[,runtime=S]");
   args.add_flag("--out", "output trace path (trace)", "run.soctrace");
   args.add_flag("--trace", "input trace path (replay)", "run.soctrace");
   args.add_bool("--ideal-network", "replay with zero-cost network");

@@ -275,6 +275,71 @@ void check_layering(const std::vector<SourceFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Stream-seam pass
+// ---------------------------------------------------------------------------
+
+// Intra-module seam around the operation-stream API (finer-grained than
+// the module DAG, which cannot see edges inside src/workloads):
+//  - the engine seam (workloads/op_stream.*) must stay generic — no
+//    generator backend headers and no scenario decorators, so the engine
+//    side of the API never grows backend knowledge;
+//  - the scenario decorators (workloads/scenario.*) wrap streams only —
+//    no generator backends, and no reaching up into cluster/ or sweep/
+//    (also a module-DAG violation, re-asserted here so the seam rule is
+//    complete on its own).
+
+constexpr const char* kStreamSeamFiles[] = {
+    "src/workloads/op_stream.h", "src/workloads/op_stream.cpp"};
+
+constexpr const char* kScenarioFiles[] = {
+    "src/workloads/scenario.h", "src/workloads/scenario.cpp"};
+
+/// Workload generator backends the seam must not depend on.
+constexpr const char* kBackendHeaders[] = {
+    "workloads/npb.h", "workloads/scientific.h", "workloads/dnn_workloads.h"};
+
+void stream_seam_pass(const std::vector<SourceFile>& files,
+                      std::vector<Diagnostic>& out) {
+  const auto is_one_of = [](const std::string& path, const auto& list) {
+    for (const char* p : list) {
+      if (path == p) return true;
+    }
+    return false;
+  };
+  for (const SourceFile& file : files) {
+    if (file.top_dir != "src") continue;
+    const bool seam = is_one_of(file.path, kStreamSeamFiles);
+    const bool scenario = is_one_of(file.path, kScenarioFiles);
+    if (!seam && !scenario) continue;
+    for (const IncludeEdge& edge : parse_includes(file)) {
+      if (is_one_of(edge.target, kBackendHeaders)) {
+        emit(file, edge.line, "stream-seam",
+             file.path + " may not include \"" + edge.target +
+                 "\": the op-stream seam stays generic over workloads; "
+                 "backends plug in via workloads::OpStream, never the "
+                 "other way around",
+             out);
+      }
+      if (seam && edge.target == "workloads/scenario.h") {
+        emit(file, edge.line, "stream-seam",
+             file.path + " may not include \"workloads/scenario.h\": "
+                 "scenario decorators wrap the stream API; the engine seam "
+                 "must not know they exist",
+             out);
+      }
+      if (scenario && (edge.target_module == "cluster" ||
+                       edge.target_module == "sweep")) {
+        emit(file, edge.line, "stream-seam",
+             file.path + " may not include \"" + edge.target +
+                 "\": scenario decorators are workload-layer stream "
+                 "wrappers and must not reach up into the run/sweep layers",
+             out);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Shared-mutable-state pass
 // ---------------------------------------------------------------------------
 
@@ -803,6 +868,7 @@ void run_passes(const std::vector<SourceFile>& files,
                 std::vector<Diagnostic>& out) {
   std::vector<Diagnostic> found;
   include_graph_pass(files, found);
+  stream_seam_pass(files, found);
   shared_state_pass(files, found);
   determinism_pass(files, found);
   std::sort(found.begin(), found.end(), diag_less);
@@ -816,6 +882,10 @@ const std::vector<PassRule>& pass_rules() {
       {"layering",
        "#include edges (direct and transitive) must follow the src/ "
        "module DAG"},
+      {"stream-seam",
+       "the op-stream seam (workloads/op_stream.*) must not include "
+       "workload backends or scenario decorators; scenario decorators "
+       "must not include backends, cluster, or sweep"},
       {"shared-mutable-state",
        "sync primitives and shared-mutable declarations need "
        "SOC_SHARED(<guard>) or SOC_GUARDED_BY"},
@@ -1113,6 +1183,44 @@ int passes_self_test(const std::string& testdata_dir) {
          {"src/cluster/mid.h", "#pragma once\n#include \"core/leaf.h\"\n"},
          {"src/core/leaf.h", "#pragma once\n"}},
       "layering", 0);
+
+  // --- stream-seam. ---
+  t.pass_case("op_stream including a backend flagged",
+              Fx{{"src/workloads/op_stream.cpp",
+                  "#include \"workloads/op_stream.h\"\n"
+                  "#include \"workloads/npb.h\"\n"}},
+              "stream-seam", 1);
+  t.pass_case("op_stream including scenario flagged",
+              Fx{{"src/workloads/op_stream.h",
+                  "#pragma once\n#include \"workloads/scenario.h\"\n"}},
+              "stream-seam", 1);
+  t.pass_case("scenario including a backend flagged",
+              Fx{{"src/workloads/scenario.cpp",
+                  "#include \"workloads/scenario.h\"\n"
+                  "#include \"workloads/scientific.h\"\n"}},
+              "stream-seam", 1);
+  t.pass_case("scenario including cluster flagged",
+              Fx{{"src/workloads/scenario.cpp",
+                  "#include \"cluster/cluster.h\"\n"}},
+              "stream-seam", 1);
+  t.pass_case("scenario including sweep flagged",
+              Fx{{"src/workloads/scenario.h",
+                  "#pragma once\n#include \"sweep/grid.h\"\n"}},
+              "stream-seam", 1);
+  t.pass_case("scenario including op_stream ok",
+              Fx{{"src/workloads/scenario.h",
+                  "#pragma once\n#include \"workloads/op_stream.h\"\n"}},
+              "stream-seam", 0);
+  t.pass_case("op_stream including workload interface ok",
+              Fx{{"src/workloads/op_stream.h",
+                  "#pragma once\n#include \"sim/op.h\"\n"
+                  "#include \"workloads/workload.h\"\n"}},
+              "stream-seam", 0);
+  t.pass_case("backend headers free to include each other",
+              Fx{{"src/workloads/npb.cpp",
+                  "#include \"workloads/npb.h\"\n"
+                  "#include \"workloads/scientific.h\"\n"}},
+              "stream-seam", 0);
 
   // --- shared-mutable-state. ---
   t.pass_case("bare std::mutex flagged",
