@@ -1,6 +1,7 @@
 #include "cluster/perf.h"
 
 #include <chrono>  // soclint: allow(banned-nondeterminism)
+#include <cstdlib>
 #include <fstream>
 
 #include "cluster/cost_model.h"
@@ -18,21 +19,28 @@ namespace soc::cluster {
 std::vector<PerfCase> default_perf_cases(bool quick) {
   std::vector<PerfCase> cases;
   if (quick) {
-    // Two small shapes CI can replay in seconds; one per figure family.
-    cases.push_back({"fig5/jacobi", "jacobi", 4, 4, false});
-    cases.push_back({"fig6/cg", "cg", 4, 8, false});
+    // Two small shapes CI can replay in seconds; one per figure family,
+    // each with a sharded twin (shards capped at the node count) so the
+    // smoke run covers the parallel engine and its speedup column.
+    cases.push_back({"fig5/jacobi", "jacobi", 4, 4, false, 1, ""});
+    cases.push_back(
+        {"fig5/jacobi/4shards", "jacobi", 4, 4, false, 4, "fig5/jacobi"});
+    cases.push_back({"fig6/cg", "cg", 4, 8, false, 1, ""});
+    cases.push_back({"fig6/cg/4shards", "cg", 4, 8, false, 4, "fig6/cg"});
     return cases;
   }
   for (const char* w :
        {"hpl", "jacobi", "cloverleaf", "tealeaf2d", "tealeaf3d"}) {
-    cases.push_back({std::string("fig5/") + w, w, 16, 16, false});
-    cases.push_back({std::string("fig5/") + w + "/ideal-net", w, 16, 16,
-                     true});
+    const std::string base = std::string("fig5/") + w;
+    cases.push_back({base, w, 16, 16, false, 1, ""});
+    cases.push_back({base + "/8shards", w, 16, 16, false, 8, base});
+    cases.push_back({base + "/ideal-net", w, 16, 16, true, 1, ""});
   }
   for (const char* w : {"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"}) {
-    cases.push_back({std::string("fig6/") + w, w, 16, 32, false});
-    cases.push_back({std::string("fig6/") + w + "/ideal-net", w, 16, 32,
-                     true});
+    const std::string base = std::string("fig6/") + w;
+    cases.push_back({base, w, 16, 32, false, 1, ""});
+    cases.push_back({base + "/8shards", w, 16, 32, false, 8, base});
+    cases.push_back({base + "/ideal-net", w, 16, 32, true, 1, ""});
   }
   return cases;
 }
@@ -55,9 +63,10 @@ PerfReport measure_engine(const std::vector<PerfCase>& cases,
     const auto node = systems::jetson_tx1(net::NicKind::kTenGigabit);
     const ClusterCostModel cost(node, c.nodes, c.ranks,
                                 workload->cpu_profile());
-    const sim::MemoCostModel memo(cost);
+    const sim::MemoCostModel memo(cost, /*thread_safe=*/c.shards > 1);
     sim::EngineConfig engine_config;
     engine_config.bisection_bandwidth = node.switch_config.bisection_bandwidth;
+    engine_config.shards = c.shards;
     sim::Scenario scenario;
     scenario.ideal_network = c.ideal_network;
     const auto placement = sim::Placement::block(c.ranks, c.nodes);
@@ -65,6 +74,8 @@ PerfReport measure_engine(const std::vector<PerfCase>& cases,
     PerfSample sample;
     sample.name = c.name;
     sample.reps = config.reps;
+    sample.shards = c.shards;
+    sample.baseline = c.baseline;
     {
       // Warm-up: fills the memo cache and the engine pools, and records
       // the case's event count and checksum (identical every rep).
@@ -102,6 +113,28 @@ PerfReport measure_engine(const std::vector<PerfCase>& cases,
           ? report.total_events / report.total_wall_seconds
           : 0.0;
   report.alloc_counter_live = allocation_count() != allocs_at_start;
+  // Resolve speedup rows against their named baselines.  A sharded case
+  // must replay the identical committed stream, so the checksum match is
+  // asserted here: a speedup over a *different* run would be meaningless.
+  for (PerfSample& s : report.samples) {
+    if (s.baseline.empty()) continue;
+    const PerfSample* base = nullptr;
+    for (const PerfSample& b : report.samples) {
+      if (b.name == s.baseline) {
+        base = &b;
+        break;
+      }
+    }
+    SOC_CHECK(base != nullptr,
+              "perf case names unknown baseline: " + s.baseline);
+    SOC_CHECK(base->checksum == s.checksum && base->events == s.events,
+              "perf case diverged from its baseline's event stream: " +
+                  s.name);
+    s.speedup_vs_baseline = base->events_per_second > 0.0
+                                ? s.events_per_second /
+                                      base->events_per_second
+                                : 0.0;
+  }
   return report;
 }
 
@@ -122,6 +155,11 @@ std::string perf_report_json(const PerfReport& report) {
     w.field("events", static_cast<std::uint64_t>(s.events));
     w.field("checksum", checksum_hex(s.checksum));
     w.field("reps", s.reps);
+    w.field("shards", s.shards);
+    if (!s.baseline.empty()) {
+      w.field("baseline", s.baseline);
+      w.field("speedup_vs_baseline", s.speedup_vs_baseline);
+    }
     w.field("wall_seconds", s.wall_seconds);
     w.field("events_per_second", s.events_per_second);
     w.field("allocs_per_event", s.allocs_per_event);
@@ -139,6 +177,100 @@ void write_perf_report(const std::string& path, const PerfReport& report) {
   std::ofstream out(path);
   SOC_CHECK(out.good(), "cannot open perf report path: " + path);
   out << perf_report_json(report) << "\n";
+}
+
+namespace {
+
+// perf_report_json emits one sample object per line, so the baseline
+// loader is a line scanner, not a JSON parser: it only needs to invert
+// its own writer's stable formatting.
+bool extract_string(const std::string& line, const std::string& key,
+                    std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool extract_number(const std::string& line, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+std::vector<PerfSample> load_perf_baseline(const std::string& path) {
+  std::ifstream in(path);
+  SOC_CHECK(in.good(), "cannot open perf baseline: " + path);
+  std::vector<PerfSample> samples;
+  std::string line;
+  while (std::getline(in, line)) {
+    PerfSample s;
+    if (!extract_string(line, "name", &s.name)) continue;
+    std::string checksum;
+    double events = 0.0;
+    double eps = 0.0;
+    double shards = 1.0;
+    SOC_CHECK(extract_string(line, "checksum", &checksum) &&
+                  extract_number(line, "events", &events) &&
+                  extract_number(line, "events_per_second", &eps),
+              "malformed perf baseline sample: " + line);
+    s.events = static_cast<std::uint64_t>(events);
+    s.checksum = std::strtoull(checksum.c_str(), nullptr, 16);
+    s.events_per_second = eps;
+    if (extract_number(line, "shards", &shards)) {
+      s.shards = static_cast<int>(shards);
+    }
+    samples.push_back(std::move(s));
+  }
+  SOC_CHECK(!samples.empty(), "perf baseline holds no samples: " + path);
+  return samples;
+}
+
+std::string diff_perf_baseline(const PerfReport& report,
+                               const std::vector<PerfSample>& baseline,
+                               double tolerance) {
+  SOC_CHECK(tolerance > 0.0 && tolerance <= 1.0,
+            "baseline tolerance must be in (0, 1]");
+  std::string failures;
+  int matched = 0;
+  for (const PerfSample& b : baseline) {
+    const PerfSample* s = nullptr;
+    for (const PerfSample& fresh : report.samples) {
+      if (fresh.name == b.name) {
+        s = &fresh;
+        break;
+      }
+    }
+    if (s == nullptr) continue;  // quick subset vs full baseline, etc.
+    ++matched;
+    if (s->events != b.events || s->checksum != b.checksum) {
+      failures += "perf baseline: " + b.name +
+                  " committed stream changed (events " +
+                  std::to_string(b.events) + " -> " +
+                  std::to_string(s->events) + ", checksum " +
+                  checksum_hex(b.checksum) + " -> " +
+                  checksum_hex(s->checksum) + ")\n";
+    }
+    if (s->events_per_second < tolerance * b.events_per_second) {
+      failures += "perf baseline: " + b.name + " throughput regressed: " +
+                  std::to_string(s->events_per_second) + " < " +
+                  std::to_string(tolerance) + " x " +
+                  std::to_string(b.events_per_second) + " events/s\n";
+    }
+  }
+  if (matched == 0) {
+    failures += "perf baseline: no case names in common with this run\n";
+  }
+  return failures;
 }
 
 }  // namespace soc::cluster

@@ -26,6 +26,13 @@ struct PerfCase {
   int nodes = 16;
   int ranks = 16;
   bool ideal_network = false;
+  /// Engine shard count (EngineConfig::shards); 1 = serial.  Sharded
+  /// cases exercise the rank-partitioned parallel engine; their event
+  /// checksum must equal the serial case's.
+  int shards = 1;
+  /// Name of the case this one is a speedup of (typically the serial row
+  /// for the same shape); empty = no speedup reported.
+  std::string baseline;
 };
 
 struct PerfConfig {
@@ -38,11 +45,17 @@ struct PerfSample {
   std::uint64_t events = 0;    ///< Committed events per repetition.
   std::uint64_t checksum = 0;  ///< RunStats::event_checksum (rep-invariant).
   int reps = 0;
+  int shards = 1;
   double wall_seconds = 0.0;       ///< Total over the timed reps.
   double events_per_second = 0.0;
   double allocs_per_event = 0.0;   ///< 0 unless soc_alloc_hooks is linked.
   std::uint64_t memo_hits = 0;     ///< Cost-model cache hits (all reps).
   std::uint64_t memo_misses = 0;
+  std::string baseline;  ///< PerfCase::baseline (empty = no speedup row).
+  /// events_per_second of this sample over the named baseline sample's
+  /// (0 when `baseline` is empty).  > 1 means this configuration is
+  /// faster; the sharded rows report their parallel speedup here.
+  double speedup_vs_baseline = 0.0;
 };
 
 struct PerfReport {
@@ -68,5 +81,21 @@ std::string perf_report_json(const PerfReport& report);
 
 /// Writes perf_report_json to `path` (parent directory must exist).
 void write_perf_report(const std::string& path, const PerfReport& report);
+
+/// Reads the samples back out of a perf_report_json document (the
+/// committed BENCH_engine.json baseline).  Only the comparison fields
+/// (name, events, checksum, events_per_second, shards) are recovered.
+std::vector<PerfSample> load_perf_baseline(const std::string& path);
+
+/// Compares a fresh report against a committed baseline: cases present in
+/// both must agree exactly on events and checksum (simulation
+/// determinism is machine-independent) and may not drop below
+/// `tolerance` x the baseline's events/s (wall-clock is machine-dependent,
+/// so the throughput gate is deliberately loose).  Returns an empty
+/// string on success, else a newline-terminated failure list.  At least
+/// one case must match by name.
+std::string diff_perf_baseline(const PerfReport& report,
+                               const std::vector<PerfSample>& baseline,
+                               double tolerance);
 
 }  // namespace soc::cluster

@@ -73,9 +73,11 @@ void MetricsObserver::on_span(const sim::SpanRecord& span) {
   if (const char* metric = wait_metric_for(span.lane)) {
     registry_.histogram(metric, wait_bounds_ns()).observe(span.queue_wait);
   }
-  // Fabric waits only on the tx side so shared-fabric queueing is counted
-  // once per transfer, not once per NIC endpoint.
-  if (span.lane == sim::Lane::kNicTx) {
+  // Fabric waits only on the rx side so switch output-port queueing is
+  // counted once per transfer, not once per NIC endpoint.  (The port
+  // pipe is booked at the receiving node, so the rx span is the one that
+  // always carries the wait.)
+  if (span.lane == sim::Lane::kNicRx) {
     registry_.histogram("wait.fabric", wait_bounds_ns())
         .observe(span.fabric_wait);
   }

@@ -56,11 +56,12 @@ void Profiler::on_run_begin(const sim::Placement& placement,
   trace_.config = config;
   dispatches_.clear();
   spans_.clear();
-  message_dispatch_.clear();
+  order_.clear();
   built_ = false;
 }
 
 void Profiler::on_dispatch(const sim::DispatchRecord& record) {
+  order_.push_back(static_cast<std::int64_t>(dispatches_.size()));
   dispatches_.push_back(record);
 }
 
@@ -70,11 +71,8 @@ void Profiler::on_span(const sim::SpanRecord& span) {
 }
 
 void Profiler::on_message(const sim::MessageRecord& message) {
-  // The engine commits a transfer only while processing a dispatch, so
-  // the causing dispatch is always the last one recorded.
-  SOC_CHECK(!dispatches_.empty(), "message committed before any dispatch");
+  order_.push_back(~static_cast<std::int64_t>(trace_.messages.size()));
   trace_.messages.push_back(message);
-  message_dispatch_.push_back(dispatches_.size() - 1);
 }
 
 void Profiler::on_run_end(const sim::RunStats& stats) {
@@ -169,19 +167,18 @@ void Profiler::build() {
     ++cur;
   }
 
-  // -- Pass 3: replay the engine's message matching over the recorded
-  // dispatch order, consuming MessageRecords as their commits happen.
-  flat_map<std::uint64_t, RingQueue<int>> pending_sends;
+  // -- Pass 3: replay the engine's message matching over the merged
+  // dispatch/message commit stream.  A send dispatch only *announces* a
+  // transfer; the MessageRecord commits at the arrival or match event —
+  // the same event for intra-node traffic, a later one across nodes.
+  // Per (src, dst, tag, protocol-class) key both streams are FIFO, so
+  // each message entry pops its sender from the matching class queue and
+  // binds the receiver exactly as the engine did.
+  flat_map<std::uint64_t, RingQueue<int>> eager_sends;
+  flat_map<std::uint64_t, RingQueue<int>> rvz_sends;
   flat_map<std::uint64_t, RingQueue<int>> pending_recvs;
   flat_map<std::uint64_t, RingQueue<int>> pending_irecvs;
   flat_map<std::uint64_t, RingQueue<ArrivalRef>> arrivals;
-  std::size_t msg_cursor = 0;
-  auto take_message = [&](std::size_t di) {
-    SOC_CHECK(msg_cursor < trace_.messages.size() &&
-                  message_dispatch_[msg_cursor] == di,
-              "profiler: dispatch/message streams out of step");
-    return static_cast<int>(msg_cursor++);
-  };
   auto pop = [](flat_map<std::uint64_t, RingQueue<int>>& table,
                 std::uint64_t key) {
     auto* q = table.find(key);
@@ -190,47 +187,48 @@ void Profiler::build() {
     q->pop_front();
     return v;
   };
-  for (std::size_t di = 0; di < dispatches_.size(); ++di) {
+  for (const std::int64_t entry : order_) {
+    if (entry < 0) {
+      const int mi = static_cast<int>(~entry);
+      const sim::MessageRecord& m =
+          trace_.messages[static_cast<std::size_t>(mi)];
+      const std::uint64_t key = msg_key(m.src_rank, m.dst_rank, m.tag);
+      const int si = pop(m.eager ? eager_sends : rvz_sends, key);
+      SOC_CHECK(si >= 0, "profiler: message with no announcing send");
+      OpExec& send = trace_.ops[si];
+      send.msg = mi;
+      int ri = pop(pending_recvs, key);
+      if (ri < 0) ri = pop(pending_irecvs, key);
+      if (ri >= 0) {
+        OpExec& recv = trace_.ops[ri];
+        recv.msg = mi;
+        recv.partner = si;
+        recv.partner_ready = send.dispatch;
+        send.partner = ri;
+        // An eager sender never waits on its receiver; its window is the
+        // local posting overhead and partner_ready stays unset.
+        if (!m.eager) send.partner_ready = recv.dispatch;
+      } else {
+        // Only an eager payload can commit with no receive posted; it
+        // parks at the receiver until a recv/irecv dispatches.  A
+        // rendezvous transfer commits at its match, by definition with
+        // both endpoints known.
+        SOC_CHECK(m.eager, "profiler: rendezvous commit without receiver");
+        arrivals[key].push_back(ArrivalRef{si, mi});
+      }
+      continue;
+    }
+    const std::size_t di = static_cast<std::size_t>(entry);
     if (!first_dispatch[di]) continue;
     const int oi = dispatch_op[di];
     OpExec& op = trace_.ops[oi];
-    const SimTime now = op.dispatch;
     switch (op.kind) {
       case sim::OpKind::kSend:
       case sim::OpKind::kIsend: {
         const std::uint64_t key = msg_key(op.rank, op.peer, op.tag);
         const bool eager = op.kind == sim::OpKind::kIsend ||
                            op.bytes <= trace_.config.eager_threshold;
-        if (eager) {
-          // launch_eager commits the transfer at this dispatch, before
-          // any receiver is considered.
-          op.msg = take_message(di);
-          int ri = pop(pending_recvs, key);
-          if (ri < 0) ri = pop(pending_irecvs, key);
-          if (ri >= 0) {
-            OpExec& recv = trace_.ops[ri];
-            recv.msg = op.msg;
-            recv.partner = oi;
-            recv.partner_ready = now;
-            op.partner = ri;
-          } else {
-            arrivals[key].push_back(ArrivalRef{oi, op.msg});
-          }
-          break;
-        }
-        // Rendezvous: the transfer commits only when matched.
-        int ri = pop(pending_recvs, key);
-        if (ri < 0) ri = pop(pending_irecvs, key);
-        if (ri >= 0) {
-          OpExec& recv = trace_.ops[ri];
-          op.msg = recv.msg = take_message(di);
-          op.partner = ri;
-          op.partner_ready = recv.dispatch;
-          recv.partner = oi;
-          recv.partner_ready = now;
-        } else {
-          pending_sends[key].push_back(oi);
-        }
+        (eager ? eager_sends : rvz_sends)[key].push_back(oi);
         break;
       }
       case sim::OpKind::kRecv:
@@ -246,16 +244,10 @@ void Profiler::build() {
           trace_.ops[a.op].partner = oi;
           break;
         }
-        const int si = pop(pending_sends, key);
-        if (si >= 0) {
-          OpExec& send = trace_.ops[si];
-          op.msg = send.msg = take_message(di);
-          op.partner = si;
-          op.partner_ready = send.dispatch;
-          send.partner = oi;
-          send.partner_ready = now;
-          break;
-        }
+        // Park; the committing message entry binds us.  When this very
+        // dispatch completes a rendezvous, the engine commits the
+        // transfer within the same event, so the message entry follows
+        // immediately and pops us right back out.
         if (op.kind == sim::OpKind::kRecv) {
           pending_recvs[key].push_back(oi);
         } else {
@@ -267,8 +259,6 @@ void Profiler::build() {
         break;
     }
   }
-  SOC_CHECK(msg_cursor == trace_.messages.size(),
-            "profiler: unconsumed message records");
 
   // -- Pass 4: per-rank post-passes — overhead constants, rendezvous
   // window validation, and kWaitAll determinants.
@@ -284,7 +274,10 @@ void Profiler::build() {
               trace_.send_overhead[r] = op.complete - op.dispatch;
             }
           } else {
-            SOC_CHECK(op.complete == trace_.messages[op.msg].end,
+            // A rendezvous sender runs again when the CTS lands
+            // (sender_complete); across nodes that is one wire latency
+            // after the match, not the wire end itself.
+            SOC_CHECK(op.complete == trace_.messages[op.msg].sender_complete,
                       "profiler: rendezvous send window mismatch");
           }
           break;
@@ -292,12 +285,14 @@ void Profiler::build() {
           SOC_CHECK(op.msg >= 0, "profiler: unmatched recv");
           const sim::MessageRecord& m = trace_.messages[op.msg];
           if (m.eager) {
+            // delivery, not the nominal wire end: switch output-port
+            // queueing shifts when the payload actually lands.
             if (trace_.recv_overhead[r] < 0) {
               trace_.recv_overhead[r] =
-                  op.complete - std::max(op.dispatch, m.end);
+                  op.complete - std::max(op.dispatch, m.delivery);
             }
           } else {
-            SOC_CHECK(op.complete == m.end,
+            SOC_CHECK(op.complete == m.delivery,
                       "profiler: rendezvous recv window mismatch");
           }
           break;
@@ -326,7 +321,7 @@ void Profiler::build() {
             SimTime done = q.complete;
             if (q.kind == sim::OpKind::kIrecv) {
               SOC_CHECK(q.msg >= 0, "profiler: unmatched irecv");
-              done = std::max(done, trace_.messages[q.msg].end +
+              done = std::max(done, trace_.messages[q.msg].delivery +
                                         (q.complete - q.dispatch));
             }
             if (done > best) {

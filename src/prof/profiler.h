@@ -8,11 +8,12 @@
 // MessageRecord plus the matching edge to the partner op.
 //
 // The reconstruction replays the engine's message-matching state machine
-// over the recorded dispatch order (eager vs rendezvous, arrivals before
-// parked senders, FIFO per (src, dst, tag) key), so every annotation is
-// exact, not heuristic: downstream passes assert that reconstructed
-// completion times tile the run with zero residual.  Everything here is
-// derived from the deterministic event stream, so equal configurations
+// over the merged dispatch/message commit stream (eager vs rendezvous,
+// arrivals before parked senders, FIFO per (src, dst, tag) key), so every
+// annotation is exact, not heuristic: downstream passes assert that
+// reconstructed completion times tile the run with zero residual.
+// Everything here is derived from the deterministic committed event
+// stream — identical at any engine shard count — so equal configurations
 // produce byte-identical traces.
 #pragma once
 
@@ -91,8 +92,13 @@ class Profiler : public sim::EngineObserver {
   RunTrace trace_;
   std::vector<sim::DispatchRecord> dispatches_;
   std::vector<sim::SpanRecord> spans_;
-  /// messages_[i] was committed while processing dispatches_[...[i]].
-  std::vector<std::size_t> message_dispatch_;
+  /// Interleaved commit order of the dispatch and message streams: entry
+  /// v >= 0 is dispatches_[v], entry v < 0 is trace_.messages[~v].  The
+  /// engine commits a transfer at its *arrival or match* event — which
+  /// for cross-node traffic is later than the causing send dispatch — so
+  /// reconstruction replays this merged stream rather than assuming each
+  /// message belongs to the preceding dispatch.
+  std::vector<std::int64_t> order_;
   bool built_ = false;
 };
 

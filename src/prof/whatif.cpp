@@ -29,10 +29,19 @@ std::uint64_t cost_key(int src_node, int dst_node, Bytes bytes) {
          static_cast<std::uint64_t>(bytes);
 }
 
+// Wake/protocol event keys — the same intrinsic (time, key) total order
+// the engine uses, so ties pop in the same order here as there.
+std::uint64_t wake_key(int rank) {
+  return (std::uint64_t{1} << 63) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 47);
+}
+
 // Mirror of sim::Engine with the cost model swapped for lookups into the
-// recorded trace.  Scheduling rules, tie-breaking (event insertion
-// order), and every queue-push site match the engine one for one, so the
-// unmodified scenario reproduces the recorded schedule exactly.
+// recorded trace.  Scheduling rules, the protocol-message machinery
+// (eager arrivals, rendezvous RTS/CTS), tie-breaking (the engine's
+// intrinsic event keys), and every queue-push site match the engine one
+// for one, so the unmodified scenario reproduces the recorded schedule
+// exactly.
 class Evaluator {
  public:
   Evaluator(const RunTrace& trace, const WhatIf& scenario)
@@ -44,31 +53,49 @@ class Evaluator {
     SOC_CHECK(scenario_.dvfs_compute > 0.0 && scenario_.dvfs_dram > 0.0,
               "what-if: DVFS frequency scales must be positive");
     // Message costs: latency is recorded per message; the wire share is
-    // the rest of the transfer window.  Identical (nodes, bytes) keys
-    // always carry identical costs (the cost model is deterministic).
+    // the rest of the *nominal* transfer window (MessageRecord::end
+    // excludes port queueing by contract).  Identical (nodes, bytes)
+    // keys always carry identical costs (the cost model is
+    // deterministic), and any pair that ever communicates has at least
+    // one recorded message to take the pair latency from.
     for (const sim::MessageRecord& m : trace_.messages) {
       const int src = node_of(m.src_rank);
       const int dst = node_of(m.dst_rank);
       const SimTime xfer = (m.end - m.start) - m.latency;
       costs_[cost_key(src, dst, m.bytes)] = {m.latency, xfer};
+      latencies_[(static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                  << 32) |
+                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))] =
+          m.latency;
     }
   }
 
   SimTime run() {
     const std::size_t n = static_cast<std::size_t>(trace_.placement.ranks);
+    const std::size_t nodes = static_cast<std::size_t>(trace_.placement.nodes);
     states_.assign(n, State{});
     finish_.assign(n, 0);
-    gpu_free_.assign(static_cast<std::size_t>(trace_.placement.nodes), 0);
-    copy_free_.assign(static_cast<std::size_t>(trace_.placement.nodes), 0);
-    nic_tx_free_.assign(static_cast<std::size_t>(trace_.placement.nodes), 0);
-    nic_rx_free_.assign(static_cast<std::size_t>(trace_.placement.nodes), 0);
-    fabric_free_ = 0;
+    proto_seq_.assign(n, 0);
+    gpu_free_.assign(nodes, 0);
+    copy_free_.assign(nodes, 0);
+    nic_tx_free_.assign(nodes, 0);
+    nic_rx_free_.assign(nodes, 0);
+    port_free_.assign(nodes, 0);
     for (std::size_t r = 0; r < n; ++r) {
-      queue_.push(0, static_cast<int>(r));
+      queue_.push(0, wake_key(static_cast<int>(r)), static_cast<int>(r));
     }
     while (!queue_.empty()) {
-      const sim::Event e = queue_.pop();
-      execute(e.payload, e.time);
+      const sim::KeyedEvent e = queue_.pop();
+      if (e.payload >= 0) {
+        execute(e.payload, e.time);
+      } else {
+        const Proto p = protos_[static_cast<std::size_t>(-(e.payload + 1))];
+        switch (p.kind) {
+          case ProtoKind::kArrival: process_arrival(p); break;
+          case ProtoKind::kRts: process_rts(p, e.time); break;
+          case ProtoKind::kCts: advance(p.src_rank, e.time); break;
+        }
+      }
     }
     SimTime makespan = 0;
     for (std::size_t r = 0; r < n; ++r) {
@@ -91,6 +118,7 @@ class Evaluator {
     SimTime ready = 0;
     Bytes bytes = 0;
     int tag = 0;
+    SimTime tx_est = 0;
   };
   struct PendingRecv {
     int rank = 0;
@@ -98,6 +126,17 @@ class Evaluator {
   };
   struct Arrival {
     SimTime time = 0;
+  };
+  enum class ProtoKind : std::uint8_t { kArrival, kRts, kCts };
+  struct Proto {
+    ProtoKind kind = ProtoKind::kArrival;
+    int src_rank = 0;
+    int dst_rank = 0;
+    int tag = 0;
+    Bytes bytes = 0;
+    SimTime ready = 0;   ///< kRts: the sender's dispatch time.
+    SimTime end = 0;     ///< kArrival: nominal wire end.
+    SimTime tx_est = 0;  ///< kRts: sender NIC estimate shipped with it.
   };
 
   int node_of(int rank) const {
@@ -122,6 +161,32 @@ class Evaluator {
     const auto it = costs_.find(cost_key(src_node, dst_node, bytes));
     SOC_CHECK(it != costs_.end(), "what-if: message cost not in trace");
     return it->second;
+  }
+  SimTime pair_latency(int src_node, int dst_node) const {
+    const auto it = latencies_.find(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_node))
+         << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst_node)));
+    SOC_CHECK(it != latencies_.end(), "what-if: pair latency not in trace");
+    return it->second;
+  }
+  bool use_protocol(int src_rank, int dst_rank) const {
+    return !scenario_.ideal_network && node_of(src_rank) != node_of(dst_rank);
+  }
+  /// Under `uncontended` the shared NIC/port clocks are never advanced,
+  /// so the engine-mirroring max() reads below see zeros and collapse to
+  /// the uncontended times without changing any formula.
+  bool contended() const { return !scenario_.uncontended; }
+  void emit_proto(int emitter_rank, int target_rank, SimTime time,
+                  const Proto& p) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(target_rank))
+         << 47) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(emitter_rank))
+         << 32) |
+        proto_seq_[static_cast<std::size_t>(emitter_rank)]++;
+    protos_.push_back(p);
+    queue_.push(time, key, -static_cast<std::int32_t>(protos_.size()));
   }
   double scale_for(int rank) const {
     if (scenario_.compute_scale.empty()) return 1.0;
@@ -208,16 +273,35 @@ class Evaluator {
       }
     }
     ++st.pc;
-    queue_.push(start + dur, rank);
+    queue_.push(start + dur, wake_key(rank), rank);
   }
 
   void advance(int rank, SimTime wake) {
     ++states_[static_cast<std::size_t>(rank)].pc;
-    queue_.push(wake, rank);
+    queue_.push(wake, wake_key(rank), rank);
   }
 
   void start_send(int rank, SimTime now, const OpExec& op) {
     const std::uint64_t key = msg_key(rank, op.peer, op.tag);
+    if (use_protocol(rank, op.peer)) {
+      if (op.bytes <= trace_.config.eager_threshold) {
+        launch_eager_remote(rank, op.peer, now, op.bytes, op.tag);
+        advance(rank, now + send_overhead(rank));
+        return;
+      }
+      // Rendezvous: park and announce with an RTS one wire latency out.
+      Proto p;
+      p.kind = ProtoKind::kRts;
+      p.src_rank = rank;
+      p.dst_rank = op.peer;
+      p.tag = op.tag;
+      p.bytes = op.bytes;
+      p.ready = now;
+      p.tx_est = nic_tx_free_[static_cast<std::size_t>(node_of(rank))];
+      emit_proto(rank, op.peer,
+                 now + pair_latency(node_of(rank), node_of(op.peer)), p);
+      return;  // blocked until the CTS lands
+    }
     if (op.bytes <= trace_.config.eager_threshold) {
       const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes);
       const SimTime overhead = send_overhead(rank);
@@ -253,7 +337,7 @@ class Evaluator {
       resolve_request(recv_rank, end + recv_overhead(recv_rank));
       return;
     }
-    pending_sends_[key].push_back(PendingSend{rank, now, op.bytes, op.tag});
+    pending_sends_[key].push_back(PendingSend{rank, now, op.bytes, op.tag, 0});
   }
 
   void start_recv(int rank, SimTime now, const OpExec& op) {
@@ -269,7 +353,13 @@ class Evaluator {
     if (pending != nullptr && !pending->empty()) {
       const PendingSend ps = pending->front();
       pending->pop_front();
-      complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes);
+      if (use_protocol(op.peer, rank)) {
+        const SimTime end =
+            rendezvous_match(ps, rank, now, std::max(ps.ready, now));
+        advance(rank, end);
+      } else {
+        complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes);
+      }
       return;
     }
     pending_recvs_[key].push_back(PendingRecv{rank, now});
@@ -278,8 +368,14 @@ class Evaluator {
   void start_isend(int rank, SimTime now, const OpExec& op) {
     auto& st = states_[static_cast<std::size_t>(rank)];
     const std::uint64_t key = msg_key(rank, op.peer, op.tag);
-    const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes);
     const SimTime overhead = send_overhead(rank);
+    if (use_protocol(rank, op.peer)) {
+      launch_eager_remote(rank, op.peer, now, op.bytes, op.tag);
+      st.requests_complete = std::max(st.requests_complete, now + overhead);
+      advance(rank, now + overhead);
+      return;
+    }
+    const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes);
     st.requests_complete = std::max(st.requests_complete, now + overhead);
     auto* pending = pending_recvs_.find(key);
     auto* posted = pending_irecvs_.find(key);
@@ -312,11 +408,18 @@ class Evaluator {
       if (pending != nullptr && !pending->empty()) {
         const PendingSend ps = pending->front();
         pending->pop_front();
-        const SimTime end =
-            timed_transfer(ps.rank, rank, std::max(ps.ready, now), ps.bytes);
-        advance(ps.rank, end);
-        st.requests_complete =
-            std::max(st.requests_complete, end + recv_overhead(rank));
+        if (use_protocol(op.peer, rank)) {
+          const SimTime end =
+              rendezvous_match(ps, rank, now, std::max(ps.ready, now));
+          st.requests_complete =
+              std::max(st.requests_complete, end + recv_overhead(rank));
+        } else {
+          const SimTime end =
+              timed_transfer(ps.rank, rank, std::max(ps.ready, now), ps.bytes);
+          advance(ps.rank, end);
+          st.requests_complete =
+              std::max(st.requests_complete, end + recv_overhead(rank));
+        }
       } else {
         ++st.unresolved;
         pending_irecvs_[key].push_back(rank);
@@ -351,73 +454,150 @@ class Evaluator {
     st.requests_complete = std::max(st.requests_complete, completion);
     if (st.waiting_all && st.unresolved == 0) {
       st.waiting_all = false;
-      queue_.push(st.requests_complete, rank);
+      queue_.push(st.requests_complete, wake_key(rank), rank);
     }
   }
 
+  // Instant path only (same node, or the ideal-network scenario) — the
+  // same split as the engine; cross-node transfers on a real network go
+  // through the protocol-message path above and never reach here.
   SimTime timed_transfer(int send_rank, int recv_rank, SimTime earliest,
                          Bytes bytes) {
-    const int src_node = node_of(send_rank);
-    const int dst_node = node_of(recv_rank);
-    SimTime start = earliest;
     SimTime duration = 0;
     if (!scenario_.ideal_network) {
-      if (src_node != dst_node && !scenario_.uncontended) {
-        start = std::max({start,
-                          nic_tx_free_[static_cast<std::size_t>(src_node)],
-                          nic_rx_free_[static_cast<std::size_t>(dst_node)]});
-        if (trace_.config.bisection_bandwidth > 0.0) {
-          start = std::max(start, fabric_free_);
-        }
-      }
-      const auto [latency, xfer] = message_cost(src_node, dst_node, bytes);
+      const auto [latency, xfer] =
+          message_cost(node_of(send_rank), node_of(recv_rank), bytes);
       duration = latency + xfer;
-      if (src_node != dst_node && !scenario_.uncontended) {
-        nic_tx_free_[static_cast<std::size_t>(src_node)] = start + duration;
-        nic_rx_free_[static_cast<std::size_t>(dst_node)] = start + duration;
-        if (trace_.config.bisection_bandwidth > 0.0) {
-          fabric_free_ =
-              start + transfer_time(bytes, trace_.config.bisection_bandwidth);
-        }
-      }
     }
-    return start + duration;
+    return earliest + duration;
   }
 
   SimTime launch_eager(int src_rank, int dst_rank, SimTime now, Bytes bytes) {
+    if (scenario_.ideal_network) return now;
+    const auto [latency, xfer] =
+        message_cost(node_of(src_rank), node_of(dst_rank), bytes);
+    return now + latency + xfer;
+  }
+
+  void launch_eager_remote(int src_rank, int dst_rank, SimTime now,
+                           Bytes bytes, int tag) {
     const int src_node = node_of(src_rank);
     const int dst_node = node_of(dst_rank);
-    if (scenario_.ideal_network) return now;
-    SimTime start = now;
-    if (src_node != dst_node && !scenario_.uncontended) {
-      start = std::max(now, nic_tx_free_[static_cast<std::size_t>(src_node)]);
-      if (trace_.config.bisection_bandwidth > 0.0) {
-        start = std::max(start, fabric_free_);
-        fabric_free_ =
-            start + transfer_time(bytes, trace_.config.bisection_bandwidth);
-      }
-    }
+    auto& nic_tx = nic_tx_free_[static_cast<std::size_t>(src_node)];
+    const SimTime start = std::max(now, nic_tx);
     const auto [latency, xfer] = message_cost(src_node, dst_node, bytes);
     const SimTime arrival = start + latency + xfer;
-    if (src_node != dst_node && !scenario_.uncontended) {
-      nic_tx_free_[static_cast<std::size_t>(src_node)] = start + xfer;
-      nic_rx_free_[static_cast<std::size_t>(dst_node)] = std::max(
-          nic_rx_free_[static_cast<std::size_t>(dst_node)], arrival);
+    if (contended()) nic_tx = start + xfer;
+    Proto p;
+    p.kind = ProtoKind::kArrival;
+    p.src_rank = src_rank;
+    p.dst_rank = dst_rank;
+    p.tag = tag;
+    p.bytes = bytes;
+    p.end = arrival;
+    emit_proto(src_rank, dst_rank, arrival, p);
+  }
+
+  void process_arrival(const Proto& p) {
+    const int dst = p.dst_rank;
+    const int dst_node = node_of(dst);
+    const std::uint64_t key = msg_key(p.src_rank, dst, p.tag);
+    SimTime delivery = p.end;
+    if (trace_.config.bisection_bandwidth > 0.0) {
+      auto& port = port_free_[static_cast<std::size_t>(dst_node)];
+      delivery = std::max(p.end, port);
+      if (contended()) {
+        port = delivery +
+               transfer_time(p.bytes, trace_.config.bisection_bandwidth /
+                                          trace_.placement.nodes);
+      }
     }
-    return arrival;
+    auto& nic_rx = nic_rx_free_[static_cast<std::size_t>(dst_node)];
+    if (contended()) nic_rx = std::max(nic_rx, delivery);
+    auto* pending = pending_recvs_.find(key);
+    auto* posted = pending_irecvs_.find(key);
+    if (pending != nullptr && !pending->empty()) {
+      const PendingRecv pr = pending->front();
+      pending->pop_front();
+      advance(pr.rank, std::max(pr.ready, delivery) + recv_overhead(pr.rank));
+    } else if (posted != nullptr && !posted->empty()) {
+      const int recv_rank = posted->front();
+      posted->pop_front();
+      resolve_request(recv_rank, delivery + recv_overhead(recv_rank));
+    } else {
+      arrivals_[key].push_back(Arrival{delivery});
+    }
+  }
+
+  void process_rts(const Proto& p, SimTime now) {
+    const int dst = p.dst_rank;
+    const std::uint64_t key = msg_key(p.src_rank, dst, p.tag);
+    const PendingSend ps{p.src_rank, p.ready, p.bytes, p.tag, p.tx_est};
+    auto* pending = pending_recvs_.find(key);
+    if (pending != nullptr && !pending->empty()) {
+      const PendingRecv pr = pending->front();
+      pending->pop_front();
+      const SimTime end =
+          rendezvous_match(ps, pr.rank, now, std::max(ps.ready, pr.ready));
+      advance(pr.rank, end);
+      return;
+    }
+    auto* posted = pending_irecvs_.find(key);
+    if (posted != nullptr && !posted->empty()) {
+      const int recv_rank = posted->front();
+      posted->pop_front();
+      const SimTime end = rendezvous_match(ps, recv_rank, now, ps.ready);
+      resolve_request(recv_rank, end + recv_overhead(recv_rank));
+      return;
+    }
+    pending_sends_[key].push_back(ps);
+  }
+
+  SimTime rendezvous_match(const PendingSend& ps, int recv_rank,
+                           SimTime match_time, SimTime start_base) {
+    const int src_node = node_of(ps.rank);
+    const int dst_node = node_of(recv_rank);
+    SimTime start = std::max({start_base, ps.tx_est,
+                              nic_rx_free_[static_cast<std::size_t>(dst_node)]});
+    if (trace_.config.bisection_bandwidth > 0.0) {
+      auto& port = port_free_[static_cast<std::size_t>(dst_node)];
+      start = std::max(start, port);
+      if (contended()) {
+        port = start +
+               transfer_time(ps.bytes, trace_.config.bisection_bandwidth /
+                                           trace_.placement.nodes);
+      }
+    }
+    const auto [latency, xfer] = message_cost(src_node, dst_node, ps.bytes);
+    const SimTime end = start + latency + xfer;
+    if (contended()) {
+      nic_rx_free_[static_cast<std::size_t>(dst_node)] = end;
+    }
+    const SimTime cts = std::max(end, match_time + latency);
+    Proto cp;
+    cp.kind = ProtoKind::kCts;
+    cp.src_rank = ps.rank;
+    cp.dst_rank = recv_rank;
+    cp.tag = ps.tag;
+    cp.bytes = ps.bytes;
+    emit_proto(recv_rank, ps.rank, cts, cp);
+    return end;
   }
 
   const RunTrace& trace_;
   const WhatIf& scenario_;
   std::map<std::uint64_t, std::pair<SimTime, SimTime>> costs_;
-  sim::EventQueue queue_;
+  std::map<std::uint64_t, SimTime> latencies_;
+  sim::KeyedEventQueue queue_;
+  std::vector<Proto> protos_;
+  std::vector<std::uint32_t> proto_seq_;
   std::vector<State> states_;
   std::vector<SimTime> finish_;
   std::vector<SimTime> gpu_free_;
   std::vector<SimTime> copy_free_;
   std::vector<SimTime> nic_tx_free_;
   std::vector<SimTime> nic_rx_free_;
-  SimTime fabric_free_ = 0;
+  std::vector<SimTime> port_free_;
   flat_map<std::uint64_t, RingQueue<PendingSend>> pending_sends_;
   flat_map<std::uint64_t, RingQueue<PendingRecv>> pending_recvs_;
   flat_map<std::uint64_t, RingQueue<int>> pending_irecvs_;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace soc::sim {
 
@@ -54,6 +56,8 @@ Engine::Engine(Placement placement, const CostModel& cost_model,
                 static_cast<int>(scenario_.compute_scale.size()) ==
                     placement_.ranks,
             "compute_scale size mismatch");
+  SOC_CHECK(config_.shards >= 1, "shards must be >= 1");
+  SOC_CHECK(config_.threads >= 0, "threads must be >= 0");
 }
 
 Engine::MsgKey Engine::msg_key(int src, int dst, int tag) {
@@ -61,6 +65,49 @@ Engine::MsgKey Engine::msg_key(int src, int dst, int tag) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) |
          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 21) |
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag) & 0x1FFFFF);
+}
+
+std::uint64_t Engine::wake_key(int rank) {
+  // Class bit set: wake-ups sort after protocol messages at equal times
+  // (a proto can schedule a same-time wake, never the reverse).
+  return (1ULL << 63) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 47);
+}
+
+std::uint64_t Engine::next_proto_key(int emitter_rank, int dst_rank) {
+  // Class bit clear; (emitter, per-emitter seq) makes the key unique among
+  // all coexisting events, and the emitter's shard owns the counter so
+  // assignment order is shard-deterministic.
+  const std::uint32_t seq =
+      proto_seq_[static_cast<std::size_t>(emitter_rank)]++;
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst_rank))
+          << 47) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(emitter_rank))
+          << 32) |
+         seq;
+}
+
+Engine::Shard& Engine::shard_of(int rank) {
+  return shards_[static_cast<std::size_t>(
+      shard_of_rank_[static_cast<std::size_t>(rank)])];
+}
+
+bool Engine::use_protocol(int src_rank, int dst_rank) const {
+  return protocol_ &&
+         placement_.node_of[static_cast<std::size_t>(src_rank)] !=
+             placement_.node_of[static_cast<std::size_t>(dst_rank)];
+}
+
+SimTime Engine::min_cross_node_latency() const {
+  SimTime best = -1;
+  for (int a = 0; a < placement_.nodes; ++a) {
+    for (int b = 0; b < placement_.nodes; ++b) {
+      if (a == b) continue;
+      const SimTime l = cost_.message_latency(a, b);
+      if (best < 0 || l < best) best = l;
+    }
+  }
+  return best < 0 ? 0 : best;
 }
 
 double Engine::compute_scale_for(int rank) const {
@@ -127,46 +174,106 @@ RunStats Engine::run(OpSource& source) {
   SOC_CHECK(source.ranks() == placement_.ranks,
             "one op stream per rank required");
   const std::size_t n = static_cast<std::size_t>(placement_.ranks);
+  const std::size_t nodes = static_cast<std::size_t>(placement_.nodes);
+  source_ = &source;
+
+  // -- Partitioning.  Cross-node pairs communicate through timestamped
+  //    protocol messages whenever the network is real; the conservative
+  //    lookahead is the minimum cross-node latency, and sharding is only
+  //    sound when it is positive (a zero lookahead admits same-instant
+  //    cross-shard effects, so the run collapses to one shard).
+  protocol_ = !scenario_.ideal_network && placement_.nodes > 1;
+  lookahead_ = protocol_ ? min_cross_node_latency() : 0;
+  nshards_ = 1;
+  if (lookahead_ > 0 && config_.shards > 1) {
+    nshards_ = std::min(config_.shards, placement_.nodes);
+  }
+  if (protocol_) {
+    SOC_CHECK(placement_.ranks < (1 << 15),
+              "protocol event keys support < 32768 ranks");
+  }
+  if (nshards_ <= 1) {
+    nthreads_ = 1;
+  } else if (config_.threads == 0) {
+    nthreads_ = static_cast<int>(
+        effective_threads(0, static_cast<std::size_t>(nshards_)));
+  } else {
+    // Explicit thread counts are honored even above the hardware
+    // concurrency so the window/barrier machinery is exercisable on any
+    // host; extra threads just time-slice.
+    nthreads_ = std::min(config_.threads, nshards_);
+  }
+  config_.lookahead = lookahead_;
+
+  // Nodes partition into contiguous shard blocks; a rank lives on its
+  // node's shard, so intra-node messaging is always shard-local.
+  shard_of_node_.assign(nodes, 0);
+  for (std::size_t node = 0; node < nodes; ++node) {
+    shard_of_node_[node] = static_cast<int>(node * static_cast<std::size_t>(
+                                                       nshards_) /
+                                            nodes);
+  }
+  shard_of_rank_.assign(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    shard_of_rank_[r] =
+        shard_of_node_[static_cast<std::size_t>(placement_.node_of[r])];
+  }
+
   states_.assign(n, RankState{});
   stats_ = RunStats{};
   stats_.timeline_bin_seconds = config_.timeline_bin_seconds;
   stats_.ranks.assign(n, RankStats{});
-  stats_.nodes.assign(static_cast<std::size_t>(placement_.nodes),
-                      NodeTimeline{});
-  gpu_free_.assign(static_cast<std::size_t>(placement_.nodes), 0);
-  copy_free_.assign(static_cast<std::size_t>(placement_.nodes), 0);
-  nic_tx_free_.assign(static_cast<std::size_t>(placement_.nodes), 0);
-  nic_rx_free_.assign(static_cast<std::size_t>(placement_.nodes), 0);
-  fabric_free_ = 0;
-  pending_sends_.clear();
-  pending_recvs_.clear();
-  pending_irecvs_.clear();
-  arrivals_.clear();
-  queue_.clear();
+  stats_.nodes.assign(nodes, NodeTimeline{});
+  gpu_free_.assign(nodes, 0);
+  copy_free_.assign(nodes, 0);
+  nic_tx_free_.assign(nodes, 0);
+  nic_rx_free_.assign(nodes, 0);
+  port_free_.assign(nodes, 0);
+  proto_seq_.assign(n, 0);
+
   // Reservations only: committed events are identical for any hint value
   // (determinism_test pins this with a checksum-equality case).
   const std::size_t reserve =
       config_.queue_reserve > 0
           ? static_cast<std::size_t>(config_.queue_reserve)
           : 2 * n + 16;
-  queue_.reserve(reserve);
-  pending_sends_.reserve(reserve);
-  pending_recvs_.reserve(reserve);
-  pending_irecvs_.reserve(reserve);
-  arrivals_.reserve(reserve);
+  shards_.resize(static_cast<std::size_t>(nshards_));
+  for (auto& sh : shards_) {
+    sh.queue.clear();
+    sh.queue.reserve(reserve);
+    sh.proto_pool.clear();
+    sh.proto_free.clear();
+    sh.pending_sends.clear();
+    sh.pending_recvs.clear();
+    sh.pending_irecvs.clear();
+    sh.arrivals.clear();
+    sh.pending_sends.reserve(reserve);
+    sh.pending_recvs.reserve(reserve);
+    sh.pending_irecvs.reserve(reserve);
+    sh.arrivals.reserve(reserve);
+    sh.commits.clear();
+    sh.outbox.resize(static_cast<std::size_t>(nshards_));
+    for (auto& box : sh.outbox) {
+      while (!box.empty()) box.pop_front();
+    }
+    sh.ev_time = 0;
+    sh.ev_key = 0;
+  }
   audit_ = Fnv1a{};
+  merged_.clear();
   pending_send_depth_ = 0;
   pending_recv_depth_ = 0;
   if (observer_ != nullptr) observer_->on_run_begin(placement_, config_);
 
   const SimTime horizon = from_seconds(config_.max_sim_seconds);
-  for (std::size_t r = 0; r < n; ++r) queue_.push(0, static_cast<int>(r));
+  for (std::size_t r = 0; r < n; ++r) wake(static_cast<int>(r), 0);
 
-  while (!queue_.empty()) {
-    const Event e = queue_.pop();
-    SOC_CHECK(e.time <= horizon, "simulation exceeded max_sim_seconds");
-    execute_next(e.payload, e.time, source);
+  if (nshards_ <= 1) {
+    run_serial(horizon);
+  } else {
+    run_windowed(horizon);
   }
+  source_ = nullptr;
 
   // Every rank must have drained its stream; otherwise communication
   // deadlocked (a send or recv never found its partner).
@@ -197,34 +304,257 @@ RunStats Engine::run(OpSource& source) {
   return stats_;
 }
 
-void Engine::audit_event(SimTime now, int rank, std::uint8_t kind, Bytes bytes,
-                         int peer, int tag) {
-  audit_.mix_i64(now)
-      .mix_u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)))
-      .mix_byte(kind)
-      .mix_i64(bytes);
-  ++stats_.events_committed;
-  if (observer_ != nullptr) {
-    DispatchRecord record;
-    record.time = now;
-    record.rank = rank;
-    record.node = placement_.node_of[static_cast<std::size_t>(rank)];
-    record.phase = states_[static_cast<std::size_t>(rank)].phase;
-    record.kind = kind;
-    record.bytes = bytes;
-    record.pc =
-        static_cast<std::int32_t>(states_[static_cast<std::size_t>(rank)].pc);
-    record.peer = peer;
-    record.tag = tag;
-    observer_->on_dispatch(record);
+void Engine::run_serial(SimTime horizon) {
+  // One shard, no windows.  Commit records still buffer and flush in
+  // canonical (time, key) order — per completed timestamp, which is
+  // exactly the order the windowed merge produces (late same-time
+  // insertions land before the flush, so sorting the batch is enough).
+  Shard& sh = shards_[0];
+  SimTime flushed = 0;
+  while (!sh.queue.empty()) {
+    if (sh.queue.top().time != flushed) {
+      replay_commits(sh.commits);
+      flushed = sh.queue.top().time;
+    }
+    const KeyedEvent e = sh.queue.pop();
+    SOC_CHECK(e.time <= horizon, "simulation exceeded max_sim_seconds");
+    process_event(sh, e);
+  }
+  replay_commits(sh.commits);
+}
+
+void Engine::step_shard(Shard& sh, SimTime window_end, SimTime horizon) {
+  while (!sh.queue.empty() && sh.queue.top().time < window_end) {
+    const KeyedEvent e = sh.queue.pop();
+    SOC_CHECK(e.time <= horizon, "simulation exceeded max_sim_seconds");
+    process_event(sh, e);
   }
 }
 
-void Engine::observe_span(Lane lane, int rank, int node, std::uint8_t kind,
-                          SimTime start, SimTime end, SimTime queue_wait,
-                          SimTime fabric_wait, Bytes bytes) {
+void Engine::run_windowed(SimTime horizon) {
+  // Conservative window loop: every shard may execute all events with
+  // time < H + lookahead, because anything another shard can still send
+  // it is timestamped >= its emission time + lookahead >= H + lookahead.
+  // Between windows the coordinator (this thread) drains the mailboxes,
+  // merges the per-shard commit buffers into the canonical stream, and
+  // advances H to the earliest remaining event.
+  SimTime window_end = 0;
+  SimTime h = 0;  // Every rank starts queued at t = 0.
+
+  const auto finish_window = [&]() {
+    drain_outboxes();
+    for (auto& sh : shards_) {
+      merged_.insert(merged_.end(), sh.commits.begin(), sh.commits.end());
+      sh.commits.clear();
+    }
+    replay_commits(merged_);
+  };
+  const auto next_horizon = [&](SimTime* out) {
+    bool any = false;
+    SimTime next = 0;
+    for (const auto& sh : shards_) {
+      if (sh.queue.empty()) continue;
+      const SimTime t = sh.queue.top().time;
+      if (!any || t < next) next = t;
+      any = true;
+    }
+    if (any) *out = next;
+    return any;
+  };
+
+  if (nthreads_ <= 1) {
+    for (;;) {
+      window_end = h + lookahead_;
+      for (auto& sh : shards_) step_shard(sh, window_end, horizon);
+      finish_window();
+      if (!next_horizon(&h)) return;
+      SOC_CHECK(h >= window_end, "conservative lookahead violated");
+    }
+  }
+
+  // Persistent worker pool; two barrier cycles per window.  The
+  // coordinator writes window_end / stop strictly before the start
+  // barrier and reads shard state strictly after the end barrier, so the
+  // barrier's happens-before is the only synchronization the shard state
+  // (and the mailboxes) needs.
+  Barrier start_bar(nthreads_ + 1);
+  Barrier end_bar(nthreads_ + 1);
+  bool stop = false;  // SOC_SHARED(start_bar)
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(nthreads_));  // SOC_SHARED(end_bar)
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nthreads_));
+  for (int t = 0; t < nthreads_; ++t) {
+    pool.emplace_back([this, t, &start_bar, &end_bar, &stop, &errors,
+                       &window_end, horizon] {
+      for (;;) {
+        start_bar.arrive_and_wait();
+        if (stop) return;
+        try {
+          for (int s = t; s < nshards_; s += nthreads_) {
+            step_shard(shards_[static_cast<std::size_t>(s)], window_end,
+                       horizon);
+          }
+        } catch (...) {
+          errors[static_cast<std::size_t>(t)] = std::current_exception();
+        }
+        end_bar.arrive_and_wait();
+      }
+    });
+  }
+
+  std::exception_ptr failure;
+  for (;;) {
+    window_end = h + lookahead_;
+    start_bar.arrive_and_wait();
+    end_bar.arrive_and_wait();
+    for (auto& err : errors) {
+      if (err && !failure) failure = err;
+      err = nullptr;
+    }
+    if (failure) break;
+    finish_window();
+    if (!next_horizon(&h)) break;
+    SOC_CHECK(h >= window_end, "conservative lookahead violated");
+  }
+  stop = true;
+  start_bar.arrive_and_wait();
+  for (auto& th : pool) th.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+void Engine::drain_outboxes() {
+  for (int ts = 0; ts < nshards_; ++ts) {
+    Shard& dst = shards_[static_cast<std::size_t>(ts)];
+    for (int fs = 0; fs < nshards_; ++fs) {
+      auto& box = shards_[static_cast<std::size_t>(fs)]
+                      .outbox[static_cast<std::size_t>(ts)];
+      while (!box.empty()) {
+        enqueue_proto(dst, box.front());
+        box.pop_front();
+      }
+    }
+  }
+}
+
+void Engine::enqueue_proto(Shard& dst, const ProtoMsg& p) {
+  std::int32_t slot;
+  if (!dst.proto_free.empty()) {
+    slot = dst.proto_free.back();
+    dst.proto_free.pop_back();
+    dst.proto_pool[static_cast<std::size_t>(slot)] = p;
+  } else {
+    slot = static_cast<std::int32_t>(dst.proto_pool.size());
+    dst.proto_pool.push_back(p);
+  }
+  // Negative payload marks a proto; the slot survives until the event
+  // pops (protos routinely outlive many windows).
+  dst.queue.push(p.time, p.key, -(slot + 1));
+}
+
+void Engine::send_proto(int emitter_rank, int target_rank, const ProtoMsg& p) {
+  const int fs = shard_of_rank_[static_cast<std::size_t>(emitter_rank)];
+  const int ts = shard_of_rank_[static_cast<std::size_t>(target_rank)];
+  if (fs == ts) {
+    enqueue_proto(shards_[static_cast<std::size_t>(fs)], p);
+  } else {
+    shards_[static_cast<std::size_t>(fs)]
+        .outbox[static_cast<std::size_t>(ts)]
+        .push_back(p);
+  }
+}
+
+void Engine::process_event(Shard& sh, const KeyedEvent& e) {
+  // Commit records emitted while this event executes inherit its
+  // canonical (time, key) — that is what lets the coordinator restore
+  // the global total order from per-shard buffers.
+  sh.ev_time = e.time;
+  sh.ev_key = e.key;
+  if (e.payload < 0) {
+    const std::int32_t slot = -(e.payload + 1);
+    const ProtoMsg p = sh.proto_pool[static_cast<std::size_t>(slot)];
+    sh.proto_free.push_back(slot);
+    switch (p.kind) {
+      case ProtoKind::kArrival: process_arrival(p, e.time); return;
+      case ProtoKind::kRts: process_rts(p, e.time); return;
+      case ProtoKind::kCts: process_cts(p, e.time); return;
+    }
+    SOC_CHECK(false, "unknown protocol message kind");
+  }
+  execute_next(e.payload, e.time);
+}
+
+void Engine::replay_commits(std::vector<CommitRec>& recs) {
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const CommitRec& a, const CommitRec& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.key < b.key;
+                   });
+  for (const CommitRec& rec : recs) {
+    switch (rec.type) {
+      case CommitType::kDispatch: {
+        const DispatchRecord& d = rec.u.dispatch;
+        audit_.mix_i64(d.time)
+            .mix_u64(static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(d.rank)))
+            .mix_byte(d.kind)
+            .mix_i64(d.bytes);
+        ++stats_.events_committed;
+        if (observer_ != nullptr) observer_->on_dispatch(d);
+        break;
+      }
+      case CommitType::kSpan:
+        if (observer_ != nullptr) observer_->on_span(rec.u.span);
+        break;
+      case CommitType::kMessage:
+        if (observer_ != nullptr) observer_->on_message(rec.u.message);
+        break;
+      case CommitType::kPendingPark:
+        pending_send_depth_ += rec.u.pending.sends;
+        pending_recv_depth_ += rec.u.pending.recvs;
+        if (observer_ != nullptr) {
+          observer_->on_pending(pending_send_depth_, pending_recv_depth_);
+        }
+        break;
+      case CommitType::kPendingMatch:
+        pending_send_depth_ += rec.u.pending.sends;
+        pending_recv_depth_ += rec.u.pending.recvs;
+        break;
+    }
+  }
+  recs.clear();
+}
+
+void Engine::commit_dispatch(int rank, SimTime now, std::uint8_t kind,
+                             Bytes bytes, int peer, int tag) {
+  Shard& sh = shard_of(rank);
+  CommitRec rec;
+  rec.time = sh.ev_time;
+  rec.key = sh.ev_key;
+  rec.type = CommitType::kDispatch;
+  DispatchRecord& d = rec.u.dispatch;
+  d.time = now;
+  d.rank = rank;
+  d.node = placement_.node_of[static_cast<std::size_t>(rank)];
+  d.phase = states_[static_cast<std::size_t>(rank)].phase;
+  d.kind = kind;
+  d.bytes = bytes;
+  d.pc = static_cast<std::int32_t>(states_[static_cast<std::size_t>(rank)].pc);
+  d.peer = peer;
+  d.tag = tag;
+  sh.commits.push_back(rec);
+}
+
+void Engine::commit_span(Lane lane, int rank, int node, std::uint8_t kind,
+                         SimTime start, SimTime end, SimTime queue_wait,
+                         SimTime fabric_wait, Bytes bytes) {
   if (observer_ == nullptr) return;
-  SpanRecord span;
+  Shard& sh = shard_of(rank);
+  CommitRec rec;
+  rec.time = sh.ev_time;
+  rec.key = sh.ev_key;
+  rec.type = CommitType::kSpan;
+  SpanRecord& span = rec.u.span;
   span.lane = lane;
   span.rank = rank;
   span.node = node;
@@ -235,13 +565,32 @@ void Engine::observe_span(Lane lane, int rank, int node, std::uint8_t kind,
   span.queue_wait = queue_wait;
   span.fabric_wait = fabric_wait;
   span.bytes = bytes;
-  observer_->on_span(span);
+  sh.commits.push_back(rec);
 }
 
-void Engine::observe_pending() {
-  if (observer_ != nullptr) {
-    observer_->on_pending(pending_send_depth_, pending_recv_depth_);
-  }
+void Engine::commit_message(const MessageRecord& message) {
+  if (observer_ == nullptr) return;
+  // The receive side commits the transfer, so the record belongs to the
+  // receiver's shard (same shard as the emitting event).
+  Shard& sh = shard_of(message.dst_rank);
+  CommitRec rec;
+  rec.time = sh.ev_time;
+  rec.key = sh.ev_key;
+  rec.type = CommitType::kMessage;
+  rec.u.message = message;
+  sh.commits.push_back(rec);
+}
+
+void Engine::commit_pending(int rank, int dsends, int drecvs, bool park) {
+  if (observer_ == nullptr) return;
+  Shard& sh = shard_of(rank);
+  CommitRec rec;
+  rec.time = sh.ev_time;
+  rec.key = sh.ev_key;
+  rec.type = park ? CommitType::kPendingPark : CommitType::kPendingMatch;
+  rec.u.pending.sends = dsends;
+  rec.u.pending.recvs = drecvs;
+  sh.commits.push_back(rec);
 }
 
 void Engine::advance(int rank) {
@@ -250,7 +599,11 @@ void Engine::advance(int rank) {
   st.have_current = false;
 }
 
-void Engine::execute_next(int rank, SimTime now, OpSource& source) {
+void Engine::wake(int rank, SimTime time) {
+  shard_of(rank).queue.push(time, wake_key(rank), rank);
+}
+
+void Engine::execute_next(int rank, SimTime now) {
   auto& st = states_[static_cast<std::size_t>(rank)];
   st.blocked = false;
 
@@ -260,7 +613,7 @@ void Engine::execute_next(int rank, SimTime now, OpSource& source) {
   // without pulling the source again.
   for (;;) {
     if (!st.have_current) {
-      if (st.exhausted || !source.next(rank, now, &st.current)) {
+      if (st.exhausted || !source_->next(rank, now, &st.current)) {
         st.exhausted = true;
         break;
       }
@@ -269,10 +622,10 @@ void Engine::execute_next(int rank, SimTime now, OpSource& source) {
     const Op& op = st.current;
     // Every dispatch — including re-dispatch of a parked op after a
     // wake-up — is one record of the determinism digest.  The dispatch
-    // sequence is exactly the engine's total event order, so equal digests
-    // mean equal schedules.
-    audit_event(now, rank, static_cast<std::uint8_t>(op.kind), op.bytes,
-                op.peer, op.tag);
+    // sequence is exactly the engine's canonical total event order, so
+    // equal digests mean equal schedules.
+    commit_dispatch(rank, now, static_cast<std::uint8_t>(op.kind), op.bytes,
+                    op.peer, op.tag);
     switch (op.kind) {
       case OpKind::kPhase:
         st.phase = op.phase;
@@ -314,7 +667,7 @@ void Engine::execute_next(int rank, SimTime now, OpSource& source) {
     }
   }
   st.done = true;
-  audit_event(now, rank, kRankDoneAudit, 0);
+  commit_dispatch(rank, now, kRankDoneAudit, 0);
   stats_.ranks[static_cast<std::size_t>(rank)].finish_time =
       std::max(stats_.ranks[static_cast<std::size_t>(rank)].finish_time, now);
 }
@@ -334,11 +687,11 @@ void Engine::start_compute(int rank, SimTime now, const Op& op) {
   bin_busy(stats_.nodes[static_cast<std::size_t>(node)].cpu_busy, now, now + dur);
   bin_value(stats_.nodes[static_cast<std::size_t>(node)].dram_bytes, now,
             static_cast<double>(op.dram_bytes));
-  observe_span(Lane::kCpu, rank, node, static_cast<std::uint8_t>(op.kind),
-               now, now + dur, 0, 0, op.dram_bytes);
+  commit_span(Lane::kCpu, rank, node, static_cast<std::uint8_t>(op.kind),
+              now, now + dur, 0, 0, op.dram_bytes);
 
   advance(rank);
-  queue_.push(now + dur, rank);
+  wake(rank, now + dur);
 }
 
 void Engine::start_delay(int rank, SimTime now, const Op& op) {
@@ -355,11 +708,11 @@ void Engine::start_delay(int rank, SimTime now, const Op& op) {
   rs.cpu_busy += dur;
   add_phase_compute(rank, dur);
   bin_busy(stats_.nodes[static_cast<std::size_t>(node)].cpu_busy, now, now + dur);
-  observe_span(Lane::kCpu, rank, node, static_cast<std::uint8_t>(op.kind),
-               now, now + dur, 0, 0, 0);
+  commit_span(Lane::kCpu, rank, node, static_cast<std::uint8_t>(op.kind),
+              now, now + dur, 0, 0, 0);
 
   advance(rank);
-  queue_.push(now + dur, rank);
+  wake(rank, now + dur);
 }
 
 void Engine::start_gpu(int rank, SimTime now, const Op& op) {
@@ -383,11 +736,11 @@ void Engine::start_gpu(int rank, SimTime now, const Op& op) {
            start + dur);
   bin_value(stats_.nodes[static_cast<std::size_t>(node)].dram_bytes, start,
             static_cast<double>(op.dram_bytes));
-  observe_span(Lane::kGpu, rank, node, static_cast<std::uint8_t>(op.kind),
-               start, start + dur, start - now, 0, op.dram_bytes);
+  commit_span(Lane::kGpu, rank, node, static_cast<std::uint8_t>(op.kind),
+              start, start + dur, start - now, 0, op.dram_bytes);
 
   advance(rank);
-  queue_.push(start + dur, rank);
+  wake(rank, start + dur);
 }
 
 void Engine::start_copy(int rank, SimTime now, const Op& op) {
@@ -409,11 +762,11 @@ void Engine::start_copy(int rank, SimTime now, const Op& op) {
   rs.gpu_dram_bytes += traffic;
   bin_value(stats_.nodes[static_cast<std::size_t>(node)].dram_bytes, start,
             static_cast<double>(traffic));
-  observe_span(Lane::kCopy, rank, node, static_cast<std::uint8_t>(op.kind),
-               start, start + dur, start - now, 0, op.bytes);
+  commit_span(Lane::kCopy, rank, node, static_cast<std::uint8_t>(op.kind),
+              start, start + dur, start - now, 0, op.bytes);
 
   advance(rank);
-  queue_.push(start + dur, rank);
+  wake(rank, start + dur);
 }
 
 void Engine::start_send(int rank, SimTime now, const Op& op) {
@@ -423,61 +776,96 @@ void Engine::start_send(int rank, SimTime now, const Op& op) {
   auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
   const MsgKey key = msg_key(rank, op.peer, op.tag);
 
+  if (use_protocol(rank, op.peer)) {
+    if (op.bytes <= config_.eager_threshold) {
+      // Eager: fire the payload at the receiver and keep running after
+      // the posting overhead.  Matching happens receiver-side when the
+      // kArrival message lands.
+      launch_eager_remote(rank, op.peer, now, op.bytes, op.tag);
+      const SimTime overhead = cost_.send_overhead(rank);
+      rs.msg_overhead += overhead;
+      advance(rank);
+      wake(rank, now + overhead);
+      return;
+    }
+    // Rendezvous: park and announce with an RTS that reaches the
+    // receiver's shard one wire latency from now.  The matching receive
+    // computes the transfer there and unblocks us with a kCts.
+    const int src_node = placement_.node_of[static_cast<std::size_t>(rank)];
+    const int dst_node = placement_.node_of[static_cast<std::size_t>(op.peer)];
+    ProtoMsg p;
+    p.kind = ProtoKind::kRts;
+    p.src_rank = rank;
+    p.dst_rank = op.peer;
+    p.tag = op.tag;
+    p.phase = st.phase;
+    p.bytes = op.bytes;
+    p.requested = now;
+    p.tx_est = nic_tx_free_[static_cast<std::size_t>(src_node)];
+    p.time = now + cost_.message_latency(src_node, dst_node);
+    p.key = next_proto_key(rank, op.peer);
+    send_proto(rank, op.peer, p);
+    st.blocked = true;
+    return;
+  }
+
   if (op.bytes <= config_.eager_threshold) {
+    Shard& sh = shard_of(rank);
     const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes, op.tag);
     const SimTime overhead = cost_.send_overhead(rank);
     rs.msg_overhead += overhead;
 
-    auto* pending = pending_recvs_.find(key);
-    auto* posted = pending_irecvs_.find(key);
+    auto* pending = sh.pending_recvs.find(key);
+    auto* posted = sh.pending_irecvs.find(key);
     if (pending != nullptr && !pending->empty()) {
       const PendingRecv pr = pending->front();
       pending->pop_front();
-      --pending_recv_depth_;
+      commit_pending(rank, 0, -1, /*park=*/false);
       auto& recv_rs = stats_.ranks[static_cast<std::size_t>(pr.rank)];
       const SimTime complete =
           std::max(pr.ready, arrival) + cost_.recv_overhead(pr.rank);
       recv_rs.recv_blocked += complete - pr.ready;
       advance(pr.rank);
-      queue_.push(complete, pr.rank);
+      wake(pr.rank, complete);
     } else if (posted != nullptr && !posted->empty()) {
       const int recv_rank = posted->front();
       posted->pop_front();
-      --pending_recv_depth_;
+      commit_pending(rank, 0, -1, /*park=*/false);
       resolve_request(recv_rank, arrival + cost_.recv_overhead(recv_rank));
     } else {
-      arrivals_[key].push_back(Arrival{arrival, op.bytes});
+      sh.arrivals[key].push_back(Arrival{arrival, op.bytes});
     }
 
     advance(rank);
-    queue_.push(now + overhead, rank);
+    wake(rank, now + overhead);
     return;
   }
 
   // Rendezvous: need a posted receive (blocking or non-blocking).
-  auto* pending = pending_recvs_.find(key);
+  Shard& sh = shard_of(rank);
+  auto* pending = sh.pending_recvs.find(key);
   if (pending != nullptr && !pending->empty()) {
     const PendingRecv pr = pending->front();
     pending->pop_front();
-    --pending_recv_depth_;
+    commit_pending(rank, 0, -1, /*park=*/false);
     complete_rendezvous(rank, now, pr.rank, pr.ready, op.bytes, op.tag);
     return;
   }
-  auto* posted = pending_irecvs_.find(key);
+  auto* posted = sh.pending_irecvs.find(key);
   if (posted != nullptr && !posted->empty()) {
     const int recv_rank = posted->front();
     posted->pop_front();
-    --pending_recv_depth_;
+    commit_pending(rank, 0, -1, /*park=*/false);
     const SimTime end = timed_transfer(rank, recv_rank, now, op.bytes, op.tag);
     stats_.ranks[static_cast<std::size_t>(rank)].send_blocked += end - now;
     advance(rank);
-    queue_.push(end, rank);
+    wake(rank, end);
     resolve_request(recv_rank, end + cost_.recv_overhead(recv_rank));
     return;
   }
-  pending_sends_[key].push_back(PendingSend{rank, now, op.bytes, st.phase});
-  ++pending_send_depth_;
-  observe_pending();
+  sh.pending_sends[key].push_back(
+      PendingSend{rank, now, op.bytes, st.phase, 0});
+  commit_pending(rank, 1, 0, /*park=*/true);
   st.blocked = true;
 }
 
@@ -487,31 +875,39 @@ void Engine::start_recv(int rank, SimTime now, const Op& op) {
   auto& st = states_[static_cast<std::size_t>(rank)];
   auto& rs = stats_.ranks[static_cast<std::size_t>(rank)];
   const MsgKey key = msg_key(op.peer, rank, op.tag);
+  Shard& sh = shard_of(rank);
 
-  // Eager message already in flight or delivered?
-  auto* arrived = arrivals_.find(key);
+  // Eager message already delivered?
+  auto* arrived = sh.arrivals.find(key);
   if (arrived != nullptr && !arrived->empty()) {
     const Arrival a = arrived->front();
     arrived->pop_front();
     const SimTime complete = std::max(now, a.time) + cost_.recv_overhead(rank);
     rs.recv_blocked += complete - now;
     advance(rank);
-    queue_.push(complete, rank);
+    wake(rank, complete);
     return;
   }
 
-  // Rendezvous partner already waiting?
-  auto* pending = pending_sends_.find(key);
+  // Rendezvous partner already waiting (parked sender, or its RTS)?
+  auto* pending = sh.pending_sends.find(key);
   if (pending != nullptr && !pending->empty()) {
     const PendingSend ps = pending->front();
     pending->pop_front();
-    --pending_send_depth_;
-    complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes, op.tag);
+    commit_pending(rank, -1, 0, /*park=*/false);
+    if (use_protocol(op.peer, rank)) {
+      const SimTime end =
+          rendezvous_match(ps, rank, now, std::max(ps.ready, now), op.tag);
+      rs.recv_blocked += end - now;
+      advance(rank);
+      wake(rank, end);
+    } else {
+      complete_rendezvous(ps.rank, ps.ready, rank, now, ps.bytes, op.tag);
+    }
     return;
   }
-  pending_recvs_[key].push_back(PendingRecv{rank, now, st.phase});
-  ++pending_recv_depth_;
-  observe_pending();
+  sh.pending_recvs[key].push_back(PendingRecv{rank, now, st.phase});
+  commit_pending(rank, 0, 1, /*park=*/true);
   st.blocked = true;
 }
 
@@ -524,34 +920,45 @@ void Engine::start_isend(int rank, SimTime now, const Op& op) {
 
   // Buffered semantics: the transfer launches now; the sender only pays
   // the posting overhead and its request completes locally.
+  if (use_protocol(rank, op.peer)) {
+    launch_eager_remote(rank, op.peer, now, op.bytes, op.tag);
+    const SimTime overhead = cost_.send_overhead(rank);
+    rs.msg_overhead += overhead;
+    st.requests_complete = std::max(st.requests_complete, now + overhead);
+    advance(rank);
+    wake(rank, now + overhead);
+    return;
+  }
+
+  Shard& sh = shard_of(rank);
   const SimTime arrival = launch_eager(rank, op.peer, now, op.bytes, op.tag);
   const SimTime overhead = cost_.send_overhead(rank);
   rs.msg_overhead += overhead;
   st.requests_complete = std::max(st.requests_complete, now + overhead);
 
-  auto* pending = pending_recvs_.find(key);
-  auto* posted = pending_irecvs_.find(key);
+  auto* pending = sh.pending_recvs.find(key);
+  auto* posted = sh.pending_irecvs.find(key);
   if (pending != nullptr && !pending->empty()) {
     const PendingRecv pr = pending->front();
     pending->pop_front();
-    --pending_recv_depth_;
+    commit_pending(rank, 0, -1, /*park=*/false);
     auto& recv_rs = stats_.ranks[static_cast<std::size_t>(pr.rank)];
     const SimTime complete =
         std::max(pr.ready, arrival) + cost_.recv_overhead(pr.rank);
     recv_rs.recv_blocked += complete - pr.ready;
     advance(pr.rank);
-    queue_.push(complete, pr.rank);
+    wake(pr.rank, complete);
   } else if (posted != nullptr && !posted->empty()) {
     const int recv_rank = posted->front();
     posted->pop_front();
-    --pending_recv_depth_;
+    commit_pending(rank, 0, -1, /*park=*/false);
     resolve_request(recv_rank, arrival + cost_.recv_overhead(recv_rank));
   } else {
-    arrivals_[key].push_back(Arrival{arrival, op.bytes});
+    sh.arrivals[key].push_back(Arrival{arrival, op.bytes});
   }
 
   advance(rank);
-  queue_.push(now + overhead, rank);
+  wake(rank, now + overhead);
 }
 
 void Engine::start_irecv(int rank, SimTime now, const Op& op) {
@@ -559,9 +966,10 @@ void Engine::start_irecv(int rank, SimTime now, const Op& op) {
             "invalid irecv peer");
   auto& st = states_[static_cast<std::size_t>(rank)];
   const MsgKey key = msg_key(op.peer, rank, op.tag);
+  Shard& sh = shard_of(rank);
 
   // Already-arrived (eager/isend) message?
-  auto* arrived = arrivals_.find(key);
+  auto* arrived = sh.arrivals.find(key);
   if (arrived != nullptr && !arrived->empty()) {
     const Arrival a = arrived->front();
     arrived->pop_front();
@@ -569,31 +977,37 @@ void Engine::start_irecv(int rank, SimTime now, const Op& op) {
         std::max(st.requests_complete,
                  std::max(now, a.time) + cost_.recv_overhead(rank));
   } else {
-    // A blocking sender already parked in rendezvous?
-    auto* pending = pending_sends_.find(key);
+    // A blocking sender already parked in rendezvous (or its RTS landed)?
+    auto* pending = sh.pending_sends.find(key);
     if (pending != nullptr && !pending->empty()) {
       const PendingSend ps = pending->front();
       pending->pop_front();
-      --pending_send_depth_;
-      const SimTime end = timed_transfer(ps.rank, rank,
-                                         std::max(ps.ready, now), ps.bytes,
-                                         op.tag);
-      auto& send_rs = stats_.ranks[static_cast<std::size_t>(ps.rank)];
-      send_rs.send_blocked += end - ps.ready;
-      advance(ps.rank);
-      queue_.push(end, ps.rank);
-      st.requests_complete = std::max(st.requests_complete,
-                                      end + cost_.recv_overhead(rank));
+      commit_pending(rank, -1, 0, /*park=*/false);
+      if (use_protocol(op.peer, rank)) {
+        const SimTime end = rendezvous_match(ps, rank, now,
+                                             std::max(ps.ready, now), op.tag);
+        st.requests_complete = std::max(st.requests_complete,
+                                        end + cost_.recv_overhead(rank));
+      } else {
+        const SimTime end = timed_transfer(ps.rank, rank,
+                                           std::max(ps.ready, now), ps.bytes,
+                                           op.tag);
+        auto& send_rs = stats_.ranks[static_cast<std::size_t>(ps.rank)];
+        send_rs.send_blocked += end - ps.ready;
+        advance(ps.rank);
+        wake(ps.rank, end);
+        st.requests_complete = std::max(st.requests_complete,
+                                        end + cost_.recv_overhead(rank));
+      }
     } else {
       ++st.unresolved_requests;
-      pending_irecvs_[key].push_back(rank);
-      ++pending_recv_depth_;
-      observe_pending();
+      sh.pending_irecvs[key].push_back(rank);
+      commit_pending(rank, 0, 1, /*park=*/true);
     }
   }
 
   advance(rank);
-  queue_.push(now + cost_.recv_overhead(rank), rank);
+  wake(rank, now + cost_.recv_overhead(rank));
 }
 
 void Engine::start_wait_all(int rank, SimTime now) {
@@ -601,13 +1015,14 @@ void Engine::start_wait_all(int rank, SimTime now) {
   if (st.unresolved_requests > 0) {
     st.waiting_all = true;
     st.blocked = true;
+    st.wait_park_time = now;
     return;  // resolve_request wakes us
   }
   const SimTime done = std::max(now, st.requests_complete);
   stats_.ranks[static_cast<std::size_t>(rank)].recv_blocked += done - now;
   st.requests_complete = 0;
   advance(rank);
-  queue_.push(done, rank);
+  wake(rank, done);
 }
 
 void Engine::resolve_request(int rank, SimTime completion) {
@@ -618,48 +1033,33 @@ void Engine::resolve_request(int rank, SimTime completion) {
   if (st.waiting_all && st.unresolved_requests == 0) {
     st.waiting_all = false;
     st.blocked = false;
+    // The whole park-to-completion stretch was spent blocked in kWaitAll;
+    // book it here because the re-dispatch below sees a zero residual
+    // (its `now` IS requests_complete).
+    stats_.ranks[static_cast<std::size_t>(rank)].recv_blocked +=
+        st.requests_complete - st.wait_park_time;
     // Re-executes kWaitAll (pc still points at it) at the completion time.
-    queue_.push(st.requests_complete, rank);
+    wake(rank, st.requests_complete);
   }
 }
 
 SimTime Engine::timed_transfer(int send_rank, int recv_rank, SimTime earliest,
                                Bytes bytes, int tag) {
+  // Instant path only: same node, or ideal network (which zeroes both
+  // terms).  Cross-node transfers on a real network go through the
+  // protocol-message path and never reach here.
   const int src_node = placement_.node_of[static_cast<std::size_t>(send_rank)];
   const int dst_node = placement_.node_of[static_cast<std::size_t>(recv_rank)];
-  SimTime start = earliest;
   SimTime latency = 0;
   SimTime duration = 0;
-  SimTime fabric_wait = 0;
   if (!scenario_.ideal_network) {
-    if (src_node != dst_node) {
-      // Full-duplex NICs: the sender's transmit side and the receiver's
-      // receive side serialize independently.
-      start = std::max({start,
-                        nic_tx_free_[static_cast<std::size_t>(src_node)],
-                        nic_rx_free_[static_cast<std::size_t>(dst_node)]});
-      if (config_.bisection_bandwidth > 0.0) {
-        const SimTime nic_ready = start;
-        start = std::max(start, fabric_free_);
-        fabric_wait = start - nic_ready;
-      }
-    }
     latency = cost_.message_latency(src_node, dst_node);
     duration =
         latency + cost_.message_transfer_time(src_node, dst_node, bytes);
-    if (src_node != dst_node) {
-      nic_tx_free_[static_cast<std::size_t>(src_node)] = start + duration;
-      nic_rx_free_[static_cast<std::size_t>(dst_node)] = start + duration;
-      if (config_.bisection_bandwidth > 0.0) {
-        // The fabric pipe frees once this flow's share has drained.
-        fabric_free_ =
-            start + transfer_time(bytes, config_.bisection_bandwidth);
-      }
-    }
   }
-  const SimTime end = start + duration;
-  account_transfer(send_rank, recv_rank, earliest, start, end, bytes,
-                   /*eager=*/false, fabric_wait, tag, latency);
+  const SimTime end = earliest + duration;
+  account_transfer(send_rank, recv_rank, earliest, earliest, end, bytes,
+                   /*eager=*/false, 0, tag, latency);
   return end;
 }
 
@@ -676,12 +1076,13 @@ void Engine::complete_rendezvous(int send_rank, SimTime send_ready,
 
   advance(send_rank);
   advance(recv_rank);
-  queue_.push(end, send_rank);
-  queue_.push(end, recv_rank);
+  wake(send_rank, end);
+  wake(recv_rank, end);
 }
 
 SimTime Engine::launch_eager(int src_rank, int dst_rank, SimTime now,
                              Bytes bytes, int tag) {
+  // Instant path only: same node, or ideal network.
   const int src_node = placement_.node_of[static_cast<std::size_t>(src_rank)];
   const int dst_node = placement_.node_of[static_cast<std::size_t>(dst_rank)];
   if (scenario_.ideal_network) {
@@ -689,28 +1090,259 @@ SimTime Engine::launch_eager(int src_rank, int dst_rank, SimTime now,
                      /*eager=*/true, 0, tag, 0);
     return now;
   }
-  SimTime start = now;
-  SimTime fabric_wait = 0;
-  if (src_node != dst_node) {
-    start = std::max(now, nic_tx_free_[static_cast<std::size_t>(src_node)]);
-    if (config_.bisection_bandwidth > 0.0) {
-      const SimTime nic_ready = start;
-      start = std::max(start, fabric_free_);
-      fabric_wait = start - nic_ready;
-      fabric_free_ = start + transfer_time(bytes, config_.bisection_bandwidth);
-    }
-  }
+  const SimTime xfer = cost_.message_transfer_time(src_node, dst_node, bytes);
+  const SimTime latency = cost_.message_latency(src_node, dst_node);
+  const SimTime arrival = now + latency + xfer;
+  account_transfer(src_rank, dst_rank, now, now, arrival, bytes,
+                   /*eager=*/true, 0, tag, latency);
+  return arrival;
+}
+
+void Engine::launch_eager_remote(int src_rank, int dst_rank, SimTime now,
+                                 Bytes bytes, int tag) {
+  const int src_node = placement_.node_of[static_cast<std::size_t>(src_rank)];
+  const int dst_node = placement_.node_of[static_cast<std::size_t>(dst_rank)];
+  auto& nic_tx = nic_tx_free_[static_cast<std::size_t>(src_node)];
+  const SimTime start = std::max(now, nic_tx);
   const SimTime xfer = cost_.message_transfer_time(src_node, dst_node, bytes);
   const SimTime latency = cost_.message_latency(src_node, dst_node);
   const SimTime arrival = start + latency + xfer;
-  if (src_node != dst_node) {
-    nic_tx_free_[static_cast<std::size_t>(src_node)] = start + xfer;
-    nic_rx_free_[static_cast<std::size_t>(dst_node)] =
-        std::max(nic_rx_free_[static_cast<std::size_t>(dst_node)], arrival);
+  nic_tx = start + xfer;
+
+  // Sender-side accounting; the receiver side books when kArrival lands.
+  auto& send_rs = stats_.ranks[static_cast<std::size_t>(src_rank)];
+  ++send_rs.messages_sent;
+  send_rs.dram_bytes += bytes;
+  bin_value(stats_.nodes[static_cast<std::size_t>(src_node)].dram_bytes, start,
+            static_cast<double>(bytes));
+  send_rs.net_bytes_sent += bytes;
+  bin_busy(stats_.nodes[static_cast<std::size_t>(src_node)].nic_busy, start,
+           arrival);
+  commit_span(Lane::kNicTx, src_rank, src_node,
+              static_cast<std::uint8_t>(OpKind::kIsend), start, arrival,
+              start - now, 0, bytes);
+
+  ProtoMsg p;
+  p.kind = ProtoKind::kArrival;
+  p.src_rank = src_rank;
+  p.dst_rank = dst_rank;
+  p.tag = tag;
+  p.phase = states_[static_cast<std::size_t>(src_rank)].phase;
+  p.bytes = bytes;
+  p.requested = now;
+  p.start = start;
+  p.end = arrival;
+  p.latency = latency;
+  p.time = arrival;
+  p.key = next_proto_key(src_rank, dst_rank);
+  send_proto(src_rank, dst_rank, p);
+}
+
+void Engine::process_arrival(const ProtoMsg& p, SimTime now) {
+  const int dst = p.dst_rank;
+  const int dst_node = placement_.node_of[static_cast<std::size_t>(dst)];
+  const MsgKey key = msg_key(p.src_rank, dst, p.tag);
+  Shard& sh = shard_of(dst);
+
+  // Switch output-port queueing at the destination shifts delivery (not
+  // the nominal wire end, which cost tables derive transfer times from).
+  SimTime delivery = p.end;
+  SimTime fabric_wait = 0;
+  if (config_.bisection_bandwidth > 0.0) {
+    auto& port = port_free_[static_cast<std::size_t>(dst_node)];
+    delivery = std::max(p.end, port);
+    fabric_wait = delivery - p.end;
+    port = delivery + transfer_time(p.bytes, config_.bisection_bandwidth /
+                                                 placement_.nodes);
   }
-  account_transfer(src_rank, dst_rank, now, start, arrival, bytes,
-                   /*eager=*/true, fabric_wait, tag, latency);
-  return arrival;
+  auto& nic_rx = nic_rx_free_[static_cast<std::size_t>(dst_node)];
+  nic_rx = std::max(nic_rx, delivery);
+
+  // Receiver-side accounting.
+  auto& recv_rs = stats_.ranks[static_cast<std::size_t>(dst)];
+  ++recv_rs.messages_received;
+  recv_rs.dram_bytes += p.bytes;
+  bin_value(stats_.nodes[static_cast<std::size_t>(dst_node)].dram_bytes,
+            p.start, static_cast<double>(p.bytes));
+  recv_rs.net_bytes_received += p.bytes;
+  bin_busy(stats_.nodes[static_cast<std::size_t>(dst_node)].nic_busy, p.start,
+           p.end);
+  if (observer_ != nullptr) {
+    MessageRecord m;
+    m.eager = true;
+    m.inter_node = true;
+    m.src_rank = p.src_rank;
+    m.dst_rank = dst;
+    m.phase = p.phase;
+    m.tag = p.tag;
+    m.bytes = p.bytes;
+    m.start = p.start;
+    m.end = p.end;
+    m.latency = p.latency;
+    m.delivery = delivery;
+    m.sender_complete = 0;
+    commit_message(m);
+    commit_span(Lane::kNicRx, dst, dst_node,
+                static_cast<std::uint8_t>(OpKind::kIsend), p.start, delivery,
+                p.start - p.requested, fabric_wait, p.bytes);
+  }
+
+  auto* pending = sh.pending_recvs.find(key);
+  auto* posted = sh.pending_irecvs.find(key);
+  if (pending != nullptr && !pending->empty()) {
+    const PendingRecv pr = pending->front();
+    pending->pop_front();
+    commit_pending(dst, 0, -1, /*park=*/false);
+    const SimTime complete =
+        std::max(pr.ready, delivery) + cost_.recv_overhead(pr.rank);
+    stats_.ranks[static_cast<std::size_t>(pr.rank)].recv_blocked +=
+        complete - pr.ready;
+    advance(pr.rank);
+    wake(pr.rank, complete);
+  } else if (posted != nullptr && !posted->empty()) {
+    const int recv_rank = posted->front();
+    posted->pop_front();
+    commit_pending(dst, 0, -1, /*park=*/false);
+    resolve_request(recv_rank, delivery + cost_.recv_overhead(recv_rank));
+  } else {
+    sh.arrivals[key].push_back(Arrival{delivery, p.bytes});
+  }
+  (void)now;
+}
+
+void Engine::process_rts(const ProtoMsg& p, SimTime now) {
+  const int dst = p.dst_rank;
+  const MsgKey key = msg_key(p.src_rank, dst, p.tag);
+  Shard& sh = shard_of(dst);
+  const PendingSend ps{p.src_rank, p.requested, p.bytes, p.phase, p.tx_est};
+
+  auto* pending = sh.pending_recvs.find(key);
+  if (pending != nullptr && !pending->empty()) {
+    const PendingRecv pr = pending->front();
+    pending->pop_front();
+    commit_pending(dst, 0, -1, /*park=*/false);
+    const SimTime end =
+        rendezvous_match(ps, pr.rank, now, std::max(ps.ready, pr.ready), p.tag);
+    stats_.ranks[static_cast<std::size_t>(pr.rank)].recv_blocked +=
+        end - pr.ready;
+    advance(pr.rank);
+    wake(pr.rank, end);
+    return;
+  }
+  auto* posted = sh.pending_irecvs.find(key);
+  if (posted != nullptr && !posted->empty()) {
+    const int recv_rank = posted->front();
+    posted->pop_front();
+    commit_pending(dst, 0, -1, /*park=*/false);
+    const SimTime end = rendezvous_match(ps, recv_rank, now, ps.ready, p.tag);
+    resolve_request(recv_rank, end + cost_.recv_overhead(recv_rank));
+    return;
+  }
+  // No receive posted yet: park the RTS at the receiver; the matching
+  // recv/irecv dispatch picks it out of pending_sends.
+  sh.pending_sends[key].push_back(ps);
+  commit_pending(dst, 1, 0, /*park=*/true);
+}
+
+SimTime Engine::rendezvous_match(const PendingSend& ps, int recv_rank,
+                                 SimTime match_time, SimTime start_base,
+                                 int tag) {
+  const int src_node = placement_.node_of[static_cast<std::size_t>(ps.rank)];
+  const int dst_node = placement_.node_of[static_cast<std::size_t>(recv_rank)];
+
+  // The wire can start once both endpoints agreed (start_base), the
+  // sender's NIC looks free (the tx_est estimate the RTS carried), and
+  // the receiver's NIC is free.  Receiver-side state is authoritative;
+  // sender-side TX contention is best-effort by design (DESIGN.md §16).
+  SimTime start = std::max({start_base, ps.tx_est,
+                            nic_rx_free_[static_cast<std::size_t>(dst_node)]});
+  SimTime fabric_wait = 0;
+  if (config_.bisection_bandwidth > 0.0) {
+    const SimTime nic_ready = start;
+    auto& port = port_free_[static_cast<std::size_t>(dst_node)];
+    start = std::max(start, port);
+    fabric_wait = start - nic_ready;
+    port = start + transfer_time(ps.bytes, config_.bisection_bandwidth /
+                                               placement_.nodes);
+  }
+  const SimTime latency = cost_.message_latency(src_node, dst_node);
+  const SimTime xfer =
+      cost_.message_transfer_time(src_node, dst_node, ps.bytes);
+  const SimTime end = start + latency + xfer;
+  nic_rx_free_[static_cast<std::size_t>(dst_node)] = end;
+  // The CTS travels back one forward latency from the match; when the
+  // transfer itself is longer it simply rides its tail.  The floor keeps
+  // the conservative-window invariant (cts >= match_time + lookahead).
+  const SimTime cts = std::max(end, match_time + latency);
+
+  // Receiver-side accounting; the sender side books when kCts lands.
+  auto& recv_rs = stats_.ranks[static_cast<std::size_t>(recv_rank)];
+  ++recv_rs.messages_received;
+  recv_rs.dram_bytes += ps.bytes;
+  bin_value(stats_.nodes[static_cast<std::size_t>(dst_node)].dram_bytes, start,
+            static_cast<double>(ps.bytes));
+  recv_rs.net_bytes_received += ps.bytes;
+  bin_busy(stats_.nodes[static_cast<std::size_t>(dst_node)].nic_busy, start,
+           end);
+  if (observer_ != nullptr) {
+    MessageRecord m;
+    m.eager = false;
+    m.inter_node = true;
+    m.src_rank = ps.rank;
+    m.dst_rank = recv_rank;
+    m.phase = ps.phase;
+    m.tag = tag;
+    m.bytes = ps.bytes;
+    m.start = start;
+    m.end = end;
+    m.latency = latency;
+    m.delivery = end;
+    m.sender_complete = cts;
+    commit_message(m);
+    commit_span(Lane::kNicRx, recv_rank, dst_node,
+                static_cast<std::uint8_t>(OpKind::kSend), start, end,
+                start - start_base, fabric_wait, ps.bytes);
+  }
+
+  ProtoMsg cp;
+  cp.kind = ProtoKind::kCts;
+  cp.src_rank = ps.rank;
+  cp.dst_rank = recv_rank;
+  cp.tag = tag;
+  cp.phase = ps.phase;
+  cp.bytes = ps.bytes;
+  cp.requested = ps.ready;
+  cp.start = start;
+  cp.end = end;
+  cp.latency = latency;
+  cp.fabric_wait = fabric_wait;
+  cp.time = cts;
+  cp.key = next_proto_key(recv_rank, ps.rank);
+  send_proto(recv_rank, ps.rank, cp);
+  return end;
+}
+
+void Engine::process_cts(const ProtoMsg& p, SimTime now) {
+  const int src = p.src_rank;
+  const int src_node = placement_.node_of[static_cast<std::size_t>(src)];
+
+  // Sender-side accounting for the transfer the receiver committed.
+  auto& send_rs = stats_.ranks[static_cast<std::size_t>(src)];
+  send_rs.send_blocked += now - p.requested;
+  ++send_rs.messages_sent;
+  send_rs.dram_bytes += p.bytes;
+  bin_value(stats_.nodes[static_cast<std::size_t>(src_node)].dram_bytes,
+            p.start, static_cast<double>(p.bytes));
+  send_rs.net_bytes_sent += p.bytes;
+  bin_busy(stats_.nodes[static_cast<std::size_t>(src_node)].nic_busy, p.start,
+           p.end);
+  commit_span(Lane::kNicTx, src, src_node,
+              static_cast<std::uint8_t>(OpKind::kSend), p.start, p.end,
+              p.start - p.requested, p.fabric_wait, p.bytes);
+
+  // The parked kSend is complete; run the rank from here.
+  advance(src);
+  wake(src, now);
 }
 
 void Engine::account_transfer(int src_rank, int dst_rank, SimTime requested,
@@ -736,7 +1368,9 @@ void Engine::account_transfer(int src_rank, int dst_rank, SimTime requested,
     message.start = start;
     message.end = end;
     message.latency = latency;
-    observer_->on_message(message);
+    message.delivery = end;
+    message.sender_complete = eager ? 0 : end;
+    commit_message(message);
   }
 
   // Message payloads traverse main memory on both endpoints (the TX1 has
@@ -758,10 +1392,10 @@ void Engine::account_transfer(int src_rank, int dst_rank, SimTime requested,
   bin_busy(stats_.nodes[static_cast<std::size_t>(dst_node)].nic_busy, start, end);
   const std::uint8_t kind = static_cast<std::uint8_t>(
       eager ? OpKind::kIsend : OpKind::kSend);
-  observe_span(Lane::kNicTx, src_rank, src_node, kind, start, end,
-               start - requested, fabric_wait, bytes);
-  observe_span(Lane::kNicRx, dst_rank, dst_node, kind, start, end,
-               start - requested, fabric_wait, bytes);
+  commit_span(Lane::kNicTx, src_rank, src_node, kind, start, end,
+              start - requested, fabric_wait, bytes);
+  commit_span(Lane::kNicRx, dst_rank, dst_node, kind, start, end,
+              start - requested, fabric_wait, bytes);
 }
 
 double RunStats::flops_per_second() const {

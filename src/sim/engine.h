@@ -3,9 +3,22 @@
 // Pulls one op stream per rank from an OpSource (or replays pre-built
 // Programs through the ProgramSource adapter) against a CostModel,
 // resolving resource contention (per-node GPU, copy engine, NIC) and
-// blocking message semantics.  Event ordering is deterministic: ties
-// break by event insertion order, so a given (source, cost model,
-// scenario) triple always yields the identical RunStats.
+// blocking message semantics.
+//
+// Event ordering is deterministic and *partition-invariant*: events are
+// totally ordered by (time, key) where the key is intrinsic to the event
+// (protocol class, endpoint ranks, per-rank sequence) rather than derived
+// from push order.  One run can therefore be sharded across
+// EngineConfig::shards event queues — nodes partition into shards, each
+// shard owns its ranks' state and pending tables, and shards synchronize
+// with conservative (YAWNS/CMB-style) lookahead windows derived from the
+// minimum cross-node message latency in the cost model.  Cross-node
+// traffic travels as timestamped protocol messages (eager arrival,
+// rendezvous RTS/CTS) whose timestamps are at least one latency in the
+// future, so every event a shard can receive from another shard lands
+// beyond the current window.  The committed event stream, the
+// determinism digest, and every derived artifact are byte-identical at
+// any shard count (and any thread count).  See DESIGN.md §16.
 //
 // Scenario knobs implement the DIMEMAS-style what-if replays of the
 // paper's scalability methodology: `ideal_network` zeroes latency and
@@ -82,7 +95,7 @@ struct SpanRecord {
 };
 
 /// One matched message transfer (fires once per send/recv pair, at the
-/// moment the transfer is committed).
+/// moment the receive side commits the transfer).
 struct MessageRecord {
   bool eager = false;       ///< Eager protocol (false = rendezvous).
   bool inter_node = false;
@@ -95,6 +108,15 @@ struct MessageRecord {
   SimTime end = 0;
   SimTime latency = 0;      ///< Latency share of [start, end); the rest is
                             ///< wire/copy transfer time.
+  /// When the payload was actually available to the receiver: `end` plus
+  /// any switch output-port queueing (== end when the port was free).
+  /// Receiver-side completion math keys off this, not off `end`, which
+  /// stays the *nominal* start + latency + transfer so cost tables
+  /// derived from traces remain pure.
+  SimTime delivery = 0;
+  /// Rendezvous only: when the sender unblocked (the CTS timestamp,
+  /// >= end).  0 for eager transfers (the sender never blocks on them).
+  SimTime sender_complete = 0;
 };
 
 struct EngineConfig;
@@ -102,16 +124,17 @@ struct EngineConfig;
 /// Hook interface over the engine's committed event stream.
 ///
 /// Attach with Engine::set_observer before run().  Every callback fires in
-/// the engine's deterministic total event order, so anything an observer
-/// derives inherits the determinism promise (equal configurations produce
-/// equal observations).  When no observer is attached the engine pays a
-/// single predictable branch per hook site and performs no per-event
-/// allocation — src/obs/ builds the metrics registry and Chrome-trace
-/// exporter on top of this interface.
+/// the engine's deterministic total (time, key) commit order, so anything
+/// an observer derives inherits the determinism promise (equal
+/// configurations produce equal observations at any shard/thread count).
+/// When no observer is attached the engine skips span/message/pending
+/// buffering entirely — src/obs/ builds the metrics registry and
+/// Chrome-trace exporter on top of this interface.
 class EngineObserver {
  public:
   virtual ~EngineObserver() = default;
-  /// A run is starting; `placement` maps ranks to nodes.
+  /// A run is starting; `placement` maps ranks to nodes.  `config` carries
+  /// the resolved lookahead window (EngineConfig::lookahead).
   virtual void on_run_begin(const Placement& placement,
                             const EngineConfig& config);
   /// One committed dispatch (the determinism-digest stream).
@@ -135,9 +158,9 @@ struct EngineConfig {
   /// Width of the busy-time timeline bins (power-model input).
   double timeline_bin_seconds = 0.1;
   /// Aggregate switch-fabric capacity in bytes/s shared by all inter-node
-  /// transfers (0 = unlimited).  Models the bisection bandwidth of the
-  /// cluster switch: concurrent flows queue on the fabric once their sum
-  /// exceeds it.
+  /// transfers (0 = unlimited).  Modeled as one output-port pipe per
+  /// destination node with rate bisection_bandwidth / nodes: flows
+  /// converging on a node queue on its switch port.
   double bisection_bandwidth = 0.0;
   /// Safety valve: abort if simulated time exceeds this many seconds.
   double max_sim_seconds = 3.0e6;
@@ -145,6 +168,18 @@ struct EngineConfig {
   /// (0 = derive from the rank count).  Purely a reservation: committed
   /// events and all derived artifacts are identical for any value.
   int queue_reserve = 0;
+  /// Event-queue partitions for one run (clamped to the node count;
+  /// collapses to 1 when the lookahead is zero — single node, ideal
+  /// network, or a cost model with zero cross-node latency).  Committed
+  /// events and all derived artifacts are byte-identical for any value.
+  int shards = 1;
+  /// Worker threads stepping the shards (0 = one per shard up to the
+  /// hardware concurrency; values above the core count are honored so
+  /// the pool is exercisable anywhere).  Never affects results.
+  int threads = 0;
+  /// Resolved conservative lookahead window in ns.  Output only: run()
+  /// fills it before on_run_begin; the value set by callers is ignored.
+  SimTime lookahead = 0;
 };
 
 class Engine {
@@ -155,7 +190,9 @@ class Engine {
   /// Pulls every rank's op stream to completion and returns the
   /// collected stats.  Throws soc::Error on deadlock (unmatched
   /// send/recv) or misuse.  The source is single-use: the run consumes
-  /// it.
+  /// it.  With shards > 1 and threads > 1, OpSource::next must tolerate
+  /// concurrent calls for *distinct* ranks (all in-tree sources keep
+  /// per-rank state element-disjoint, which suffices).
   RunStats run(OpSource& source);
 
   /// Replays pre-built programs (wraps them in a ProgramSource).
@@ -183,23 +220,29 @@ class Engine {
     int unresolved_requests = 0;   ///< Requests with unknown completion.
     SimTime requests_complete = 0; ///< Max known request completion.
     bool waiting_all = false;      ///< Parked inside kWaitAll.
+    SimTime wait_park_time = 0;    ///< When kWaitAll parked (blocked-time
+                                   ///< booking for the wake path).
   };
 
-  // A posted-but-unmatched message endpoint.
+  // A posted-but-unmatched message endpoint.  For cross-node rendezvous
+  // the entry is the parked RTS at the *receiver's* shard, carrying the
+  // sender-side facts the transfer math needs.
   struct PendingSend {
     int rank;
     SimTime ready;    ///< When the sender reached the send.
     Bytes bytes;
     int phase;
+    SimTime tx_est;   ///< Sender NIC-TX availability estimate (cross-node).
   };
   struct PendingRecv {
     int rank;
     SimTime ready;
     int phase;
   };
-  // Eager messages that already "arrived" and wait for their receive.
+  // Messages that already arrived (eager payload delivered, intra-node
+  // instant arrival) and wait for their receive.
   struct Arrival {
-    SimTime time;
+    SimTime time;     ///< Delivery time (nominal arrival + port queueing).
     Bytes bytes;
   };
 
@@ -207,12 +250,113 @@ class Engine {
 
   static MsgKey msg_key(int src, int dst, int tag);
 
-  void execute_next(int rank, SimTime now, OpSource& source);
+  /// Cross-shard protocol messages.  Timestamps are always at least one
+  /// cross-node latency past the emission time — the conservative-window
+  /// safety invariant.
+  enum class ProtoKind : std::uint8_t {
+    kArrival = 0,  ///< Eager payload lands at the receiver NIC.
+    kRts,          ///< Rendezvous request-to-send (sender parks).
+    kCts,          ///< Rendezvous clear-to-send (sender unblocks).
+  };
+  struct ProtoMsg {
+    ProtoKind kind = ProtoKind::kArrival;
+    int src_rank = 0;        ///< Message sender (transfer direction).
+    int dst_rank = 0;        ///< Message receiver.
+    int tag = 0;
+    int phase = 0;           ///< Sender's phase at the send dispatch.
+    Bytes bytes = 0;
+    SimTime requested = 0;   ///< Sender's send-dispatch time t_s.
+    SimTime start = 0;       ///< Wire start (arrival/cts).
+    SimTime end = 0;         ///< Nominal wire end (arrival/cts).
+    SimTime latency = 0;     ///< Latency share of [start, end).
+    SimTime tx_est = 0;      ///< RTS: sender NIC-TX availability estimate.
+    SimTime fabric_wait = 0; ///< CTS: receiver-port queueing share.
+    SimTime time = 0;        ///< Event timestamp.
+    std::uint64_t key = 0;   ///< Event key (assigned at emission).
+  };
+
+  /// One buffered observer/auditor record.  Shards append records in
+  /// processing order; the coordinator stable-sorts by (time, key) —
+  /// which groups them back into whole events in the canonical order —
+  /// and replays them through the digest and the observer.
+  enum class CommitType : std::uint8_t {
+    kDispatch,
+    kSpan,
+    kMessage,
+    kPendingPark,   ///< Depth delta that also fires on_pending.
+    kPendingMatch,  ///< Silent depth delta (a match consumed an entry).
+  };
+  struct PendingDelta {
+    std::int32_t sends = 0;
+    std::int32_t recvs = 0;
+  };
+  struct CommitRec {
+    SimTime time = 0;
+    std::uint64_t key = 0;
+    CommitType type = CommitType::kDispatch;
+    union U {
+      DispatchRecord dispatch;
+      SpanRecord span;
+      MessageRecord message;
+      PendingDelta pending;
+      U() : dispatch() {}
+    } u;
+  };
+
+  /// Everything one event-queue partition owns.  During a window only
+  /// the owning worker touches a shard; between the window barriers only
+  /// the coordinator does (the barrier provides the happens-before), so
+  /// none of it needs locks — which is exactly what SOC_SHARD_LOCAL
+  /// documents and tools/soclint enforces.
+  struct Shard {
+    KeyedEventQueue queue;                             // SOC_SHARD_LOCAL
+    std::vector<ProtoMsg> proto_pool;                  // SOC_SHARD_LOCAL
+    std::vector<std::int32_t> proto_free;              // SOC_SHARD_LOCAL
+    flat_map<MsgKey, RingQueue<PendingSend>> pending_sends;   // SOC_SHARD_LOCAL
+    flat_map<MsgKey, RingQueue<PendingRecv>> pending_recvs;   // SOC_SHARD_LOCAL
+    flat_map<MsgKey, RingQueue<int>> pending_irecvs;   // SOC_SHARD_LOCAL
+    flat_map<MsgKey, RingQueue<Arrival>> arrivals;     // SOC_SHARD_LOCAL
+    std::vector<CommitRec> commits;                    // SOC_SHARD_LOCAL
+    std::vector<RingQueue<ProtoMsg>> outbox;           // SOC_SHARD_LOCAL
+    SimTime ev_time = 0;                               // SOC_SHARD_LOCAL
+    std::uint64_t ev_key = 0;                          // SOC_SHARD_LOCAL
+  };
+
+  // --- event keys: (class:1)(dst:15)(emitter:15)(seq:32).  Class 0 =
+  //     protocol message (sorts before wakes at equal times: protos spawn
+  //     same-time wakes, never the reverse), class 1 = rank wake-up.
+  static std::uint64_t wake_key(int rank);
+  std::uint64_t next_proto_key(int emitter_rank, int dst_rank);
+
+  Shard& shard_of(int rank);
+
+  void run_serial(SimTime horizon);
+  void run_windowed(SimTime horizon);
+  void step_shard(Shard& sh, SimTime window_end, SimTime horizon);
+  void drain_outboxes();
+  void enqueue_proto(Shard& dst, const ProtoMsg& p);
+  /// Routes a protocol message: same shard goes straight into the queue,
+  /// cross-shard rides the emitter's per-pair mailbox until the next
+  /// window boundary.
+  void send_proto(int emitter_rank, int target_rank, const ProtoMsg& p);
+  /// Stable-sorts `recs` into the canonical (time, key) order and replays
+  /// them through the audit digest, the pending-depth reconstruction, and
+  /// the observer.  Clears the buffer (keeping capacity).
+  void replay_commits(std::vector<CommitRec>& recs);
+
+  void process_event(Shard& sh, const KeyedEvent& e);
+  void process_arrival(const ProtoMsg& p, SimTime now);
+  void process_rts(const ProtoMsg& p, SimTime now);
+  void process_cts(const ProtoMsg& p, SimTime now);
+
+  void execute_next(int rank, SimTime now);
   /// Finishes the rank's current op: bumps pc and drops the stream
   /// buffer so the next execute_next pulls a fresh op.  Every site that
   /// used to advance a rank's pc — including cross-rank wake paths —
   /// must go through here, or the stream cursor desynchronizes.
   void advance(int rank);
+  /// Schedules the rank's next dispatch (its own shard's queue).
+  void wake(int rank, SimTime time);
   void start_compute(int rank, SimTime now, const Op& op);
   void start_delay(int rank, SimTime now, const Op& op);
   void start_gpu(int rank, SimTime now, const Op& op);
@@ -223,8 +367,13 @@ class Engine {
   void start_irecv(int rank, SimTime now, const Op& op);
   void start_wait_all(int rank, SimTime now);
 
-  /// Applies NIC/fabric occupancy to a transfer starting no earlier than
-  /// `earliest`; returns the completion time and records the traffic.
+  /// True when (src, dst) crosses nodes on a real network — the pair
+  /// communicates through timestamped protocol messages instead of the
+  /// instant same-shard fast path.
+  bool use_protocol(int src_rank, int dst_rank) const;
+
+  /// Instant-path transfer (same node, or ideal network): applies no NIC
+  /// state, records the traffic, returns the completion time.
   SimTime timed_transfer(int send_rank, int recv_rank, SimTime earliest,
                          Bytes bytes, int tag);
 
@@ -232,19 +381,27 @@ class Engine {
   /// completion time; wakes the rank if it was parked in kWaitAll.
   void resolve_request(int rank, SimTime completion);
 
-  /// Performs a matched rendezvous transfer; wakes both ranks.
+  /// Instant-path matched rendezvous; wakes both ranks.
   void complete_rendezvous(int send_rank, SimTime send_ready, int recv_rank,
                            SimTime recv_ready, Bytes bytes, int tag);
-  /// Sends an eager message; returns its arrival time at the receiver.
+  /// Instant-path eager send; returns its arrival time at the receiver.
   SimTime launch_eager(int src_rank, int dst_rank, SimTime now, Bytes bytes,
                        int tag);
 
-  /// Folds one committed dispatch into the determinism digest
-  /// (RunStats::event_checksum).  `kind` is the OpKind byte, or
-  /// kRankDoneAudit when a rank drains its program.  `peer`/`tag` only
-  /// annotate the observer record (message ops); the digest is unchanged.
-  void audit_event(SimTime now, int rank, std::uint8_t kind, Bytes bytes,
-                   int peer = -1, int tag = 0);
+  /// Cross-node eager send: books the sender side (NIC-TX, stats, span)
+  /// and emits the kArrival protocol message toward the receiver's shard.
+  void launch_eager_remote(int src_rank, int dst_rank, SimTime now,
+                           Bytes bytes, int tag);
+  /// Cross-node rendezvous transfer, computed receiver-side when the RTS
+  /// meets its receive.  Books the receive side, advances the receiver
+  /// NIC/port state, and emits the kCts message that unblocks the
+  /// sender.  Returns the transfer end time.
+  SimTime rendezvous_match(const PendingSend& ps, int recv_rank,
+                           SimTime match_time, SimTime start_base, int tag);
+
+  /// Buffers one committed dispatch (the determinism-digest stream).
+  void commit_dispatch(int rank, SimTime now, std::uint8_t kind, Bytes bytes,
+                       int peer = -1, int tag = 0);
   static constexpr std::uint8_t kRankDoneAudit = 0xFF;
 
   double compute_scale_for(int rank) const;
@@ -252,46 +409,63 @@ class Engine {
   void add_phase_compute(int rank, SimTime duration);
   void bin_busy(std::vector<double>& lane, SimTime start, SimTime end);
   void bin_value(std::vector<double>& lane, SimTime at, double value);
-  /// Books a committed transfer into the stats and, when an observer is
-  /// attached, emits its message record and NIC spans.  `requested` is when
-  /// the transfer was asked for (start - requested = queue wait);
-  /// `fabric_wait` the share of that wait spent queued on the fabric.
+  /// Books a committed instant-path transfer into the stats and, when an
+  /// observer is attached, buffers its message record and NIC spans.
   void account_transfer(int src_rank, int dst_rank, SimTime requested,
                         SimTime start, SimTime end, Bytes bytes, bool eager,
                         SimTime fabric_wait, int tag, SimTime latency);
-  /// Emits one resource-lane span to the observer (no-op when detached).
-  void observe_span(Lane lane, int rank, int node, std::uint8_t kind,
-                    SimTime start, SimTime end, SimTime queue_wait,
-                    SimTime fabric_wait, Bytes bytes);
-  /// Notifies the observer that a message endpoint parked unmatched.
-  void observe_pending();
+  /// Buffers one resource-lane span (no-op when detached).
+  void commit_span(Lane lane, int rank, int node, std::uint8_t kind,
+                   SimTime start, SimTime end, SimTime queue_wait,
+                   SimTime fabric_wait, Bytes bytes);
+  void commit_message(const MessageRecord& message);
+  /// Buffers a pending-depth delta; `park` deltas fire on_pending during
+  /// the canonical replay, match deltas adjust silently.
+  void commit_pending(int rank, int dsends, int drecvs, bool park);
+
+  /// Minimum cost-model latency over all ordered cross-node pairs — the
+  /// conservative lookahead (every protocol timestamp is at least this
+  /// far in the future).
+  SimTime min_cross_node_latency() const;
 
   Placement placement_;
   const CostModel& cost_;
   EngineConfig config_;
   Scenario scenario_;
 
-  EventQueue queue_;
-  std::vector<RankState> states_;
-  std::vector<SimTime> gpu_free_;     ///< Per node.
-  std::vector<SimTime> copy_free_;    ///< Per node.
-  std::vector<SimTime> nic_tx_free_;  ///< Per node (full-duplex NIC: tx).
-  std::vector<SimTime> nic_rx_free_;  ///< Per node (full-duplex NIC: rx).
-  SimTime fabric_free_ = 0;           ///< Switch bisection pipe.
-  // Pending-message tables: flat maps keep O(1) expected matching with
-  // deterministic behavior (see common/flat_map.h), and the ring-queue
-  // values retain their buffers across matches, so the steady-state
-  // matching path performs no allocation at all.
-  flat_map<MsgKey, RingQueue<PendingSend>> pending_sends_;
-  flat_map<MsgKey, RingQueue<PendingRecv>> pending_recvs_;
-  flat_map<MsgKey, RingQueue<int>> pending_irecvs_;  ///< Posted ranks.
-  flat_map<MsgKey, RingQueue<Arrival>> arrivals_;
-  RunStats stats_;
-  Fnv1a audit_;  ///< Running digest of the committed event stream.
+  // --- run partitioning: computed once per run(), read-only during
+  //     windows ---
+  bool protocol_ = false;       ///< Cross-node pairs use protocol messages.
+  int nshards_ = 1;
+  int nthreads_ = 1;
+  SimTime lookahead_ = 0;
+  std::vector<int> shard_of_node_;
+  std::vector<int> shard_of_rank_;
 
+  // --- simulation state, partitioned by rank/node: element r (or node n)
+  //     belongs to that rank's/node's shard and is touched only by the
+  //     owning worker between barriers ---
+  std::vector<RankState> states_;     // SOC_SHARD_LOCAL(rank partition)
+  std::vector<SimTime> gpu_free_;     // SOC_SHARD_LOCAL(node partition)
+  std::vector<SimTime> copy_free_;    // SOC_SHARD_LOCAL(node partition)
+  std::vector<SimTime> nic_tx_free_;  // SOC_SHARD_LOCAL(node partition)
+  std::vector<SimTime> nic_rx_free_;  // SOC_SHARD_LOCAL(node partition)
+  std::vector<SimTime> port_free_;    // SOC_SHARD_LOCAL(node partition)
+  std::vector<std::uint32_t> proto_seq_;  // SOC_SHARD_LOCAL(rank partition)
+  std::vector<Shard> shards_;
+
+  // RunStats: the per-rank / per-node vectors inside are partitioned like
+  // the state above (each element written only by its owning shard); the
+  // scalar aggregates are coordinator-only.
+  RunStats stats_;                    // SOC_SHARD_LOCAL(rank/node partition)
+
+  // --- coordinator state: caller thread only, between barriers ---
+  Fnv1a audit_;  ///< Running digest of the committed event stream.
+  std::vector<CommitRec> merged_;  ///< Window-merge scratch.
   EngineObserver* observer_ = nullptr;  ///< Non-owning; nullptr = detached.
   int pending_send_depth_ = 0;  ///< Parked rendezvous senders.
   int pending_recv_depth_ = 0;  ///< Parked blocking recvs + posted irecvs.
+  OpSource* source_ = nullptr;  ///< Active run's source (run() scope only).
 };
 
 }  // namespace soc::sim

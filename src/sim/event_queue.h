@@ -77,4 +77,53 @@ class EventQueue {
   SimTime last_pop_time_ = 0;
 };
 
+/// An event ordered by an *intrinsic* 64-bit key instead of insertion
+/// order.  The sharded engine needs a total event order that every shard
+/// can reproduce without coordination, and push order is inherently
+/// schedule-dependent — so ties at equal times break on a key derived
+/// from the event's identity (protocol class, endpoint ranks, per-rank
+/// sequence; see engine.cpp's event_key helpers).  Keys are unique among
+/// coexisting events, making (time, key) a strict total order.
+struct KeyedEvent {
+  SimTime time = 0;
+  std::uint64_t key = 0;
+  std::int32_t payload = 0;  ///< Rank for wake-ups; proto-pool slot for
+                             ///< protocol messages (engine convention).
+};
+
+/// Deterministic min-heap keyed by (time, key).  Unlike EventQueue, pop
+/// order is independent of push order by construction, so two engines
+/// that schedule the same event set in different orders (different shard
+/// counts, mailbox drains) still pop identically.
+class KeyedEventQueue {
+ public:
+  void push(SimTime time, std::uint64_t key, std::int32_t payload);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Pre-sizes heap storage (allocation hint only).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  void clear() { heap_.clear(); }
+
+  /// Returns and removes the earliest event.  Queue must be non-empty.
+  KeyedEvent pop();
+
+  /// Earliest scheduled (time, key); queue must be non-empty.
+  const KeyedEvent& top() const { return heap_.front(); }
+
+ private:
+  /// Strict (time, key) ordering — the partition-invariance contract.
+  static bool earlier(const KeyedEvent& a, const KeyedEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<KeyedEvent> heap_;  ///< Binary min-heap by (time, key).
+};
+
 }  // namespace soc::sim

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/op.h"
@@ -53,6 +54,7 @@ class ProgramWalkStream final : public OpStream {
 
   const Workload* workload_ = nullptr;
   BuildContext ctx_;
+  std::once_flag build_once_;  // SOC_SHARED(build_once_) — publishes the build
   bool built_ = false;
   std::vector<sim::Program> programs_;
   std::vector<std::size_t> cursor_;

@@ -141,24 +141,25 @@ TEST(RingAllreduce, BeatsRecursiveDoublingOnLargePayloads) {
   EXPECT_GT(ring_small, rd_small);
 }
 
-TEST(Bisection, FabricCapThrottlesConcurrentFlows) {
-  // 8 disjoint node pairs transfer at once: uncapped they parallelize;
-  // a fabric at one link's rate serializes them.
+TEST(Bisection, PortCapThrottlesConvergingFlows) {
+  // 8 senders converge on one destination node: uncapped the eager
+  // payloads land back to back, but a capped switch drains the
+  // destination's output port at bisection_bandwidth / nodes, queueing
+  // the arrivals one behind another.
   FlatCost cost;
   std::vector<sim::Program> programs(16);
-  for (int pair = 0; pair < 8; ++pair) {
-    const int a = 2 * pair;
-    const int b = 2 * pair + 1;
-    programs[a].push_back(sim::send_op(b, 10 * kMB, pair));
-    programs[b].push_back(sim::recv_op(a, 10 * kMB, pair));
+  for (int s = 1; s <= 8; ++s) {
+    programs[s].push_back(sim::isend_op(0, 10 * kMB, s));
+    programs[s].push_back(sim::wait_all_op());
+    programs[0].push_back(sim::irecv_op(s, 10 * kMB, s));
   }
+  programs[0].push_back(sim::wait_all_op());
   sim::EngineConfig uncapped;
-  uncapped.eager_threshold = 0;
   sim::Engine fast(sim::Placement::block(16, 16), cost, uncapped);
   const SimTime t_fast = fast.run(programs).makespan;
 
   sim::EngineConfig capped = uncapped;
-  capped.bisection_bandwidth = 1e9;  // equal to one link
+  capped.bisection_bandwidth = 1e9;  // one link's rate across 16 ports
   sim::Engine slow(sim::Placement::block(16, 16), cost, capped);
   const SimTime t_slow = slow.run(programs).makespan;
   EXPECT_GT(t_slow, 6 * t_fast);

@@ -1,0 +1,230 @@
+// Sharded parallel engine (ISSUE 9): rank-sharded event queues with
+// conservative lookahead must be an invisible optimization.  The
+// committed event stream — certified by RunStats::event_checksum and
+// every artifact derived from it — must be byte-identical at any shard
+// count, for every registered workload and every scenario decorator.
+//
+// Also pins the lookahead edge cases: an ideal network (zero cross-node
+// latency) yields zero lookahead and must fall back to serial-equivalent
+// windows, and shard counts above the node count clamp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "net/network.h"
+#include "obs/observers.h"
+#include "prof/profile.h"
+#include "sim/engine.h"
+#include "sim/memo_cost.h"
+#include "systems/machines.h"
+#include "workloads/scenario.h"
+#include "workloads/workload.h"
+
+namespace soc {
+namespace {
+
+constexpr int kNodes = 8;
+constexpr double kScale = 0.05;
+
+int ranks_for(const workloads::Workload& w) {
+  return w.gpu_accelerated() ? kNodes : 2 * kNodes;
+}
+
+cluster::RunResult run_cluster(const std::string& name, int shards,
+                               const workloads::ScenarioConfig& scenario,
+                               obs::MetricsRegistry* metrics = nullptr,
+                               const std::string& profile_json = {},
+                               int threads = 0) {
+  const auto w = workloads::make_workload(name);
+  const auto node = systems::jetson_tx1(net::NicKind::kTenGigabit);
+  cluster::RunRequest request;
+  request.workload = name;
+  request.workload_ref = w.get();
+  request.config = cluster::ClusterConfig{node, kNodes, ranks_for(*w)};
+  request.options.size_scale = kScale;
+  request.options.engine.shards = shards;
+  request.options.engine.threads = threads;
+  request.scenario = scenario;
+  request.metrics = metrics;
+  request.profile_json_path = profile_json;
+  return cluster::run(request);
+}
+
+/// The scenario axis of the matrix: one representative per decorator
+/// family, with event times early enough to fire at kScale run lengths.
+struct NamedScenario {
+  const char* name;
+  workloads::ScenarioConfig config;
+};
+
+std::vector<NamedScenario> scenario_axis() {
+  std::vector<NamedScenario> axis;
+  axis.push_back({"none", {}});
+  axis.push_back(
+      {"fault",
+       workloads::parse_scenario(
+           "straggler:rank=1,slowdown=2.5;node-crash:node=2,t=0.002,down=0.003;"
+           "link-flap:node=5,t0=0.001,t1=0.004",
+           "", "")});
+  axis.push_back(
+      {"noise", workloads::parse_scenario(
+                    "", "interval=0.003,duration=0.0005,seed=7,jitter=0.25",
+                    "")});
+  axis.push_back({"checkpoint",
+                  workloads::parse_scenario("", "",
+                                            "daly:size=1e8,bw=5e9,mtti=30")});
+  return axis;
+}
+
+// The tentpole acceptance matrix: shards {1, 2, 4, 8} x every registered
+// workload x every scenario family, all on the same 8-node shape.  The
+// serial run is the reference; every sharded run must commit the
+// identical stream (checksum, event count, makespan, traffic).
+TEST(Shard, ChecksumMatrixAllWorkloadsAndScenarios) {
+  const auto scenarios = scenario_axis();
+  for (const std::string& name : workloads::list()) {
+    for (const NamedScenario& s : scenarios) {
+      const auto serial = run_cluster(name, 1, s.config);
+      ASSERT_GT(serial.stats.events_committed, 0u) << name;
+      for (const int shards : {2, 4, 8}) {
+        const auto sharded = run_cluster(name, shards, s.config);
+        EXPECT_EQ(sharded.stats.event_checksum, serial.stats.event_checksum)
+            << name << " scenario=" << s.name << " shards=" << shards;
+        EXPECT_EQ(sharded.stats.events_committed,
+                  serial.stats.events_committed)
+            << name << " scenario=" << s.name << " shards=" << shards;
+        EXPECT_EQ(sharded.stats.makespan, serial.stats.makespan)
+            << name << " scenario=" << s.name << " shards=" << shards;
+        EXPECT_EQ(sharded.stats.total_net_bytes, serial.stats.total_net_bytes)
+            << name << " scenario=" << s.name << " shards=" << shards;
+      }
+    }
+  }
+}
+
+// Derived artifacts inherit the stream guarantee: the metrics registry
+// (every counter/histogram) and the critical-path profile JSON must be
+// byte-identical between serial and 8-shard runs.
+TEST(Shard, ArtifactsByteIdenticalAcrossShardCounts) {
+  const auto scenarios = scenario_axis();
+  for (const char* name : {"jacobi", "cg"}) {
+    for (const NamedScenario& s : scenarios) {
+      obs::MetricsRegistry serial_metrics;
+      obs::MetricsRegistry sharded_metrics;
+      const std::string serial_json =
+          testing::TempDir() + "shard_profile_serial.json";
+      const std::string sharded_json =
+          testing::TempDir() + "shard_profile_sharded.json";
+      run_cluster(name, 1, s.config, &serial_metrics, serial_json);
+      run_cluster(name, 8, s.config, &sharded_metrics, sharded_json);
+      EXPECT_TRUE(serial_metrics == sharded_metrics)
+          << name << " scenario=" << s.name;
+      EXPECT_EQ(serial_metrics.json(), sharded_metrics.json())
+          << name << " scenario=" << s.name;
+
+      auto slurp = [](const std::string& path) {
+        std::ifstream in(path);
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+      };
+      const std::string serial_doc = slurp(serial_json);
+      EXPECT_FALSE(serial_doc.empty()) << name;
+      EXPECT_EQ(serial_doc, slurp(sharded_json))
+          << name << " scenario=" << s.name;
+      std::remove(serial_json.c_str());
+      std::remove(sharded_json.c_str());
+    }
+  }
+}
+
+// The full cluster pipeline with explicit worker threads: this is the
+// `socbench run --engine-threads N` path, where concurrent pulls for
+// distinct ranks hit the workload's lazily-built op stream and the
+// scenario decorators from several threads at once.  threads=0 resolves
+// to one worker on a single-core host, so this must force real threads.
+TEST(Shard, ClusterPathWithWorkerThreadsMatchesSerial) {
+  const auto scenarios = scenario_axis();
+  for (const char* name : {"jacobi", "cg"}) {
+    for (const NamedScenario& s : scenarios) {
+      const auto serial = run_cluster(name, 1, s.config);
+      const auto threaded =
+          run_cluster(name, 4, s.config, nullptr, {}, /*threads=*/4);
+      EXPECT_EQ(threaded.stats.event_checksum, serial.stats.event_checksum)
+          << name << " scenario=" << s.name;
+      EXPECT_EQ(threaded.stats.events_committed, serial.stats.events_committed)
+          << name << " scenario=" << s.name;
+    }
+  }
+}
+
+sim::RunStats run_direct(const char* name, int shards, int threads,
+                         bool ideal_network) {
+  const auto w = workloads::make_workload(name);
+  workloads::BuildContext ctx;
+  ctx.nodes = kNodes;
+  ctx.ranks = ranks_for(*w);
+  ctx.size_scale = kScale;
+  const auto programs = w->build(ctx);
+  const auto node = systems::jetson_tx1(net::NicKind::kTenGigabit);
+  const cluster::ClusterCostModel cost(node, ctx.nodes, ctx.ranks,
+                                       w->cpu_profile());
+  const sim::MemoCostModel memo(cost, /*thread_safe=*/shards > 1);
+  sim::EngineConfig config;
+  config.bisection_bandwidth = node.switch_config.bisection_bandwidth;
+  config.shards = shards;
+  config.threads = threads;
+  sim::Scenario scenario;
+  scenario.ideal_network = ideal_network;
+  sim::Engine engine(sim::Placement::block(ctx.ranks, ctx.nodes), memo,
+                     config, scenario);
+  return engine.run(programs);
+}
+
+// Lookahead edge: an ideal network has zero minimum cross-node latency,
+// so the conservative window is empty and the engine must degrade to
+// serial-equivalent execution — same stream, no deadlock, no divergence.
+TEST(Shard, IdealNetworkZeroLookaheadFallsBackToSerial) {
+  for (const char* name : {"jacobi", "ft"}) {
+    const auto serial = run_direct(name, 1, 0, /*ideal_network=*/true);
+    ASSERT_GT(serial.events_committed, 0u) << name;
+    for (const int shards : {2, 8}) {
+      const auto sharded = run_direct(name, shards, 0, /*ideal_network=*/true);
+      EXPECT_EQ(sharded.event_checksum, serial.event_checksum)
+          << name << " shards=" << shards;
+      EXPECT_EQ(sharded.makespan, serial.makespan)
+          << name << " shards=" << shards;
+    }
+  }
+}
+
+// Worker threads are a resource knob, not a semantic one: any explicit
+// thread count (fewer than, equal to, or more than the shard count) must
+// replay the serial stream bit-identically.
+TEST(Shard, ExplicitWorkerThreadCountsMatchSerial) {
+  const auto serial = run_direct("cg", 1, 0, false);
+  for (const int threads : {1, 2, 3, 4, 8}) {
+    const auto sharded = run_direct("cg", 4, threads, false);
+    EXPECT_EQ(sharded.event_checksum, serial.event_checksum)
+        << threads << " threads";
+    EXPECT_EQ(sharded.makespan, serial.makespan) << threads << " threads";
+  }
+}
+
+// Shard counts beyond the node count clamp (a shard owns whole nodes);
+// absurd values must neither crash nor perturb the stream.
+TEST(Shard, ShardCountAboveNodeCountClamps) {
+  const auto serial = run_direct("jacobi", 1, 0, false);
+  const auto sharded = run_direct("jacobi", 64, 0, false);
+  EXPECT_EQ(sharded.event_checksum, serial.event_checksum);
+  EXPECT_EQ(sharded.makespan, serial.makespan);
+}
+
+}  // namespace
+}  // namespace soc

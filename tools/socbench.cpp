@@ -167,11 +167,32 @@ int cmd_list() {
   return 0;
 }
 
+/// Parallel-engine knobs shared by run and replay: --engine-threads N
+/// shards the event queues across N workers (committed stream stays
+/// bit-identical to serial); --engine-shards overrides the partition
+/// count independently of the worker count.
+sim::EngineConfig engine_from(const ArgParser& args) {
+  sim::EngineConfig engine;
+  if (args.given("--engine-threads")) {
+    const int t = args.get_int("--engine-threads");
+    SOC_CHECK(t >= 1, "--engine-threads must be >= 1");
+    engine.threads = t;
+    engine.shards = t;
+  }
+  if (args.given("--engine-shards")) {
+    const int s = args.get_int("--engine-shards");
+    SOC_CHECK(s >= 1, "--engine-shards must be >= 1");
+    engine.shards = s;
+  }
+  return engine;
+}
+
 cluster::RunOptions options_from(const ArgParser& args) {
   cluster::RunOptions options;
   options.size_scale = args.get_double("--scale");
   options.mem_model = parse_mem_model(args.get("--mem-model"));
   options.gpu_work_fraction = args.get_double("--gpu-fraction");
+  options.engine = engine_from(args);
   return options;
 }
 
@@ -655,9 +676,10 @@ int cmd_replay(const ArgParser& args) {
                                      ->cpu_profile());
   sim::Scenario scenario;
   scenario.ideal_network = args.get_bool("--ideal-network");
-  const sim::MemoCostModel memo(cost);
+  const sim::EngineConfig engine_config = engine_from(args);
+  const sim::MemoCostModel memo(cost, /*thread_safe=*/engine_config.shards > 1);
   sim::Engine engine(sim::Placement::block(ranks, nodes), memo,
-                     sim::EngineConfig{}, scenario);
+                     engine_config, scenario);
   const sim::RunStats stats = engine.run(programs);
   std::printf("replayed %d ranks on %d nodes%s: %.3f s, %.2f GFLOP/s, "
               "%.3f GB over the network\n",
@@ -675,13 +697,16 @@ int cmd_perf(const ArgParser& args) {
   const auto cases = cluster::default_perf_cases(quick);
   const auto report = cluster::measure_engine(cases, config);
 
-  TextTable table({"config", "events", "events/sec", "allocs/event",
-                   "memo hit%", "wall s"});
+  TextTable table({"config", "shards", "events", "events/sec", "speedup",
+                   "allocs/event", "memo hit%", "wall s"});
   for (const auto& s : report.samples) {
     const double evals = static_cast<double>(s.memo_hits + s.memo_misses);
     table.add_row(
-        {s.name, TextTable::num(static_cast<double>(s.events), 0),
+        {s.name, TextTable::num(s.shards, 0),
+         TextTable::num(static_cast<double>(s.events), 0),
          TextTable::eng(s.events_per_second),
+         s.baseline.empty() ? "-"
+                            : TextTable::num(s.speedup_vs_baseline, 2) + "x",
          TextTable::num(s.allocs_per_event, 4),
          TextTable::num(
              evals > 0.0 ? 100.0 * static_cast<double>(s.memo_hits) / evals
@@ -705,6 +730,27 @@ int cmd_perf(const ArgParser& args) {
     cluster::write_perf_report(args.get("--report-json"), report);
     std::printf("wrote %s\n", args.get("--report-json").c_str());
   }
+  // The bench harness convention (bench_common.h): when
+  // SOC_BENCH_JSON_DIR names a directory, drop the canonical artifact
+  // there too, so CI uploads it without a flag.
+  if (const char* dir = std::getenv("SOC_BENCH_JSON_DIR");
+      dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/BENCH_engine.json";
+    cluster::write_perf_report(path, report);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (args.given("--baseline")) {
+    const double tolerance = args.get_double("--baseline-tolerance");
+    const auto baseline = cluster::load_perf_baseline(args.get("--baseline"));
+    const std::string failures =
+        cluster::diff_perf_baseline(report, baseline, tolerance);
+    if (!failures.empty()) {
+      std::fprintf(stderr, "%s", failures.c_str());
+      return 1;
+    }
+    std::printf("baseline check passed vs %s (tolerance %.2f)\n",
+                args.get("--baseline").c_str(), tolerance);
+  }
   return 0;
 }
 
@@ -722,7 +768,8 @@ int usage(const ArgParser& args) {
       "  list       workloads and machine models available\n"
       "  run        one metered run (add --metrics, --chrome-trace,\n"
       "             --report-json for observability artifacts;\n"
-      "             --audit-determinism for a replay audit)\n"
+      "             --audit-determinism for a replay audit;\n"
+      "             --engine-threads N for the sharded parallel engine)\n"
       "  sweep      cluster-size sweep, one row per (size, NIC); shards\n"
       "             across host threads (--sweep-threads);\n"
       "             --energy-roofline writes the GFLOPS/W artifact\n"
@@ -774,6 +821,12 @@ int main(int argc, char** argv) {
                 "run: verify replays are bit-identical instead of reporting");
   args.add_flag("--repeats", "replays per audit mode (audit-determinism)",
                 "4");
+  args.add_flag("--engine-threads",
+                "run/replay: worker threads for the sharded parallel engine "
+                "(committed stream is bit-identical to serial)");
+  args.add_flag("--engine-shards",
+                "run/replay: event-queue shard count (defaults to "
+                "--engine-threads)");
   args.add_flag("--sweep-threads",
                 "sweep: host threads to shard runs across (0 = all cores; "
                 "overrides SOC_SWEEP_THREADS)");
@@ -802,8 +855,15 @@ int main(int argc, char** argv) {
   args.add_flag("--energy-roofline",
                 "sweep: write the soccluster-energy-roofline/v1 artifact "
                 "here");
-  args.add_bool("--quick", "perf: two-case smoke subset");
+  args.add_bool("--quick", "perf: smoke subset (serial + sharded pair per "
+                           "figure family)");
   args.add_flag("--reps", "perf: timed repetitions per case");
+  args.add_flag("--baseline",
+                "perf: committed BENCH_engine.json to diff against (exact "
+                "events/checksum, tolerant events/s)");
+  args.add_flag("--baseline-tolerance",
+                "perf: fail if events/s drops below this fraction of the "
+                "baseline's", "0.25");
 
   try {
     args.parse(argc, argv);
