@@ -81,8 +81,11 @@ RunResult run(const RunRequest& request, const workloads::Workload& workload,
   // Subclasses that override costs rank-dependently opt out via
   // memoizable() and are used directly.  A sharded engine queries the
   // cost model from worker threads, so the memo locks its cache then.
-  const sim::EngineConfig engine_cfg =
+  sim::EngineConfig engine_cfg =
       engine_config(request.config, request.options);
+  if (request.engine_telemetry != nullptr) {
+    engine_cfg.telemetry = request.engine_telemetry;
+  }
   const sim::MemoCostModel memo(cost, /*thread_safe=*/engine_cfg.shards > 1);
   const sim::CostModel& effective =
       cost.memoizable() ? static_cast<const sim::CostModel&>(memo) : cost;

@@ -3,13 +3,16 @@
 #include <chrono>  // soclint: allow(banned-nondeterminism)
 #include <cstdlib>
 #include <fstream>
+#include <map>
 
 #include "cluster/cost_model.h"
 #include "cluster/report.h"
 #include "common/alloc_stats.h"
 #include "common/error.h"
 #include "obs/json.h"
+#include "prof/selfprof.h"
 #include "sim/engine.h"
+#include "sim/telemetry.h"
 #include "sim/memo_cost.h"
 #include "systems/machines.h"
 #include "workloads/workload.h"
@@ -53,6 +56,12 @@ PerfReport measure_engine(const std::vector<PerfCase>& cases,
   using Clock = std::chrono::steady_clock;  // soclint: allow(banned-nondeterminism)
   PerfReport report;
   const std::uint64_t allocs_at_start = allocation_count();
+  // Self-telemetry per case, keyed by name, for the scaling
+  // decomposition pass below.  Captured by a dedicated untimed
+  // repetition so the instrumented run never pollutes the throughput
+  // numbers (and the timed reps stay telemetry-free, which is what the
+  // zero-overhead-when-detached guarantee is about).
+  std::map<std::string, sim::EngineTelemetry> telemetry;
 
   for (const PerfCase& c : cases) {
     const auto workload = workloads::make_workload(c.workload);
@@ -103,6 +112,16 @@ PerfReport measure_engine(const std::vector<PerfCase>& cases,
             : 0.0;
     sample.memo_hits = memo.hits();
     sample.memo_misses = memo.misses();
+    if (config.explain_scaling) {
+      sim::EngineTelemetry& tel = telemetry[c.name];
+      sim::EngineConfig instrumented = engine_config;
+      instrumented.telemetry = &tel;
+      sim::Engine engine(placement, memo, instrumented, scenario);
+      const auto stats = engine.run(programs);
+      SOC_CHECK(stats.event_checksum == sample.checksum,
+                "telemetry-attached rep diverged from the timed reps: " +
+                    c.name);
+    }
 
     report.total_events += rep_events;
     report.total_wall_seconds += sample.wall_seconds;
@@ -134,6 +153,16 @@ PerfReport measure_engine(const std::vector<PerfCase>& cases,
                                 ? s.events_per_second /
                                       base->events_per_second
                                 : 0.0;
+    if (config.explain_scaling) {
+      const auto serial_it = telemetry.find(s.baseline);
+      const auto sharded_it = telemetry.find(s.name);
+      SOC_CHECK(serial_it != telemetry.end() &&
+                    sharded_it != telemetry.end(),
+                "missing telemetry for scaling decomposition: " + s.name);
+      s.scaling =
+          prof::explain_scaling(serial_it->second, sharded_it->second);
+      s.has_scaling = true;
+    }
   }
   return report;
 }
@@ -159,6 +188,13 @@ std::string perf_report_json(const PerfReport& report) {
     if (!s.baseline.empty()) {
       w.field("baseline", s.baseline);
       w.field("speedup_vs_baseline", s.speedup_vs_baseline);
+    }
+    if (s.has_scaling) {
+      // Pre-rendered by the same JsonWriter machinery, so the sample
+      // line stays a single line and the baseline loader's line scanner
+      // keeps working.
+      w.key("scaling");
+      w.value_raw(prof::scaling_json(s.scaling));
     }
     w.field("wall_seconds", s.wall_seconds);
     w.field("events_per_second", s.events_per_second);
@@ -229,6 +265,11 @@ std::vector<PerfSample> load_perf_baseline(const std::string& path) {
     if (extract_number(line, "shards", &shards)) {
       s.shards = static_cast<int>(shards);
     }
+    double speedup = 0.0;
+    if (extract_string(line, "baseline", &s.baseline) &&
+        extract_number(line, "speedup_vs_baseline", &speedup)) {
+      s.speedup_vs_baseline = speedup;
+    }
     samples.push_back(std::move(s));
   }
   SOC_CHECK(!samples.empty(), "perf baseline holds no samples: " + path);
@@ -237,9 +278,11 @@ std::vector<PerfSample> load_perf_baseline(const std::string& path) {
 
 std::string diff_perf_baseline(const PerfReport& report,
                                const std::vector<PerfSample>& baseline,
-                               double tolerance) {
+                               double tolerance, double speedup_tolerance) {
   SOC_CHECK(tolerance > 0.0 && tolerance <= 1.0,
             "baseline tolerance must be in (0, 1]");
+  SOC_CHECK(speedup_tolerance > 0.0 && speedup_tolerance <= 1.0,
+            "baseline speedup tolerance must be in (0, 1]");
   std::string failures;
   int matched = 0;
   for (const PerfSample& b : baseline) {
@@ -265,6 +308,19 @@ std::string diff_perf_baseline(const PerfReport& report,
                   std::to_string(s->events_per_second) + " < " +
                   std::to_string(tolerance) + " x " +
                   std::to_string(b.events_per_second) + " events/s\n";
+    }
+    // Sharded speedup rows also gate on parallel efficiency: both runs
+    // divide by their own serial row, so this catches the sharded path
+    // regressing relative to the serial path even when the machine (and
+    // thus absolute events/s) differs from the baseline's.
+    if (!b.baseline.empty() && b.speedup_vs_baseline > 0.0 &&
+        s->speedup_vs_baseline <
+            speedup_tolerance * b.speedup_vs_baseline) {
+      failures += "perf baseline: " + b.name + " speedup regressed: " +
+                  std::to_string(s->speedup_vs_baseline) + " < " +
+                  std::to_string(speedup_tolerance) + " x " +
+                  std::to_string(b.speedup_vs_baseline) + " vs " +
+                  b.baseline + "\n";
     }
   }
   if (matched == 0) {

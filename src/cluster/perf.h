@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "prof/selfprof.h"
+
 namespace soc::cluster {
 
 /// One engine-only replay target (mirrors the fig5/fig6 bench shapes).
@@ -37,6 +39,11 @@ struct PerfCase {
 
 struct PerfConfig {
   int reps = 5;  ///< Timed repetitions per case (one warm-up rep extra).
+  /// Run one extra telemetry-attached repetition per case (outside the
+  /// timed region, so the throughput numbers are unaffected) and attach
+  /// a zero-residual scaling-loss decomposition (prof::explain_scaling)
+  /// to every sample that names a baseline.
+  bool explain_scaling = false;
 };
 
 /// Measurement for one case, aggregated over the timed repetitions.
@@ -56,6 +63,10 @@ struct PerfSample {
   /// (0 when `baseline` is empty).  > 1 means this configuration is
   /// faster; the sharded rows report their parallel speedup here.
   double speedup_vs_baseline = 0.0;
+  /// Scaling-loss decomposition vs the named baseline, filled only when
+  /// PerfConfig::explain_scaling is set and `baseline` is non-empty.
+  bool has_scaling = false;
+  prof::ScalingDecomposition scaling;
 };
 
 struct PerfReport {
@@ -84,18 +95,22 @@ void write_perf_report(const std::string& path, const PerfReport& report);
 
 /// Reads the samples back out of a perf_report_json document (the
 /// committed BENCH_engine.json baseline).  Only the comparison fields
-/// (name, events, checksum, events_per_second, shards) are recovered.
+/// (name, events, checksum, events_per_second, shards, baseline,
+/// speedup_vs_baseline) are recovered.
 std::vector<PerfSample> load_perf_baseline(const std::string& path);
 
 /// Compares a fresh report against a committed baseline: cases present in
 /// both must agree exactly on events and checksum (simulation
 /// determinism is machine-independent) and may not drop below
 /// `tolerance` x the baseline's events/s (wall-clock is machine-dependent,
-/// so the throughput gate is deliberately loose).  Returns an empty
-/// string on success, else a newline-terminated failure list.  At least
-/// one case must match by name.
+/// so the throughput gate is deliberately loose).  Sharded speedup rows
+/// additionally may not drop below `speedup_tolerance` x the baseline's
+/// speedup_vs_baseline — parallel-efficiency regressions are caught even
+/// when absolute throughput moved for unrelated reasons.  Returns an
+/// empty string on success, else a newline-terminated failure list.  At
+/// least one case must match by name.
 std::string diff_perf_baseline(const PerfReport& report,
                                const std::vector<PerfSample>& baseline,
-                               double tolerance);
+                               double tolerance, double speedup_tolerance);
 
 }  // namespace soc::cluster

@@ -8,11 +8,7 @@
 
 namespace soc::obs {
 
-namespace {
-
-/// Renders integer nanoseconds as fixed-point microseconds ("12.345").
-/// Integer math end to end, so the rendering is platform-independent.
-std::string micros(SimTime ns) {
+std::string trace_micros(std::int64_t ns) {
   const auto frac = static_cast<int>(ns % 1000);
   std::string out = std::to_string(ns / 1000);
   out += '.';
@@ -22,8 +18,8 @@ std::string micros(SimTime ns) {
   return out;
 }
 
-void meta_event(JsonWriter& w, const char* name, int pid, int tid,
-                const std::string& arg_name) {
+void trace_meta_event(JsonWriter& w, const char* name, int pid, int tid,
+                      const std::string& arg_name) {
   w.begin_object();
   w.field("name", name);
   w.field("ph", "M");
@@ -36,8 +32,6 @@ void meta_event(JsonWriter& w, const char* name, int pid, int tid,
   w.end_object();
   w.newline();
 }
-
-}  // namespace
 
 void ChromeTraceRecorder::on_run_begin(const sim::Placement& placement,
                                        const sim::EngineConfig& /*config*/) {
@@ -62,16 +56,16 @@ std::string ChromeTraceRecorder::json() const {
   w.newline();
   // Name every process (node) and thread (rank row + resource lanes).
   for (int node = 0; node < placement_.nodes; ++node) {
-    meta_event(w, "process_name", node, -1, "node " + std::to_string(node));
+    trace_meta_event(w, "process_name", node, -1, "node " + std::to_string(node));
     for (const sim::Lane lane : {sim::Lane::kGpu, sim::Lane::kCopy,
                                  sim::Lane::kNicTx, sim::Lane::kNicRx}) {
-      meta_event(w, "thread_name", node,
+      trace_meta_event(w, "thread_name", node,
                  kLaneTidBase + static_cast<int>(lane),
                  sim::lane_name(lane));
     }
   }
   for (int rank = 0; rank < placement_.ranks; ++rank) {
-    meta_event(w, "thread_name", placement_.node_of[rank], rank,
+    trace_meta_event(w, "thread_name", placement_.node_of[rank], rank,
                "rank " + std::to_string(rank));
   }
   for (const sim::SpanRecord& s : spans_) {
@@ -86,9 +80,9 @@ std::string ChromeTraceRecorder::json() const {
     w.field("pid", s.node);
     w.field("tid", tid);
     w.key("ts");
-    w.value_raw(micros(s.start));
+    w.value_raw(trace_micros(s.start));
     w.key("dur");
-    w.value_raw(micros(s.end - s.start));
+    w.value_raw(trace_micros(s.end - s.start));
     w.key("args");
     w.begin_object();
     w.field("rank", s.rank);
@@ -120,7 +114,7 @@ std::string ChromeTraceRecorder::json() const {
     w.field("pid", src_node);
     w.field("tid", m.src_rank);
     w.key("ts");
-    w.value_raw(micros(m.start));
+    w.value_raw(trace_micros(m.start));
     w.key("args");
     w.begin_object();
     w.field("bytes", static_cast<std::int64_t>(m.bytes));
@@ -137,7 +131,7 @@ std::string ChromeTraceRecorder::json() const {
     w.field("pid", dst_node);
     w.field("tid", m.dst_rank);
     w.key("ts");
-    w.value_raw(micros(m.end));
+    w.value_raw(trace_micros(m.end));
     w.key("args");
     w.begin_object();
     w.field("bytes", static_cast<std::int64_t>(m.bytes));

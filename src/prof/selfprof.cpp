@@ -1,0 +1,76 @@
+#include "prof/selfprof.h"
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace soc::prof {
+
+ScalingDecomposition explain_scaling(const sim::EngineTelemetry& serial,
+                                     const sim::EngineTelemetry& sharded) {
+  SOC_CHECK(serial.shards == 1,
+            "explain_scaling: serial telemetry must come from a one-shard run");
+  SOC_CHECK(sharded.windowed,
+            "explain_scaling: sharded telemetry must come from a windowed run");
+  SOC_CHECK(serial.wall_total_ns > 0 && sharded.wall_total_ns > 0,
+            "explain_scaling: telemetry has no wall-clock measurements");
+  SOC_CHECK(sharded.workers >= 1, "explain_scaling: bad worker count");
+
+  const auto w = static_cast<std::int64_t>(sharded.workers);
+  const auto t1 = static_cast<std::int64_t>(serial.wall_total_ns);
+  const auto tp = static_cast<std::int64_t>(sharded.wall_total_ns);
+  const auto busy_max = static_cast<std::int64_t>(sharded.busy_max_ns);
+  const auto busy_sum = static_cast<std::int64_t>(sharded.busy_sum_ns);
+  const auto step_wall = static_cast<std::int64_t>(sharded.step_wall_ns);
+  const auto drain = static_cast<std::int64_t>(sharded.drain_wall_ns);
+  const auto merge = static_cast<std::int64_t>(sharded.merge_wall_ns);
+
+  ScalingDecomposition d;
+  d.workers = sharded.workers;
+  d.shards = sharded.shards;
+  d.serial_wall_ns = t1;
+  d.sharded_wall_ns = tp;
+  d.speedup = static_cast<double>(t1) / static_cast<double>(tp);
+  d.efficiency = d.speedup / static_cast<double>(sharded.workers);
+
+  d.core_gap_ns = w * tp - t1;
+  d.imbalance_ns = w * busy_max - busy_sum;
+  d.barrier_ns = w * (step_wall - busy_max);
+  d.mailbox_merge_ns = w * (drain + merge);
+  d.serial_residual_ns =
+      d.core_gap_ns - d.imbalance_ns - d.barrier_ns - d.mailbox_merge_ns;
+
+  // The measurement placement guarantees these (step_wall timestamps
+  // bracket every worker's busy span through the barriers); a violation
+  // means the engine's instrumentation regressed, not a noisy machine.
+  SOC_CHECK(d.imbalance_ns >= 0,
+            "explain_scaling: negative imbalance term (busy_sum > W*busy_max)");
+  SOC_CHECK(d.barrier_ns >= 0,
+            "explain_scaling: negative barrier term (busy_max > step_wall)");
+  SOC_CHECK(d.mailbox_merge_ns >= 0,
+            "explain_scaling: negative mailbox/merge term");
+  SOC_CHECK(d.imbalance_ns + d.barrier_ns + d.mailbox_merge_ns +
+                    d.serial_residual_ns ==
+                d.core_gap_ns,
+            "explain_scaling: decomposition does not sum to the gap");
+  return d;
+}
+
+std::string scaling_json(const ScalingDecomposition& d) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("workers", d.workers);
+  w.field("shards", d.shards);
+  w.field("serial_wall_ns", d.serial_wall_ns);
+  w.field("sharded_wall_ns", d.sharded_wall_ns);
+  w.field("speedup", d.speedup);
+  w.field("efficiency", d.efficiency);
+  w.field("core_gap_ns", d.core_gap_ns);
+  w.field("imbalance_ns", d.imbalance_ns);
+  w.field("barrier_ns", d.barrier_ns);
+  w.field("mailbox_merge_ns", d.mailbox_merge_ns);
+  w.field("serial_residual_ns", d.serial_residual_ns);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace soc::prof

@@ -1,0 +1,63 @@
+// Zero-residual scaling-loss attribution for the parallel engine.
+//
+// Given the engine's self-telemetry (sim/telemetry.h) from a serial run
+// and a sharded run of the same configuration, explain_scaling()
+// decomposes the core-seconds gap between them into named loss terms:
+//
+//   core_gap   = W * Tp - T1              (wasted core-nanoseconds)
+//   imbalance  = W * busy_max - busy_sum  (waiting for the slowest shard)
+//   barrier    = W * (step_wall - busy_max)   (window synchronization)
+//   mailbox    = W * (drain + merge)      (serial cross-shard phases)
+//   residual   = core_gap - imbalance - barrier - mailbox
+//
+// where W is the pool width, Tp/T1 the sharded/serial wall clocks, and
+// busy_max/busy_sum fold each window's slowest worker / all workers
+// (telescoped per window, so imbalance and barrier are provably
+// non-negative: the coordinator's step_wall timestamps bracket every
+// worker's busy span through the window barriers).  Everything is exact
+// int64 nanosecond arithmetic — no division, no rounding — so the four
+// terms sum to the measured gap *identically*; explain_scaling() asserts
+// the identity and the sign invariants on every call.  The residual
+// absorbs what sharding cannot touch (coordinator bookkeeping outside
+// the timed phases, per-event work inflation) and may be negative when
+// the sharded run is superlinear.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/telemetry.h"
+
+namespace soc::prof {
+
+/// Exact decomposition of one serial-vs-sharded wall-clock gap.
+/// All *_ns fields are core-nanoseconds (wall ns scaled by `workers`).
+struct ScalingDecomposition {
+  int workers = 1;  ///< Pool width of the sharded run.
+  int shards = 1;   ///< Shard count of the sharded run.
+
+  std::int64_t serial_wall_ns = 0;   ///< T1.
+  std::int64_t sharded_wall_ns = 0;  ///< Tp.
+  double speedup = 0.0;              ///< T1 / Tp.
+  double efficiency = 0.0;           ///< speedup / workers.
+
+  std::int64_t core_gap_ns = 0;         ///< W*Tp - T1 (signed).
+  std::int64_t imbalance_ns = 0;        ///< >= 0.
+  std::int64_t barrier_ns = 0;          ///< >= 0.
+  std::int64_t mailbox_merge_ns = 0;    ///< >= 0.
+  std::int64_t serial_residual_ns = 0;  ///< Closes the sum; signed.
+};
+
+/// Decomposes the gap between a serial-engine run and a sharded run of
+/// the same workload.  `serial` must come from a run with shards == 1;
+/// `sharded` from a windowed run.  Throws soc::Error if the telemetry is
+/// unusable (zero wall clock, wrong run shapes) or — defensively — if
+/// the zero-residual identity or a sign invariant fails to hold.
+ScalingDecomposition explain_scaling(const sim::EngineTelemetry& serial,
+                                     const sim::EngineTelemetry& sharded);
+
+/// Renders one decomposition as a compact single-line JSON object (no
+/// trailing newline) for embedding in perf-report sample lines.
+std::string scaling_json(const ScalingDecomposition& d);
+
+}  // namespace soc::prof

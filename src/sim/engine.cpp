@@ -1,6 +1,9 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+// Wall-clock telemetry is the one legitimately nondeterministic output
+// here; it never feeds back into simulated state (sim/telemetry.h).
+#include <chrono>  // soclint: allow(banned-nondeterminism)
 #include <cmath>
 #include <sstream>
 #include <thread>
@@ -20,6 +23,74 @@ const char* lane_name(Lane lane) {
     case Lane::kCount: break;
   }
   return "?";
+}
+
+const char* engine_span_kind_name(EngineSpan::Kind kind) {
+  switch (kind) {
+    case EngineSpan::kStep: return "step";
+    case EngineSpan::kBarrier: return "barrier";
+    case EngineSpan::kDrain: return "drain";
+    case EngineSpan::kMerge: return "merge";
+  }
+  return "?";
+}
+
+std::uint64_t Engine::tel_now_ns() const {
+  using Clock = std::chrono::steady_clock;  // soclint: allow(banned-nondeterminism)
+  const auto since_epoch = Clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch)
+                 .count()) -
+         tel_t0_ns_;
+}
+
+void Engine::tel_span(std::vector<EngineSpan>& out, std::uint64_t* dropped,
+                      EngineSpan::Kind kind, int lane, std::uint64_t window,
+                      std::uint64_t begin_ns, std::uint64_t end_ns) const {
+  if (out.size() >= tel_->max_spans_per_lane) {
+    ++*dropped;
+    return;
+  }
+  EngineSpan s;
+  s.kind = kind;
+  s.lane = lane;
+  s.window = window;
+  s.begin_ns = begin_ns;
+  s.end_ns = end_ns;
+  out.push_back(s);
+}
+
+void Engine::tel_finalize() {
+  tel_->shards = nshards_;
+  tel_->workers = nshards_ > 1 ? nthreads_ : 1;
+  tel_->windowed = nshards_ > 1;
+  tel_->lookahead = lookahead_;
+  tel_->events_committed = stats_.events_committed;
+  tel_->shard.assign(shards_.size(), ShardCounters{});
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    tel_->shard[s] = shards_[s].counters;
+    if (tel_->shard[s].mailbox_sent.empty()) {
+      tel_->shard[s].mailbox_sent.assign(shards_.size(), 0);
+    }
+  }
+  // The inline windowed path is its own single worker: the coordinator's
+  // step time is that worker's busy time.
+  if (tel_->windowed && tel_->worker_busy_ns.empty()) {
+    tel_->worker_busy_ns.assign(1, tel_->busy_max_ns);
+  }
+  tel_->worker_barrier_ns = tel_worker_barrier_;
+  tel_->spans = tel_coord_spans_;
+  for (std::size_t w = 0; w < tel_worker_spans_.size(); ++w) {
+    tel_->spans.insert(tel_->spans.end(), tel_worker_spans_[w].begin(),
+                       tel_worker_spans_[w].end());
+    tel_->spans_dropped += tel_worker_drops_[w];
+  }
+  tel_window_busy_.clear();
+  tel_worker_spans_.clear();
+  tel_worker_barrier_.clear();
+  tel_worker_drops_.clear();
+  tel_coord_spans_.clear();
+  tel_->wall_total_ns = tel_now_ns();
 }
 
 // Default observer callbacks are no-ops so implementations override only
@@ -177,6 +248,19 @@ RunStats Engine::run(OpSource& source) {
   const std::size_t nodes = static_cast<std::size_t>(placement_.nodes);
   source_ = &source;
 
+  // Self-telemetry attaches for exactly one run; with no sink every
+  // instrumentation site below is a single `tel_ != nullptr` test.
+  tel_ = config_.telemetry;
+  if (tel_ != nullptr) {
+    tel_->reset();
+    tel_t0_ns_ = 0;
+    tel_t0_ns_ = tel_now_ns();
+    tel_coord_spans_.clear();
+    tel_worker_spans_.clear();
+    tel_worker_barrier_.clear();
+    tel_worker_drops_.clear();
+  }
+
   // -- Partitioning.  Cross-node pairs communicate through timestamped
   //    protocol messages whenever the network is real; the conservative
   //    lookahead is the minimum cross-node latency, and sharding is only
@@ -258,6 +342,10 @@ RunStats Engine::run(OpSource& source) {
     }
     sh.ev_time = 0;
     sh.ev_key = 0;
+    sh.counters = ShardCounters{};
+    if (tel_ != nullptr) {
+      sh.counters.mailbox_sent.assign(static_cast<std::size_t>(nshards_), 0);
+    }
   }
   audit_ = Fnv1a{};
   merged_.clear();
@@ -301,6 +389,10 @@ RunStats Engine::run(OpSource& source) {
   }
   stats_.event_checksum = audit_.value();
   if (observer_ != nullptr) observer_->on_run_end(stats_);
+  if (tel_ != nullptr) {
+    tel_finalize();
+    tel_ = nullptr;
+  }
   return stats_;
 }
 
@@ -324,6 +416,12 @@ void Engine::run_serial(SimTime horizon) {
 }
 
 void Engine::step_shard(Shard& sh, SimTime window_end, SimTime horizon) {
+  if (tel_ != nullptr) {
+    ++sh.counters.windows_stepped;
+    if (sh.queue.empty() || sh.queue.top().time >= window_end) {
+      ++sh.counters.empty_windows;
+    }
+  }
   while (!sh.queue.empty() && sh.queue.top().time < window_end) {
     const KeyedEvent e = sh.queue.pop();
     SOC_CHECK(e.time <= horizon, "simulation exceeded max_sim_seconds");
@@ -363,10 +461,25 @@ void Engine::run_windowed(SimTime horizon) {
   };
 
   if (nthreads_ <= 1) {
+    // The coordinator steps every shard itself; for telemetry it is the
+    // run's single worker (busy == step wall, so the decomposition's
+    // imbalance and barrier terms are zero by construction).
     for (;;) {
       window_end = h + lookahead_;
-      for (auto& sh : shards_) step_shard(sh, window_end, horizon);
+      if (tel_ == nullptr) {
+        for (auto& sh : shards_) step_shard(sh, window_end, horizon);
+      } else {
+        const std::uint64_t b0 = tel_now_ns();
+        for (auto& sh : shards_) step_shard(sh, window_end, horizon);
+        const std::uint64_t b1 = tel_now_ns();
+        tel_->step_wall_ns += b1 - b0;
+        tel_->busy_max_ns += b1 - b0;
+        tel_->busy_sum_ns += b1 - b0;
+        tel_span(tel_coord_spans_, &tel_->spans_dropped, EngineSpan::kStep,
+                 0, tel_->windows, b0, b1);
+      }
       finish_window();
+      if (tel_ != nullptr) ++tel_->windows;
       if (!next_horizon(&h)) return;
       SOC_CHECK(h >= window_end, "conservative lookahead violated");
     }
@@ -382,14 +495,28 @@ void Engine::run_windowed(SimTime horizon) {
   bool stop = false;  // SOC_SHARED(start_bar)
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(nthreads_));  // SOC_SHARED(end_bar)
+  if (tel_ != nullptr) {
+    // Worker-slot scratch: each worker writes only its own element
+    // between the barriers; the coordinator reads strictly after the end
+    // barrier (the same happens-before the shard state relies on).
+    tel_window_busy_.assign(static_cast<std::size_t>(nthreads_), 0);
+    tel_worker_spans_.assign(static_cast<std::size_t>(nthreads_), {});
+    tel_worker_barrier_.assign(static_cast<std::size_t>(nthreads_), 0);
+    tel_worker_drops_.assign(static_cast<std::size_t>(nthreads_), 0);
+    tel_->worker_busy_ns.assign(static_cast<std::size_t>(nthreads_), 0);
+  }
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(nthreads_));
   for (int t = 0; t < nthreads_; ++t) {
     pool.emplace_back([this, t, &start_bar, &end_bar, &stop, &errors,
                        &window_end, horizon] {
+      const std::size_t slot = static_cast<std::size_t>(t);
+      std::uint64_t window = 0;
       for (;;) {
+        const std::uint64_t b0 = tel_ != nullptr ? tel_now_ns() : 0;
         start_bar.arrive_and_wait();
         if (stop) return;
+        const std::uint64_t b1 = tel_ != nullptr ? tel_now_ns() : 0;
         try {
           for (int s = t; s < nshards_; s += nthreads_) {
             step_shard(shards_[static_cast<std::size_t>(s)], window_end,
@@ -398,7 +525,17 @@ void Engine::run_windowed(SimTime horizon) {
         } catch (...) {
           errors[static_cast<std::size_t>(t)] = std::current_exception();
         }
+        if (tel_ != nullptr) {
+          const std::uint64_t b2 = tel_now_ns();
+          tel_window_busy_[slot] = b2 - b1;
+          tel_worker_barrier_[slot] += b1 - b0;
+          tel_span(tel_worker_spans_[slot], &tel_worker_drops_[slot],
+                   EngineSpan::kBarrier, 1 + t, window, b0, b1);
+          tel_span(tel_worker_spans_[slot], &tel_worker_drops_[slot],
+                   EngineSpan::kStep, 1 + t, window, b1, b2);
+        }
         end_bar.arrive_and_wait();
+        ++window;
       }
     });
   }
@@ -406,14 +543,35 @@ void Engine::run_windowed(SimTime horizon) {
   std::exception_ptr failure;
   for (;;) {
     window_end = h + lookahead_;
+    const std::uint64_t w0 = tel_ != nullptr ? tel_now_ns() : 0;
     start_bar.arrive_and_wait();
     end_bar.arrive_and_wait();
+    if (tel_ != nullptr) {
+      // step_wall (coordinator wait from release to last finisher)
+      // brackets every worker's busy span, so busy_max <= step_wall per
+      // window — the inequality the decomposition's barrier term needs.
+      const std::uint64_t w1 = tel_now_ns();
+      tel_->step_wall_ns += w1 - w0;
+      std::uint64_t wmax = 0;
+      std::uint64_t wsum = 0;
+      for (int t = 0; t < nthreads_; ++t) {
+        const std::uint64_t busy = tel_window_busy_[static_cast<std::size_t>(t)];
+        wsum += busy;
+        if (busy > wmax) wmax = busy;
+        tel_->worker_busy_ns[static_cast<std::size_t>(t)] += busy;
+      }
+      tel_->busy_max_ns += wmax;
+      tel_->busy_sum_ns += wsum;
+      tel_span(tel_coord_spans_, &tel_->spans_dropped, EngineSpan::kBarrier,
+               0, tel_->windows, w0, w1);
+    }
     for (auto& err : errors) {
       if (err && !failure) failure = err;
       err = nullptr;
     }
     if (failure) break;
     finish_window();
+    if (tel_ != nullptr) ++tel_->windows;
     if (!next_horizon(&h)) break;
     SOC_CHECK(h >= window_end, "conservative lookahead violated");
   }
@@ -424,6 +582,7 @@ void Engine::run_windowed(SimTime horizon) {
 }
 
 void Engine::drain_outboxes() {
+  const std::uint64_t t0 = tel_ != nullptr ? tel_now_ns() : 0;
   for (int ts = 0; ts < nshards_; ++ts) {
     Shard& dst = shards_[static_cast<std::size_t>(ts)];
     for (int fs = 0; fs < nshards_; ++fs) {
@@ -434,6 +593,12 @@ void Engine::drain_outboxes() {
         box.pop_front();
       }
     }
+  }
+  if (tel_ != nullptr) {
+    const std::uint64_t t1 = tel_now_ns();
+    tel_->drain_wall_ns += t1 - t0;
+    tel_span(tel_coord_spans_, &tel_->spans_dropped, EngineSpan::kDrain, 0,
+             tel_->windows, t0, t1);
   }
 }
 
@@ -450,11 +615,30 @@ void Engine::enqueue_proto(Shard& dst, const ProtoMsg& p) {
   // Negative payload marks a proto; the slot survives until the event
   // pops (protos routinely outlive many windows).
   dst.queue.push(p.time, p.key, -(slot + 1));
+  if (tel_ != nullptr && dst.queue.size() > dst.counters.queue_high_water) {
+    dst.counters.queue_high_water = dst.queue.size();
+  }
 }
 
 void Engine::send_proto(int emitter_rank, int target_rank, const ProtoMsg& p) {
   const int fs = shard_of_rank_[static_cast<std::size_t>(emitter_rank)];
   const int ts = shard_of_rank_[static_cast<std::size_t>(target_rank)];
+  if (tel_ != nullptr) {
+    // Emission counters belong to the emitter's shard (the one executing
+    // this call).  The per-kind totals are shard-count-invariant: whether
+    // a pair uses the protocol depends only on node placement, never on
+    // the partition.
+    ShardCounters& c = shards_[static_cast<std::size_t>(fs)].counters;
+    switch (p.kind) {
+      case ProtoKind::kArrival: ++c.protos_arrival; break;
+      case ProtoKind::kRts: ++c.protos_rts; break;
+      case ProtoKind::kCts: ++c.protos_cts; break;
+    }
+    if (fs != ts) {
+      ++c.cross_shard_sent;
+      ++c.mailbox_sent[static_cast<std::size_t>(ts)];
+    }
+  }
   if (fs == ts) {
     enqueue_proto(shards_[static_cast<std::size_t>(fs)], p);
   } else {
@@ -470,6 +654,7 @@ void Engine::process_event(Shard& sh, const KeyedEvent& e) {
   // the global total order from per-shard buffers.
   sh.ev_time = e.time;
   sh.ev_key = e.key;
+  if (tel_ != nullptr) ++sh.counters.events_processed;
   if (e.payload < 0) {
     const std::int32_t slot = -(e.payload + 1);
     const ProtoMsg p = sh.proto_pool[static_cast<std::size_t>(slot)];
@@ -485,6 +670,7 @@ void Engine::process_event(Shard& sh, const KeyedEvent& e) {
 }
 
 void Engine::replay_commits(std::vector<CommitRec>& recs) {
+  const std::uint64_t t0 = tel_ != nullptr ? tel_now_ns() : 0;
   std::stable_sort(recs.begin(), recs.end(),
                    [](const CommitRec& a, const CommitRec& b) {
                      if (a.time != b.time) return a.time < b.time;
@@ -521,6 +707,13 @@ void Engine::replay_commits(std::vector<CommitRec>& recs) {
         pending_recv_depth_ += rec.u.pending.recvs;
         break;
     }
+  }
+  if (tel_ != nullptr) {
+    tel_->commit_records += recs.size();
+    const std::uint64_t t1 = tel_now_ns();
+    tel_->merge_wall_ns += t1 - t0;
+    tel_span(tel_coord_spans_, &tel_->spans_dropped, EngineSpan::kMerge, 0,
+             tel_->windows, t0, t1);
   }
   recs.clear();
 }
@@ -600,7 +793,14 @@ void Engine::advance(int rank) {
 }
 
 void Engine::wake(int rank, SimTime time) {
-  shard_of(rank).queue.push(time, wake_key(rank), rank);
+  Shard& sh = shard_of(rank);
+  sh.queue.push(time, wake_key(rank), rank);
+  if (tel_ != nullptr) {
+    ++sh.counters.wakes;
+    if (sh.queue.size() > sh.counters.queue_high_water) {
+      sh.counters.queue_high_water = sh.queue.size();
+    }
+  }
 }
 
 void Engine::execute_next(int rank, SimTime now) {
@@ -618,6 +818,7 @@ void Engine::execute_next(int rank, SimTime now) {
         break;
       }
       st.have_current = true;
+      if (tel_ != nullptr) ++shard_of(rank).counters.ops_fetched;
     }
     const Op& op = st.current;
     // Every dispatch — including re-dispatch of a parked op after a

@@ -38,6 +38,7 @@
 #include "sim/op.h"
 #include "sim/op_stream.h"
 #include "sim/stats.h"
+#include "sim/telemetry.h"
 
 namespace soc::sim {
 
@@ -180,6 +181,12 @@ struct EngineConfig {
   /// Resolved conservative lookahead window in ns.  Output only: run()
   /// fills it before on_run_begin; the value set by callers is ignored.
   SimTime lookahead = 0;
+  /// Engine self-instrumentation sink (non-owning; must outlive the
+  /// run).  nullptr = detached: every instrumentation site reduces to
+  /// one pointer test and the run allocates nothing extra.  Telemetry
+  /// never feeds back into simulated state, so attaching it cannot
+  /// change the committed event stream.  See sim/telemetry.h.
+  EngineTelemetry* telemetry = nullptr;
 };
 
 class Engine {
@@ -320,6 +327,8 @@ class Engine {
     std::vector<RingQueue<ProtoMsg>> outbox;           // SOC_SHARD_LOCAL
     SimTime ev_time = 0;                               // SOC_SHARD_LOCAL
     std::uint64_t ev_key = 0;                          // SOC_SHARD_LOCAL
+    /// Telemetry counters (updated only when telemetry is attached).
+    ShardCounters counters;                            // SOC_SHARD_LOCAL
   };
 
   // --- event keys: (class:1)(dst:15)(emitter:15)(seq:32).  Class 0 =
@@ -428,6 +437,18 @@ class Engine {
   /// far in the future).
   SimTime min_cross_node_latency() const;
 
+  // --- self-telemetry plumbing (all no-ops when tel_ is null) ---
+  /// Monotonic wall-clock nanoseconds since run() started.
+  std::uint64_t tel_now_ns() const;
+  /// Appends a wall-clock span to `out`, honoring the per-lane cap;
+  /// overflow increments `*dropped` instead of growing the vector.
+  void tel_span(std::vector<EngineSpan>& out, std::uint64_t* dropped,
+                EngineSpan::Kind kind, int lane, std::uint64_t window,
+                std::uint64_t begin_ns, std::uint64_t end_ns) const;
+  /// Folds per-shard counters, per-worker scratch, and span lanes into
+  /// the attached sink at the end of run().
+  void tel_finalize();
+
   Placement placement_;
   const CostModel& cost_;
   EngineConfig config_;
@@ -458,6 +479,18 @@ class Engine {
   // the state above (each element written only by its owning shard); the
   // scalar aggregates are coordinator-only.
   RunStats stats_;                    // SOC_SHARD_LOCAL(rank/node partition)
+
+  // --- self-telemetry (attached for one run; null = detached).  The
+  //     worker-indexed scratch is written by each pool worker during a
+  //     window and read by the coordinator between barriers, exactly the
+  //     shard-state discipline (the window barriers order the accesses).
+  EngineTelemetry* tel_ = nullptr;
+  std::uint64_t tel_t0_ns_ = 0;  ///< run() start on the monotonic clock.
+  std::vector<std::uint64_t> tel_window_busy_;   // SOC_SHARD_LOCAL(worker slot)
+  std::vector<std::vector<EngineSpan>> tel_worker_spans_;  // SOC_SHARD_LOCAL(worker slot)
+  std::vector<std::uint64_t> tel_worker_barrier_;  // SOC_SHARD_LOCAL(worker slot)
+  std::vector<std::uint64_t> tel_worker_drops_;    // SOC_SHARD_LOCAL(worker slot)
+  std::vector<EngineSpan> tel_coord_spans_;  ///< Coordinator lane spans.
 
   // --- coordinator state: caller thread only, between barriers ---
   Fnv1a audit_;  ///< Running digest of the committed event stream.

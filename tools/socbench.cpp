@@ -16,6 +16,13 @@
 //       Observability artifacts on demand: --metrics prints the run's
 //       metrics registry, --chrome-trace writes a Perfetto-loadable
 //       trace, --report-json a canonical machine-readable run report.
+//       Engine self-telemetry on demand: --engine-telemetry writes the
+//       full soccluster-engine-telemetry/v1 artifact (deterministic
+//       counters + per-shard detail + wall-clock timings),
+//       --engine-counters just its byte-comparable counter section, and
+//       --engine-trace a Chrome trace of the engine's own wall-clock
+//       execution (coordinator + worker lanes).  replay takes the same
+//       three flags.
 //   socbench sweep --workload hpl --nodes 2,4,8,16 --nic both
 //                  [--sweep-threads N] [--progress] [--report-json s.json]
 //       Cluster-size sweep, one row per (size, NIC).  `--workload all`
@@ -58,10 +65,17 @@
 //       and under parallel_for; all event checksums must be bit-identical.
 //       `--workload all` audits every registered workload.
 //   socbench perf [--quick] [--reps 5] [--report-json BENCH_engine.json]
+//                 [--explain-scaling] [--baseline BENCH_engine.json]
 //       Engine-only replay throughput over the fig5/fig6 shapes:
 //       events/sec, allocations per event, cost-model cache hit rate, and
 //       one stable `checksum config=... events=... value=...` line per
 //       case (CI diffs these between -O2 and sanitizer builds).
+//       --explain-scaling adds one telemetry-attached repetition per case
+//       (outside the timed region) and decomposes each sharded row's
+//       serial-vs-sharded core-seconds gap into imbalance / barrier /
+//       mailbox+merge / serial-residual terms that sum to the measured
+//       gap exactly.  --baseline additionally gates sharded rows'
+//       speedup_vs_baseline at --speedup-tolerance.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -80,11 +94,14 @@
 #include "core/extended_roofline.h"
 #include "net/network.h"
 #include "obs/chrome_trace.h"
+#include "obs/engine_telemetry.h"
 #include "obs/observers.h"
 #include "prof/critical_path.h"
 #include "prof/energy.h"
 #include "prof/profile.h"
+#include "prof/selfprof.h"
 #include "sim/memo_cost.h"
+#include "sim/telemetry.h"
 #include "sweep/frontier.h"
 #include "sweep/grid.h"
 #include "sweep/sweep.h"
@@ -196,6 +213,36 @@ cluster::RunOptions options_from(const ArgParser& args) {
   return options;
 }
 
+/// True when any --engine-telemetry / --engine-counters / --engine-trace
+/// flag asks for the engine's self-telemetry (run and replay).
+bool want_engine_telemetry(const ArgParser& args) {
+  return args.given("--engine-telemetry") || args.given("--engine-counters") ||
+         args.given("--engine-trace");
+}
+
+/// Writes whichever of the three self-telemetry artifacts the flags name.
+void write_engine_telemetry(const ArgParser& args,
+                            const sim::EngineTelemetry& telemetry) {
+  if (args.given("--engine-telemetry")) {
+    prof::write_text(args.get("--engine-telemetry"),
+                     obs::engine_telemetry_json(telemetry));
+    std::printf("wrote engine telemetry to %s\n",
+                args.get("--engine-telemetry").c_str());
+  }
+  if (args.given("--engine-counters")) {
+    prof::write_text(args.get("--engine-counters"),
+                     obs::engine_counters_json(telemetry));
+    std::printf("wrote engine counters to %s\n",
+                args.get("--engine-counters").c_str());
+  }
+  if (args.given("--engine-trace")) {
+    prof::write_text(args.get("--engine-trace"),
+                     obs::engine_wallclock_trace_json(telemetry));
+    std::printf("wrote engine wall-clock trace to %s\n",
+                args.get("--engine-trace").c_str());
+  }
+}
+
 /// Scenario decorators from the --fault / --noise / --checkpoint flags;
 /// all-empty flags yield a disabled config (scenario-free run).
 workloads::ScenarioConfig scenario_from(const ArgParser& args) {
@@ -296,6 +343,8 @@ int cmd_run(const ArgParser& args) {
   request.config = cluster::ClusterConfig{node, nodes, ranks};
   request.options = options;
   request.scenario = scenario_from(args);
+  sim::EngineTelemetry telemetry;
+  if (want_engine_telemetry(args)) request.engine_telemetry = &telemetry;
   const auto result = cluster::run(request);
   std::printf("%s on %d x %s (%s, %d ranks)\n\n", workload->name().c_str(),
               nodes, node.name.c_str(), node.nic.name.c_str(), ranks);
@@ -322,6 +371,9 @@ int cmd_run(const ArgParser& args) {
                           &request.scenario);
     std::printf("wrote run report to %s\n",
                 args.get("--report-json").c_str());
+  }
+  if (request.engine_telemetry != nullptr) {
+    write_engine_telemetry(args, telemetry);
   }
   return 0;
 }
@@ -676,7 +728,9 @@ int cmd_replay(const ArgParser& args) {
                                      ->cpu_profile());
   sim::Scenario scenario;
   scenario.ideal_network = args.get_bool("--ideal-network");
-  const sim::EngineConfig engine_config = engine_from(args);
+  sim::EngineConfig engine_config = engine_from(args);
+  sim::EngineTelemetry telemetry;
+  if (want_engine_telemetry(args)) engine_config.telemetry = &telemetry;
   const sim::MemoCostModel memo(cost, /*thread_safe=*/engine_config.shards > 1);
   sim::Engine engine(sim::Placement::block(ranks, nodes), memo,
                      engine_config, scenario);
@@ -686,6 +740,9 @@ int cmd_replay(const ArgParser& args) {
               ranks, nodes, scenario.ideal_network ? " (ideal network)" : "",
               stats.seconds(), stats.flops_per_second() / 1e9,
               static_cast<double>(stats.total_net_bytes) / 1e9);
+  if (engine_config.telemetry != nullptr) {
+    write_engine_telemetry(args, telemetry);
+  }
   return 0;
 }
 
@@ -694,6 +751,7 @@ int cmd_perf(const ArgParser& args) {
   cluster::PerfConfig config;
   config.reps = args.given("--reps") ? args.get_int("--reps")
                                      : (quick ? 2 : 5);
+  config.explain_scaling = args.get_bool("--explain-scaling");
   const auto cases = cluster::default_perf_cases(quick);
   const auto report = cluster::measure_engine(cases, config);
 
@@ -726,6 +784,36 @@ int cmd_perf(const ArgParser& args) {
               report.events_per_second, report.total_events,
               report.total_wall_seconds,
               report.alloc_counter_live ? "" : " [alloc counter not linked]");
+  if (config.explain_scaling) {
+    // Where each sharded row's core-seconds went.  The four terms sum to
+    // the measured serial-vs-sharded gap exactly (prof::explain_scaling
+    // asserts the zero-residual identity), so the shares explain 100% of
+    // the scaling loss — or, for a negative gap, the superlinear win.
+    TextTable st({"config", "workers", "speedup", "gap (core-ms)",
+                  "imbalance", "barrier", "mailbox+merge", "residual"});
+    const auto share = [](std::int64_t term, std::int64_t gap) {
+      if (gap == 0) return std::string("-");
+      if (term == 0) return std::string("0.0%");
+      return TextTable::num(100.0 * static_cast<double>(term) /
+                                static_cast<double>(gap),
+                            1) +
+             "%";
+    };
+    for (const auto& s : report.samples) {
+      if (!s.has_scaling) continue;
+      const auto& d = s.scaling;
+      st.add_row({s.name, TextTable::num(d.workers, 0),
+                  TextTable::num(d.speedup, 2) + "x",
+                  TextTable::num(static_cast<double>(d.core_gap_ns) / 1e6, 2),
+                  share(d.imbalance_ns, d.core_gap_ns),
+                  share(d.barrier_ns, d.core_gap_ns),
+                  share(d.mailbox_merge_ns, d.core_gap_ns),
+                  share(d.serial_residual_ns, d.core_gap_ns)});
+    }
+    std::printf("\nscaling-loss attribution (zero residual by construction)\n"
+                "\n%s",
+                st.str().c_str());
+  }
   if (args.given("--report-json")) {
     cluster::write_perf_report(args.get("--report-json"), report);
     std::printf("wrote %s\n", args.get("--report-json").c_str());
@@ -741,15 +829,17 @@ int cmd_perf(const ArgParser& args) {
   }
   if (args.given("--baseline")) {
     const double tolerance = args.get_double("--baseline-tolerance");
+    const double speedup_tolerance = args.get_double("--speedup-tolerance");
     const auto baseline = cluster::load_perf_baseline(args.get("--baseline"));
-    const std::string failures =
-        cluster::diff_perf_baseline(report, baseline, tolerance);
+    const std::string failures = cluster::diff_perf_baseline(
+        report, baseline, tolerance, speedup_tolerance);
     if (!failures.empty()) {
       std::fprintf(stderr, "%s", failures.c_str());
       return 1;
     }
-    std::printf("baseline check passed vs %s (tolerance %.2f)\n",
-                args.get("--baseline").c_str(), tolerance);
+    std::printf("baseline check passed vs %s (tolerance %.2f, speedup "
+                "tolerance %.2f)\n",
+                args.get("--baseline").c_str(), tolerance, speedup_tolerance);
   }
   return 0;
 }
@@ -769,7 +859,9 @@ int usage(const ArgParser& args) {
       "  run        one metered run (add --metrics, --chrome-trace,\n"
       "             --report-json for observability artifacts;\n"
       "             --audit-determinism for a replay audit;\n"
-      "             --engine-threads N for the sharded parallel engine)\n"
+      "             --engine-threads N for the sharded parallel engine;\n"
+      "             --engine-telemetry/--engine-counters/--engine-trace\n"
+      "             for the engine's self-telemetry artifacts)\n"
       "  sweep      cluster-size sweep, one row per (size, NIC); shards\n"
       "             across host threads (--sweep-threads);\n"
       "             --energy-roofline writes the GFLOPS/W artifact\n"
@@ -783,7 +875,8 @@ int usage(const ArgParser& args) {
       "  trace      record generated per-rank programs to a .soctrace file\n"
       "  replay     replay a recorded trace (what-if scenarios supported)\n"
       "  perf       engine-only replay throughput + BENCH_engine.json\n"
-      "             (--quick for the CI smoke subset)\n"
+      "             (--quick for the CI smoke subset; --explain-scaling\n"
+      "             for the zero-residual scaling-loss attribution)\n"
       "\nscenarios (run/sweep/explain/decompose): --fault injects\n"
       "deterministic node crashes, link flaps, and stragglers; --noise adds\n"
       "seeded per-rank OS jitter; --checkpoint daly:... inserts\n"
@@ -827,6 +920,15 @@ int main(int argc, char** argv) {
   args.add_flag("--engine-shards",
                 "run/replay: event-queue shard count (defaults to "
                 "--engine-threads)");
+  args.add_flag("--engine-telemetry",
+                "run/replay: write the soccluster-engine-telemetry/v1 "
+                "self-telemetry artifact here");
+  args.add_flag("--engine-counters",
+                "run/replay: write just the deterministic counter section "
+                "(byte-identical at any shard/thread count) here");
+  args.add_flag("--engine-trace",
+                "run/replay: write a Chrome trace of the engine's own "
+                "wall-clock execution here");
   args.add_flag("--sweep-threads",
                 "sweep: host threads to shard runs across (0 = all cores; "
                 "overrides SOC_SWEEP_THREADS)");
@@ -864,6 +966,12 @@ int main(int argc, char** argv) {
   args.add_flag("--baseline-tolerance",
                 "perf: fail if events/s drops below this fraction of the "
                 "baseline's", "0.25");
+  args.add_flag("--speedup-tolerance",
+                "perf: fail if a sharded row's speedup_vs_baseline drops "
+                "below this fraction of the baseline's", "0.7");
+  args.add_bool("--explain-scaling",
+                "perf: attach telemetry (untimed rep) and decompose each "
+                "sharded row's scaling loss with zero residual");
 
   try {
     args.parse(argc, argv);

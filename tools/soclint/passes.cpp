@@ -568,14 +568,18 @@ bool shard_local_annotated(const SourceFile& file, std::size_t line_no) {
 /// because each member is touched by exactly one worker.  That
 /// confinement claim must be visible and reviewable: every data member
 /// of a Shard type in src/sim carries `// SOC_SHARD_LOCAL` (or a real
-/// SOC_GUARDED_BY when it genuinely is cross-thread).
+/// SOC_GUARDED_BY when it genuinely is cross-thread).  The telemetry
+/// counters (struct ShardCounters, sim/telemetry.h) live under the same
+/// contract — workers bump them lock-free during a window — so the rule
+/// covers both type names.
 void shard_local_file(const SourceFile& file, std::vector<Diagnostic>& out) {
   int depth = 0;         // brace depth across the file
   int shard_depth = -1;  // body depth of the open Shard struct, -1 = none
   for (std::size_t i = 0; i < file.code_lines.size(); ++i) {
     const std::string& line = file.code_lines[i];
     if (line_is_preprocessor(line)) continue;
-    const bool opens_shard = !find_token(line, "Shard").empty() &&
+    const bool opens_shard = (!find_token(line, "Shard").empty() ||
+                              !find_token(line, "ShardCounters").empty()) &&
                              (!find_token(line, "struct").empty() ||
                               !find_token(line, "class").empty());
     if (shard_depth >= 0 && depth == shard_depth) {
@@ -959,9 +963,9 @@ const std::vector<PassRule>& pass_rules() {
        "sync primitives and shared-mutable declarations need "
        "SOC_SHARED(<guard>) or SOC_GUARDED_BY"},
       {"shard-local-state",
-       "data members of the engine's Shard struct (src/sim) must declare "
-       "their thread confinement with // SOC_SHARD_LOCAL or carry "
-       "SOC_GUARDED_BY"},
+       "data members of the engine's Shard and ShardCounters structs "
+       "(src/sim) must declare their thread confinement with "
+       "// SOC_SHARD_LOCAL or carry SOC_GUARDED_BY"},
       {"unordered-range-for",
        "no range-for over unordered containers anywhere in src/"},
       {"unseeded-rng", "std <random> engines must be explicitly seeded"},
@@ -1202,6 +1206,14 @@ int passes_self_test(const std::string& testdata_dir) {
   t.pass_case("obs including sim ok",
               Fx{{"src/obs/observers.cpp", "#include \"sim/engine.h\"\n"}},
               "layering", 0);
+  t.pass_case("obs telemetry renderer including sim telemetry ok",
+              Fx{{"src/obs/engine_telemetry.cpp",
+                  "#include \"sim/telemetry.h\"\n"}},
+              "layering", 0);
+  t.pass_case("sim including obs telemetry renderer flagged",
+              Fx{{"src/sim/engine.cpp",
+                  "#include \"obs/engine_telemetry.h\"\n"}},
+              "layering", 1);
   t.pass_case("system header ignored",
               Fx{{"src/common/units.cpp", "#include <vector>\n"}}, "layering",
               0);
@@ -1399,6 +1411,22 @@ int passes_self_test(const std::string& testdata_dir) {
               Fx{{"src/sim/x.h",
                   "#pragma once\nstruct Shard {\n"
                   "  int d = 0;  // soclint: allow(shard-local-state)\n};\n"}},
+              "shard-local-state", 0);
+  t.pass_case("bare ShardCounters member flagged",
+              Fx{{"src/sim/x.h",
+                  "#pragma once\nstruct ShardCounters {\n"
+                  "  int events_processed = 0;\n};\n"}},
+              "shard-local-state", 1);
+  t.pass_case("annotated ShardCounters member ok",
+              Fx{{"src/sim/x.h",
+                  "#pragma once\nstruct ShardCounters {\n"
+                  "  int events_processed = 0;  // SOC_SHARD_LOCAL\n};\n"}},
+              "shard-local-state", 0);
+  t.pass_case("ShardCounters use outside a definition not flagged",
+              Fx{{"src/sim/x.h",
+                  "#pragma once\nstruct Telemetry {\n"
+                  "  int shards = 0;\n};\n"
+                  "inline void touch(ShardCounters& c);\n"}},
               "shard-local-state", 0);
 
   // --- determinism. ---
